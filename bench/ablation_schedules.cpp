@@ -1,0 +1,64 @@
+// Ablation (not in the paper): the §4.2 dynamic HBR schedule against a
+// design-specific two-phase oracle.
+//
+// The case-study router's outputs depend on registered state only, so a
+// two-pass static schedule (publish all outputs, then recompute all next
+// states) is always correct at exactly 2N delta cycles per system cycle.
+// The paper's dynamic schedule instead pays N + (re-evaluations where a
+// link actually changed). This bench quantifies the win: at realistic
+// loads the dynamic schedule needs far fewer delta cycles — i.e. the HBR
+// machinery earns its status bits — and both schedules stay bit-exact.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "bench/bench_util.h"
+#include "core/noc_block.h"
+#include "traffic/harness.h"
+
+int main() {
+  using namespace tmsim;
+  bench::print_header("Ablation", "dynamic HBR schedule vs two-phase oracle");
+
+  const noc::NetworkConfig net = bench::paper_network(/*queue_depth=*/4);
+  const std::size_t n = net.num_routers();
+  const std::size_t cycles = bench::quick_mode() ? 1000 : 4000;
+
+  analysis::TablePrinter table({"load", "dynamic delta/cyc",
+                                "oracle delta/cyc", "saved", "dyn host cps",
+                                "oracle host cps"});
+  for (double load : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+    double dpc[2], cps[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      core::SeqNocSimulation sim(net, mode == 0
+                                          ? core::SchedulePolicy::kDynamic
+                                          : core::SchedulePolicy::kTwoPhaseOracle);
+      traffic::TrafficHarness::Options opts;
+      opts.seed = 5;
+      traffic::TrafficHarness h(sim, opts);
+      if (load > 0) {
+        h.set_be_load(load, {0, 1, 2, 3});
+      }
+      const double secs = bench::time_run([&] { h.run(cycles); });
+      dpc[mode] = static_cast<double>(sim.engine().total_delta_cycles()) /
+                  static_cast<double>(sim.cycle());
+      cps[mode] = static_cast<double>(cycles) / secs;
+    }
+    table.add_row({analysis::fmt("%.2f", load), analysis::fmt("%.2f", dpc[0]),
+                   analysis::fmt("%.2f", dpc[1]),
+                   analysis::fmt("%.0f%%", 100 * (1 - dpc[0] / dpc[1])),
+                   analysis::fmt("%.0f", cps[0]),
+                   analysis::fmt("%.0f", cps[1])});
+  }
+  table.print();
+
+  std::printf("\nnotes:\n");
+  std::printf("  oracle is pinned at 2N = %zu delta cycles/cycle; the "
+              "dynamic\n  schedule pays N = %zu plus only the links that "
+              "actually changed,\n  so its FPGA-time advantage equals the "
+              "idleness of the traffic.\n", 2 * n, n);
+  std::printf("  the oracle is legal ONLY because this router's G(x) reads\n"
+              "  registered state alone; the HBR schedule needs no such "
+              "proof\n  and works for any partitioning (§4.2) — that is "
+              "the paper's point.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every bench prints (a) the paper's reported numbers, (b) ours, and (c)
+// the derived comparison the paper's claim rests on — so the output of
+// `for b in build/bench/*; do $b; done` is the whole evaluation section.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "noc/config.h"
+
+namespace tmsim::bench {
+
+/// The paper's case-study network: a 6×6 grid (Fig. 1 used 2-flit
+/// queues). Traffic-carrying benches run the MESH topology: XY routing
+/// with packet-fixed VCs is wormhole-deadlock-free on a mesh but not on
+/// a torus (wrap-around links close channel-dependency cycles; the
+/// Kavaldjiev scheme keeps a packet's VC fixed end-to-end, so dateline VC
+/// switching is unavailable). DESIGN.md §7 and the torus-deadlock
+/// regression test document this; the paper does not specify which
+/// topology produced Fig. 1.
+inline noc::NetworkConfig paper_network(std::size_t queue_depth = 2) {
+  noc::NetworkConfig net;
+  net.width = 6;
+  net.height = 6;
+  net.topology = noc::Topology::kMesh;
+  net.router.queue_depth = queue_depth;
+  return net;
+}
+
+/// Wall-clock seconds of a callable.
+template <typename F>
+double time_run(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Benches honour TMSIM_QUICK=1 (shorter runs for smoke testing).
+inline bool quick_mode() {
+  const char* v = std::getenv("TMSIM_QUICK");
+  return v != nullptr && v[0] == '1';
+}
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace tmsim::bench

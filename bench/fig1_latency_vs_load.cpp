@@ -1,0 +1,112 @@
+// Figure 1: "Delay of the GT and BE packets vs. BE load for 6-by-6
+// network (queue size 2 flits)".
+//
+// Reproduction: a 6×6 torus, 2-flit queues; a fixed population of 36
+// two-hop GT streams (256-byte packets, one 129-flit packet per stream
+// per 1290 cycles ≈ 10 % of a channel, link/VC-disjoint so the §2.1
+// guarantee applies); uniform-random BE traffic (10-byte packets) on the
+// remaining two VCs, swept from 0 to 0.14 of channel capacity per PE —
+// the figure's x-axis.
+//
+// Shape to reproduce (the paper's absolute cycle counts depend on their
+// exact router RTL, ours on this reproduction's):
+//   - BE mean latency below GT mean at low load (BE packets are 10 bytes
+//     vs 256 bytes);
+//   - GT mean and max rise with BE load;
+//   - GT max never exceeds the analytic guarantee at any load;
+//   - BE latency grows steeply toward the right edge (saturation).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/table.h"
+#include "bench/bench_util.h"
+#include "core/noc_block.h"
+#include "traffic/harness.h"
+#include "traffic/workloads.h"
+
+int main() {
+  using namespace tmsim;
+  bench::print_header("Figure 1", "GT/BE packet latency vs offered BE load");
+
+  const noc::NetworkConfig net = bench::paper_network(/*queue_depth=*/2);
+  const SystemCycle gt_period = 1290;  // 129 flits / 1290 cycles = 10 %
+  const std::size_t cycles = bench::quick_mode() ? 3000 : 12000;
+  const std::size_t warmup = bench::quick_mode() ? 500 : 2000;
+
+  const auto streams = traffic::fig1_gt_streams(net, gt_period);
+  const std::size_t hops = traffic::max_stream_hops(net, streams);
+  const std::size_t gt_flits =
+      traffic::payload_flits_for_bytes(traffic::kGtPacketBytes) + 1;
+  const std::size_t guarantee =
+      traffic::gt_latency_guarantee(net.router, gt_flits, hops);
+
+  std::printf("network: 6x6 torus, queue depth 2, 4 VCs\n");
+  std::printf("GT: %zu streams, %zu hops, %zu-flit packets, period %llu "
+              "(10%% channel load), VCs 0/1\n",
+              streams.size(), hops, gt_flits,
+              static_cast<unsigned long long>(gt_period));
+  std::printf("BE: 6-flit packets, uniform destinations, VCs 2/3\n");
+  std::printf("analytic GT guarantee: %zu cycles "
+              "(num_vcs*flits + (num_vcs+1)*hops)\n\n",
+              guarantee);
+
+  analysis::TablePrinter table({"BE load", "BE mean", "BE max", "GT mean",
+                                "GT max", "guarantee", "GT ok", "BE pkts",
+                                "GT pkts", "delta/cyc"});
+  bool guarantee_held = true;
+  double gt_mean_low = 0, gt_mean_high = 0, be_mean_low = 0;
+
+  const std::vector<double> loads = {0.0,  0.02, 0.04, 0.06,
+                                     0.08, 0.10, 0.12, 0.14};
+  for (double load : loads) {
+    core::SeqNocSimulation sim(net);
+    traffic::TrafficHarness::Options opts;
+    opts.seed = 4242 + static_cast<std::uint64_t>(load * 1000);
+    opts.warmup_cycles = warmup;
+    traffic::TrafficHarness h(sim, opts);
+    for (const auto& s : streams) {
+      h.add_gt_stream(s);
+    }
+    if (load > 0) {
+      h.set_be_load(load);
+    }
+    h.run(cycles);
+
+    const auto gt = h.summarize(traffic::PacketClass::kGuaranteedThroughput);
+    const auto be = h.summarize(traffic::PacketClass::kBestEffort);
+    const bool ok = gt.network.max() <= static_cast<double>(guarantee);
+    guarantee_held = guarantee_held && ok;
+    const double dpc =
+        static_cast<double>(sim.engine().total_delta_cycles()) /
+        static_cast<double>(sim.cycle());
+    if (load == 0.0) {
+      gt_mean_low = gt.network.mean();
+    }
+    if (load == loads.back()) {
+      gt_mean_high = gt.network.mean();
+    }
+    if (load == 0.02) {
+      be_mean_low = be.network.mean();
+    }
+    table.add_row({analysis::fmt("%.2f", load),
+                   analysis::fmt("%.1f", be.network.mean()),
+                   analysis::fmt("%.0f", be.network.max()),
+                   analysis::fmt("%.1f", gt.network.mean()),
+                   analysis::fmt("%.0f", gt.network.max()),
+                   std::to_string(guarantee), ok ? "yes" : "NO",
+                   std::to_string(be.delivered), std::to_string(gt.delivered),
+                   analysis::fmt("%.2f", dpc)});
+  }
+  table.print();
+
+  std::printf("\nclaims:\n");
+  std::printf("  GT max <= guarantee at every load: %s\n",
+              guarantee_held ? "HOLDS" : "VIOLATED");
+  std::printf("  BE mean (%.1f) below GT mean (%.1f) at low load: %s\n",
+              be_mean_low, gt_mean_low,
+              be_mean_low < gt_mean_low ? "HOLDS" : "VIOLATED");
+  std::printf("  GT mean rises with BE load (%.1f -> %.1f): %s\n",
+              gt_mean_low, gt_mean_high,
+              gt_mean_high > gt_mean_low ? "HOLDS" : "VIOLATED");
+  return guarantee_held ? 0 : 1;
+}

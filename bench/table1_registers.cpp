@@ -1,0 +1,77 @@
+// Table 1: "Required registers per router" — regenerated from the
+// implementation's register layout, not quoted.
+//
+// Paper's numbers (4 VCs, 4-flit queues, 18-bit flits):
+//   Input queues                    1440 bits
+//   Router control and arbitration   292 bits
+//   Links                            200 bits
+//   Stimuli interfaces               180 bits
+//   Total                           2112 bits
+//
+// Ours come from StateLayout (every field named and counted), the link
+// memory bits adjacent to one router, and the stimuli-interface state the
+// FPGA design keeps per router. Where our encoding differs from the
+// authors' (their router RTL predates the paper and is not public), the
+// table shows the difference instead of hiding it.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "bench/bench_util.h"
+#include "core/noc_block.h"
+#include "noc/router_state.h"
+
+int main() {
+  using namespace tmsim;
+  bench::print_header("Table 1", "required registers per router");
+
+  const noc::RouterConfig cfg;  // 4 VCs, 4-deep queues — the FPGA build
+  const noc::RouterStateCodec codec(cfg);
+  const auto by_cat = codec.layout().bits_by_category();
+
+  const std::size_t queues = by_cat.at("input queues");
+  const std::size_t control = by_cat.at("control and arbitration");
+  // Link state adjacent to one router: 5 forward groups (21 bits) and 5
+  // credit groups (num_vcs bits) it reads, each with one HBR bit (§4.2).
+  const std::size_t links =
+      noc::kPorts * (noc::kForwardBits + 1) + noc::kPorts * (cfg.num_vcs + 1);
+  // Stimuli interface per router: per-VC injection credit counters, the
+  // round-robin pick pointer, buffer read/write/fill pointers per VC
+  // stimuli buffer and for the output buffer, and the entry staging
+  // registers (timestamp + data).
+  const std::size_t ptr = 5;  // log2(buffer depth 16) + fill bit
+  const std::size_t stimuli = cfg.num_vcs * cfg.credit_bits() + 2 +
+                              cfg.num_vcs * 3 * ptr + 3 * ptr +
+                              (32 + 24) * 2;
+  const std::size_t total = queues + control + links + stimuli;
+
+  analysis::TablePrinter table({"State", "paper [bits]", "ours [bits]"});
+  table.add_row({"Input queues", "1440", std::to_string(queues)});
+  table.add_row({"Router control and arbitration", "292",
+                 std::to_string(control)});
+  table.add_row({"Links", "200", std::to_string(links)});
+  table.add_row({"Stimuli interfaces", "180", std::to_string(stimuli)});
+  table.add_row({"Total", "2112", std::to_string(total)});
+  table.print();
+
+  std::printf("\nper-field breakdown of the state word (first 12 fields):\n");
+  for (std::size_t i = 0; i < 12 && i < codec.layout().fields().size(); ++i) {
+    const auto& f = codec.layout().field(i);
+    std::printf("  [%4zu +%2zu] %-28s (%s)\n", f.offset, f.width,
+                f.name.c_str(), f.category.c_str());
+  }
+  std::printf("  ... %zu fields, %zu bits total in the state word\n",
+              codec.layout().fields().size(), codec.state_bits());
+
+  std::printf("\nnotes:\n");
+  std::printf("  - input queues match exactly: 20 queues x %zu flits x 18 "
+              "bits\n", cfg.queue_depth);
+  std::printf("  - control differs because the authors' register encoding "
+              "is not\n    public; ours spends full/locked flags and "
+              "binary-coded pointers\n    (every field is listed by "
+              "StateLayout above)\n");
+  std::printf("  - claim preserved: total state ~2 kbit/router, so 256 "
+              "routers need\n    ~%zu kbit of state memory (double-banked) "
+              "— BRAM-bound, not\n    logic-bound\n",
+              2 * 256 * total / 1024);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Latency sweep: the design-space-exploration loop the paper's authors
+// wanted to run ("redo the simulation of Figure 1 with different buffer
+// sizes", §3) — parameterized from the command line, CSV to stdout.
+//
+//   usage: latency_sweep [width height queue_depth topology cycles]
+//     topology: torus | mesh        (default mesh — see DESIGN.md §7 on
+//                                    torus wormhole deadlock)
+//   example: ./examples/latency_sweep 6 6 4 mesh 8000
+//
+// Output: one CSV row per (queue_depth ∈ {1,2,4,8} × BE load) point, so
+// the buffer-size/performance trade-off the authors were after is one
+// plot away.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/noc_block.h"
+#include "traffic/harness.h"
+#include "traffic/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace tmsim;
+  std::size_t width = 6, height = 6;
+  std::size_t fixed_depth = 0;  // 0 = sweep {1,2,4,8}
+  noc::Topology topo = noc::Topology::kMesh;
+  std::size_t cycles = 6000;
+  if (argc >= 3) {
+    width = std::strtoul(argv[1], nullptr, 10);
+    height = std::strtoul(argv[2], nullptr, 10);
+  }
+  if (argc >= 4) {
+    fixed_depth = std::strtoul(argv[3], nullptr, 10);
+  }
+  if (argc >= 5) {
+    topo = std::strcmp(argv[4], "torus") == 0 ? noc::Topology::kTorus
+                                              : noc::Topology::kMesh;
+  }
+  if (argc >= 6) {
+    cycles = std::strtoul(argv[5], nullptr, 10);
+  }
+
+  std::printf("# %zux%zu %s, %zu cycles per point\n", width, height,
+              topo == noc::Topology::kTorus ? "torus" : "mesh", cycles);
+  std::printf("queue_depth,be_load,be_mean,be_max,be_access_mean,"
+              "gt_mean,gt_max,delivered,delta_per_cycle,overloaded\n");
+
+  const std::size_t depths[] = {1, 2, 4, 8};
+  for (std::size_t depth : depths) {
+    if (fixed_depth != 0 && depth != fixed_depth) {
+      continue;
+    }
+    for (double load : {0.02, 0.06, 0.10, 0.14}) {
+      noc::NetworkConfig net;
+      net.width = width;
+      net.height = height;
+      net.topology = topo;
+      net.router.queue_depth = depth;
+
+      core::SeqNocSimulation sim(net);
+      traffic::TrafficHarness::Options opts;
+      opts.seed = 11;
+      opts.warmup_cycles = cycles / 5;
+      traffic::TrafficHarness h(sim, opts);
+      if (width >= 4) {
+        for (const auto& s : traffic::fig1_gt_streams(net, 1290)) {
+          h.add_gt_stream(s);
+        }
+      }
+      h.set_be_load(load);
+      h.run(cycles);
+
+      const auto be = h.summarize(traffic::PacketClass::kBestEffort);
+      const auto gt =
+          h.summarize(traffic::PacketClass::kGuaranteedThroughput);
+      const double dpc =
+          static_cast<double>(sim.engine().total_delta_cycles()) /
+          static_cast<double>(sim.cycle());
+      std::printf("%zu,%.2f,%.1f,%.0f,%.1f,%.1f,%.0f,%zu,%.2f,%d\n", depth,
+                  load, be.network.mean(), be.network.max(),
+                  be.access.mean(), gt.network.mean(), gt.network.max(),
+                  be.delivered + gt.delivered, dpc, h.overloaded() ? 1 : 0);
+    }
+  }
+  return 0;
+}

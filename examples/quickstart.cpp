@@ -1,0 +1,73 @@
+// Quickstart: simulate a 4×4 NoC with the paper's time-multiplexed
+// method, check it bit-exactly against the golden reference, and print
+// latency plus delta-cycle statistics.
+//
+//   $ ./examples/quickstart
+//
+// Walk-through of the pieces:
+//   1. NetworkConfig       — topology and router parameters
+//   2. SeqNocSimulation    — the §4.2 dynamic-schedule sequential engine
+//   3. LockstepNocSimulation — optional cross-checking harness
+//   4. TrafficHarness      — software traffic generation & measurement
+#include <cstdio>
+#include <memory>
+
+#include "core/noc_block.h"
+#include "noc/lockstep.h"
+#include "traffic/harness.h"
+
+int main() {
+  using namespace tmsim;
+
+  // A 4×4 mesh with the paper's router: 4 VCs, 4-flit queues.
+  noc::NetworkConfig net;
+  net.width = 4;
+  net.height = 4;
+  net.topology = noc::Topology::kMesh;
+  net.router.num_vcs = 4;
+  net.router.queue_depth = 4;
+
+  // Run the paper's engine in lockstep with the golden reference: any
+  // diverging register bit or link value throws immediately.
+  std::vector<std::unique_ptr<noc::NocSimulation>> engines;
+  engines.push_back(std::make_unique<noc::DirectNocSimulation>(net));
+  engines.push_back(std::make_unique<core::SeqNocSimulation>(net));
+  noc::LockstepNocSimulation sim(std::move(engines));
+
+  // Uniform random best-effort traffic at 10 % of channel capacity,
+  // with every delivered flit checked against what was sent.
+  traffic::TrafficHarness::Options opts;
+  opts.seed = 2026;
+  opts.verify_payload = true;
+  traffic::TrafficHarness harness(sim, opts);
+  harness.set_be_load(0.10);
+
+  std::printf("simulating 5000 cycles of a 4x4 mesh (two engines in "
+              "lockstep)...\n");
+  harness.run(5000);
+  harness.set_be_load(0.0);
+  harness.run(500);  // drain
+
+  const auto be = harness.summarize(traffic::PacketClass::kBestEffort);
+  std::printf("\npackets delivered : %zu\n", be.delivered);
+  std::printf("network latency   : mean %.1f, min %.0f, max %.0f cycles\n",
+              be.network.mean(), be.network.min(), be.network.max());
+  std::printf("access delay      : mean %.1f cycles\n", be.access.mean());
+  std::printf("flits in == out   : %s (%zu flits)\n",
+              harness.flits_injected() == harness.flits_delivered() ? "yes"
+                                                                    : "NO",
+              harness.flits_delivered());
+
+  const auto& engine =
+      static_cast<core::SeqNocSimulation&>(sim.engine(1)).engine();
+  const double dpc = static_cast<double>(engine.total_delta_cycles()) /
+                     static_cast<double>(engine.cycle());
+  std::printf("\nsequential engine : %.2f delta cycles per system cycle\n",
+              dpc);
+  std::printf("                    (minimum %zu = one per router, §6)\n",
+              net.num_routers());
+  std::printf("\nbit-exact lockstep held for %llu cycles — \"without\n"
+              "compromising the cycle and bit level accuracy\" (§8).\n",
+              static_cast<unsigned long long>(sim.cycle()));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Streaming statistics used by the measurement harness and the benches.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace tmsim::analysis {
+
+/// Streaming min/mean/max accumulator (sum-based; the sample counts here
+/// are far below the 2^53 range where double precision would degrade).
+class StatAccumulator {
+ public:
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [0, bin_width * num_bins); overflow clamps to
+/// the last bin. Used for latency distributions.
+class Histogram {
+ public:
+  Histogram(double bin_width, std::size_t num_bins)
+      : bin_width_(bin_width), bins_(num_bins, 0) {}
+
+  void add(double x) {
+    std::size_t b = x < 0 ? 0 : static_cast<std::size_t>(x / bin_width_);
+    b = std::min(b, bins_.size() - 1);
+    ++bins_[b];
+    ++count_;
+  }
+
+  std::size_t count() const { return count_; }
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+  double bin_width() const { return bin_width_; }
+
+  /// Value below which `q` (0..1) of the samples fall, estimated from the
+  /// bin boundaries (upper edge of the bin containing the quantile).
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(q * count_);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < bins_.size(); ++b) {
+      seen += bins_[b];
+      if (seen > target) {
+        return (b + 1) * bin_width_;
+      }
+    }
+    return bins_.size() * bin_width_;
+  }
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tmsim::analysis

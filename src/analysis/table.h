@@ -1,0 +1,65 @@
+// Minimal fixed-width table printer for the bench binaries, so every
+// reproduced table/figure prints in a uniform, diffable format.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace tmsim::analysis {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(os, headers_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) rule += '+';
+    }
+    os << rule << '\n';
+    for (const auto& row : rows_) {
+      print_row(os, row, width);
+    }
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << ' ' << cell << std::string(width[c] - cell.size() + 1, ' ');
+      if (c + 1 < width.size()) os << '|';
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting without stringstream noise.
+inline std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+}  // namespace tmsim::analysis

@@ -1,0 +1,74 @@
+#include "common/bit_vector.h"
+
+#include <bit>
+
+namespace tmsim {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t word_count(std::size_t width) {
+  return (width + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+BitVector::BitVector(std::size_t width)
+    : width_(width), words_(word_count(width), 0) {}
+
+
+
+
+
+void BitVector::copy_bits(std::size_t dst_offset, const BitVector& src,
+                          std::size_t src_offset, std::size_t width) {
+  TMSIM_CHECK_MSG(dst_offset + width <= width_, "copy destination overflows");
+  TMSIM_CHECK_MSG(src_offset + width <= src.width_, "copy source overflows");
+  std::size_t done = 0;
+  while (done < width) {
+    const std::size_t chunk = std::min<std::size_t>(kWordBits, width - done);
+    set_field(dst_offset + done, chunk,
+              src.get_field(src_offset + done, chunk));
+    done += chunk;
+  }
+}
+
+void BitVector::clear() {
+  for (auto& w : words_) {
+    w = 0;
+  }
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t n = 0;
+  for (auto w : words_) {
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+std::string BitVector::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  const std::size_t nibbles = (width_ + 3) / 4;
+  std::string out;
+  out.reserve(nibbles);
+  for (std::size_t i = nibbles; i-- > 0;) {
+    const std::size_t offset = i * 4;
+    const std::size_t w = std::min<std::size_t>(4, width_ - offset);
+    out.push_back(digits[get_field(offset, w)]);
+  }
+  return out.empty() ? "0" : out;
+}
+
+bool operator==(const BitVector& a, const BitVector& b) {
+  return a.width_ == b.width_ && a.words_ == b.words_;
+}
+
+BitVector make_bit_vector(std::size_t width, std::uint64_t value) {
+  BitVector v(width);
+  if (width > 0) {
+    v.set_field(0, std::min<std::size_t>(width, 64), value);
+  }
+  return v;
+}
+
+}  // namespace tmsim

@@ -1,0 +1,20 @@
+#include "common/error.h"
+
+namespace tmsim::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::string what = "TMSIM_CHECK failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  throw Error(what);
+}
+
+}  // namespace tmsim::detail

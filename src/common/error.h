@@ -1,0 +1,44 @@
+// tmsim - time-multiplexed simulator
+//
+// Error handling: all invariant violations inside the simulators throw
+// tmsim::Error. Simulation engines are deterministic, so an Error always
+// indicates either a misuse of the public API or a genuine bug in a model
+// (e.g. a router overflowing a queue despite credit flow control). Both must
+// surface loudly rather than silently corrupt a multi-hour simulation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tmsim {
+
+/// Exception thrown on any API misuse or violated simulator invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace tmsim
+
+/// Always-on invariant check (simulators are useless when silently wrong,
+/// so these are not compiled out in release builds).
+#define TMSIM_CHECK(expr)                                                 \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::tmsim::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                     \
+  } while (false)
+
+/// Invariant check with a context message (string or streamable expression
+/// already formatted by the caller).
+#define TMSIM_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::tmsim::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)

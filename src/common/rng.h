@@ -1,0 +1,79 @@
+// Random number generation.
+//
+// The paper offloads stimuli randomness to a hardware RNG inside the FPGA
+// ("Reading a 32 bit random number from the FPGA is noticeably faster
+// compared to the standard rand() function in C", §5.3) and reports a +50%
+// simulation-speed gain from that offload. Lfsr32 models that hardware
+// generator: a maximal-length 32-bit Fibonacci LFSR, one shifted word per
+// read, exactly reproducible in both the FPGA model and host-side checks.
+//
+// SplitMix64 is a host-quality generator used for everything that is *not*
+// modeling the FPGA RNG (seeding sweeps, property-test case generation).
+#pragma once
+
+#include <cstdint>
+
+namespace tmsim {
+
+/// Maximal-length 32-bit Fibonacci LFSR (taps 32,22,2,1 — a standard
+/// primitive polynomial), as synthesized in the FPGA design's RNG block.
+class Lfsr32 {
+ public:
+  /// Seed must be non-zero (the all-zero LFSR state is a fixed point);
+  /// zero seeds are mapped to a fixed non-zero constant like hardware
+  /// reset logic would.
+  explicit Lfsr32(std::uint32_t seed = 0x13579bdfu)
+      : state_(seed == 0 ? 0x13579bdfu : seed) {}
+
+  /// Advances the register by 32 shifts and returns the new state —
+  /// one "read of the 32-bit random number register".
+  std::uint32_t next() {
+    for (int i = 0; i < 32; ++i) {
+      step();
+    }
+    return state_;
+  }
+
+  /// Single-bit shift (one FPGA clock of the RNG block).
+  void step() {
+    // Fibonacci LFSR, taps at bits 31, 21, 1, 0 (1-indexed 32,22,2,1).
+    const std::uint32_t bit = ((state_ >> 31) ^ (state_ >> 21) ^
+                               (state_ >> 1) ^ state_) & 1u;
+    state_ = (state_ << 1) | bit;
+  }
+
+  std::uint32_t state() const { return state_; }
+
+ private:
+  std::uint32_t state_;
+};
+
+/// SplitMix64 — tiny, statistically solid, and fully deterministic across
+/// platforms (unlike std::mt19937's distribution wrappers).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Modulo bias is < 2^-40 for the bounds used here (< 2^24).
+    return next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tmsim

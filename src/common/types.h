@@ -1,0 +1,27 @@
+// Shared scalar types and small utilities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tmsim {
+
+/// A clock cycle of the *simulated* parallel system ("system cycle", §4).
+using SystemCycle = std::uint64_t;
+
+/// A clock cycle of the sequential simulator itself ("delta cycle", §4):
+/// one block evaluation; does not advance simulated time.
+using DeltaCycle = std::uint64_t;
+
+/// Number of bits needed to address `n` distinct values (ceil(log2(n)),
+/// minimum 1). This is the width synthesis tools give a binary-encoded
+/// pointer or counter register.
+constexpr std::size_t bits_for(std::size_t n) {
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < n) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace tmsim

@@ -1,0 +1,132 @@
+// Small synthetic SimBlocks: worked examples of the SimBlock API, used
+// by the core-engine tests, the Fig. 3 / Fig. 5 schedule benches and the
+// documentation.
+//
+// Registered-link convention: a registered link *is* the boundary
+// register — the writer drives its D input (the next value), readers see
+// its Q output (the value committed at the last clock edge). A block
+// whose boundary registers all live in links can have zero state bits,
+// which is exactly the paper's Fig. 2b where R1..R3 are memory positions.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sim_block.h"
+#include "core/system_model.h"
+
+namespace tmsim::core::examples {
+
+/// Registered-boundary block (§4.1): drives `out := in + addend` into a
+/// registered link. Stateless — the boundary register lives in the link.
+class RegAdderBlock : public SimBlock {
+ public:
+  RegAdderBlock(std::size_t width, std::uint64_t addend)
+      : width_(width), addend_(addend) {}
+
+  std::size_t state_width() const override { return 0; }
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t input_width(std::size_t) const override { return width_; }
+  std::size_t num_outputs() const override { return 1; }
+  std::size_t output_width(std::size_t) const override { return width_; }
+  BitVector reset_state() const override { return BitVector(0); }
+
+  void evaluate(const BitVector&, std::span<const BitVector> inputs,
+                BitVector&, std::span<BitVector> outputs) const override {
+    const std::uint64_t in = inputs[0].get_field(0, width_);
+    const std::uint64_t mask =
+        width_ == 64 ? ~0ull : ((1ull << width_) - 1);
+    outputs[0].set_field(0, width_, (in + addend_) & mask);
+  }
+  std::string type_name() const override { return "reg_adder"; }
+
+ private:
+  std::size_t width_;
+  std::uint64_t addend_;
+};
+
+/// Combinational-boundary block with internal state (the shape of §4.2's
+/// router, Fig. 4): G(state) = state + addend on a combinational output;
+/// F(state, in) = in. Output depends on registered state only, so the
+/// dynamic schedule settles in at most two evaluations per block.
+class PipeBlock : public SimBlock {
+ public:
+  PipeBlock(std::size_t width, std::uint64_t addend, std::uint64_t reset = 0)
+      : width_(width), addend_(addend), reset_(reset) {}
+
+  std::size_t state_width() const override { return width_; }
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t input_width(std::size_t) const override { return width_; }
+  std::size_t num_outputs() const override { return 1; }
+  std::size_t output_width(std::size_t) const override { return width_; }
+  BitVector reset_state() const override {
+    BitVector v(width_);
+    v.set_field(0, width_, reset_);
+    return v;
+  }
+
+  void evaluate(const BitVector& old_state, std::span<const BitVector> inputs,
+                BitVector& new_state,
+                std::span<BitVector> outputs) const override {
+    const std::uint64_t mask =
+        width_ == 64 ? ~0ull : ((1ull << width_) - 1);
+    const std::uint64_t s = old_state.get_field(0, width_);
+    outputs[0].set_field(0, width_, (s + addend_) & mask);
+    new_state.set_field(0, width_, inputs[0].get_field(0, width_));
+  }
+  std::string type_name() const override { return "pipe"; }
+
+ private:
+  std::size_t width_;
+  std::uint64_t addend_;
+  std::uint64_t reset_;
+};
+
+/// Pure combinational block: out = in + addend, no state. Chains of these
+/// across blocks force the §4.2 re-evaluation machinery to propagate
+/// values through multiple delta cycles; rings of them form combinational
+/// loops that must be detected.
+class CombAdderBlock : public SimBlock {
+ public:
+  CombAdderBlock(std::size_t width, std::uint64_t addend)
+      : width_(width), addend_(addend) {}
+
+  std::size_t state_width() const override { return 0; }
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t input_width(std::size_t) const override { return width_; }
+  std::size_t num_outputs() const override { return 1; }
+  std::size_t output_width(std::size_t) const override { return width_; }
+  BitVector reset_state() const override { return BitVector(0); }
+
+  void evaluate(const BitVector&, std::span<const BitVector> inputs,
+                BitVector&, std::span<BitVector> outputs) const override {
+    const std::uint64_t mask =
+        width_ == 64 ? ~0ull : ((1ull << width_) - 1);
+    outputs[0].set_field(0, width_,
+                         (inputs[0].get_field(0, width_) + addend_) & mask);
+  }
+  std::string type_name() const override { return "comb_adder"; }
+
+ private:
+  std::size_t width_;
+  std::uint64_t addend_;
+};
+
+/// Combinational inverter (1 bit): a ring of two oscillates and must trip
+/// the non-settling detector.
+class NotBlock : public SimBlock {
+ public:
+  std::size_t state_width() const override { return 0; }
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t input_width(std::size_t) const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::size_t output_width(std::size_t) const override { return 1; }
+  BitVector reset_state() const override { return BitVector(0); }
+
+  void evaluate(const BitVector&, std::span<const BitVector> inputs,
+                BitVector&, std::span<BitVector> outputs) const override {
+    outputs[0].set_field(0, 1, inputs[0].get_field(0, 1) ^ 1u);
+  }
+  std::string type_name() const override { return "not"; }
+};
+
+}  // namespace tmsim::core::examples

@@ -1,0 +1,84 @@
+#include "core/link_memory.h"
+
+namespace tmsim::core {
+
+LinkMemory::LinkMemory(const SystemModel& model) {
+  TMSIM_CHECK_MSG(model.finalized(), "model must be finalized");
+  slots_.reserve(model.num_links());
+  for (LinkId l = 0; l < model.num_links(); ++l) {
+    const LinkInfo& info = model.link(l);
+    Slot s{info.kind, false, BitVector(0), {BitVector(0), BitVector(0)}};
+    if (info.kind == LinkKind::kCombinational) {
+      s.value = BitVector(info.width);
+      comb_links_.push_back(l);
+    } else {
+      s.banks[0] = BitVector(info.width);
+      s.banks[1] = BitVector(info.width);
+    }
+    slots_.push_back(std::move(s));
+  }
+}
+
+const BitVector& LinkMemory::read(LinkId l) const {
+  const Slot& s = slot(l);
+  return s.kind == LinkKind::kCombinational ? s.value : s.banks[old_bank_];
+}
+
+bool LinkMemory::write(LinkId l, const BitVector& value) {
+  Slot& s = slot(l);
+  if (s.kind == LinkKind::kCombinational) {
+    TMSIM_CHECK_MSG(value.width() == s.value.width(), "link width mismatch");
+    if (value == s.value) {
+      return false;
+    }
+    s.value = value;
+    return true;
+  }
+  BitVector& bank = s.banks[1 - old_bank_];
+  TMSIM_CHECK_MSG(value.width() == bank.width(), "link width mismatch");
+  bank = value;
+  return false;
+}
+
+bool LinkMemory::has_been_read(LinkId l) const {
+  const Slot& s = slot(l);
+  TMSIM_CHECK_MSG(s.kind == LinkKind::kCombinational,
+                  "HBR bit exists only on combinational links");
+  return s.hbr;
+}
+
+void LinkMemory::mark_read(LinkId l) {
+  Slot& s = slot(l);
+  TMSIM_CHECK_MSG(s.kind == LinkKind::kCombinational,
+                  "HBR bit exists only on combinational links");
+  s.hbr = true;
+}
+
+void LinkMemory::clear_hbr(LinkId l) {
+  Slot& s = slot(l);
+  TMSIM_CHECK_MSG(s.kind == LinkKind::kCombinational,
+                  "HBR bit exists only on combinational links");
+  s.hbr = false;
+}
+
+void LinkMemory::reset_all_hbr() {
+  for (LinkId l : comb_links_) {
+    slots_[l].hbr = false;
+  }
+}
+
+void LinkMemory::swap_registered_banks() { old_bank_ = 1 - old_bank_; }
+
+std::size_t LinkMemory::total_bits() const {
+  std::size_t bits = 0;
+  for (const Slot& s : slots_) {
+    if (s.kind == LinkKind::kCombinational) {
+      bits += s.value.width() + 1;  // value + HBR bit
+    } else {
+      bits += s.banks[0].width() * 2;
+    }
+  }
+  return bits;
+}
+
+}  // namespace tmsim::core

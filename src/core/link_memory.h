@@ -1,0 +1,73 @@
+// LinkMemory: storage for inter-block wires (§4.2).
+//
+// Combinational links: "For the links we have a separate memory, where
+// every link has only a single memory position and not two as for the
+// registers. Per memory position one additional status bit is stored.
+// This bit indicates whether the last written value Has Been Read (HBR)."
+//
+// Registered links (§4.1 systems) are double-banked like block state and
+// carry no HBR bit — the reader always consumes the previous cycle's
+// value, so evaluation order cannot matter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/error.h"
+#include "core/system_model.h"
+
+namespace tmsim::core {
+
+class LinkMemory {
+ public:
+  explicit LinkMemory(const SystemModel& model);
+
+  /// Value a *reader* of link l sees right now: the single stored value
+  /// for combinational links, the old bank for registered links.
+  const BitVector& read(LinkId l) const;
+
+  /// Writer-side update from a block evaluation (or the testbench for
+  /// external inputs). For combinational links, returns true when the
+  /// stored value changed — the caller must then clear the HBR bit and
+  /// destabilize the reader. Registered links write the new bank and
+  /// always return false (never destabilizing).
+  bool write(LinkId l, const BitVector& value);
+
+  /// HBR handling (combinational links only).
+  bool has_been_read(LinkId l) const;
+  void mark_read(LinkId l);
+  void clear_hbr(LinkId l);
+  /// Start of a system cycle: "Every system cycle is started by resetting
+  /// all status bits to zero."
+  void reset_all_hbr();
+
+  /// End of system cycle: flip registered-link banks (pointer swap).
+  void swap_registered_banks();
+
+  /// Total storage bits (values + HBR bits), for the resource model.
+  std::size_t total_bits() const;
+
+ private:
+  struct Slot {
+    LinkKind kind;
+    bool hbr = false;            // combinational only
+    BitVector value;             // combinational: the single position
+    BitVector banks[2];          // registered: old/new
+  };
+
+  const Slot& slot(LinkId l) const {
+    TMSIM_CHECK_MSG(l < slots_.size(), "link index out of range");
+    return slots_[l];
+  }
+  Slot& slot(LinkId l) {
+    TMSIM_CHECK_MSG(l < slots_.size(), "link index out of range");
+    return slots_[l];
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<LinkId> comb_links_;  // for fast HBR reset
+  std::size_t old_bank_ = 0;
+};
+
+}  // namespace tmsim::core

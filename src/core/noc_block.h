@@ -1,0 +1,112 @@
+// RouterBlock: the case-study router packaged as a SimBlock, and
+// SeqNocSimulation: the whole NoC wired into a SystemModel and executed by
+// the SequentialSimulator — i.e. the paper's FPGA simulator architecture
+// expressed over the core engine.
+//
+// Port convention of RouterBlock:
+//   inputs  0..4 — forward link arriving at input port p (21 bits)
+//   inputs  5..8 — credit wires arriving for output ports NORTH..WEST
+//                  (num_vcs bits each)
+//   outputs 0..4 — forward link driven from output port p (21 bits)
+//   outputs 5..8 — credit wires returned upstream for input ports
+//                  NORTH..WEST (num_vcs bits each)
+//   output  9    — credit wires for the local input queues (to the NI)
+//
+// The local *output* port's credit return is not a link: the network
+// interface consumes delivered flits unconditionally (the FPGA's output
+// cyclic buffer always accepts, §5.2), so the echo credit is computed
+// inside evaluate() — the stimuli interface is evaluated in the same delta
+// cycle as its router, exactly as in the FPGA where both live in one
+// state-memory word (Table 1 counts stimuli-interface registers in the
+// router's 2112 bits).
+//
+// All inter-router links are combinational (§4.2). Block state is the
+// serialized RouterState word; evaluation deserializes the old word, runs
+// the shared router logic (G and F together, one delta cycle), and
+// serializes the new word — the exact data path of the FPGA's router block
+// between its state-memory read and write (§5.2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/sequential_simulator.h"
+#include "core/sim_block.h"
+#include "core/system_model.h"
+#include "noc/network.h"
+
+namespace tmsim::core {
+
+class RouterBlock : public SimBlock {
+ public:
+  /// `codec` is shared across all routers of a homogeneous network (one
+  /// logic implementation, many state words — the paper's F'_{i,j}).
+  RouterBlock(std::shared_ptr<const noc::RouterStateCodec> codec,
+              noc::RouterEnv env);
+
+  std::size_t state_width() const override;
+  std::size_t num_inputs() const override { return 9; }
+  std::size_t input_width(std::size_t port) const override;
+  std::size_t num_outputs() const override { return 10; }
+  std::size_t output_width(std::size_t port) const override;
+  BitVector reset_state() const override;
+  void evaluate(const BitVector& old_state,
+                std::span<const BitVector> inputs, BitVector& new_state,
+                std::span<BitVector> outputs) const override;
+  std::string type_name() const override { return "noc_router"; }
+
+  const noc::RouterEnv& env() const { return env_; }
+
+ private:
+  std::shared_ptr<const noc::RouterStateCodec> codec_;
+  noc::RouterEnv env_;
+  // Scratch state reused across evaluations (the FPGA works on one wide
+  // word in place; mallocing per delta cycle would misstate the method's
+  // host-side cost). evaluate() stays pure — these hold no information
+  // across calls — but it is not re-entrant: engines are single-threaded.
+  mutable noc::RouterState scratch_old_;
+  mutable noc::RouterState scratch_new_;
+};
+
+/// The SystemModel of a whole NoC plus its external link handles.
+struct NocModel {
+  SystemModel model;
+  // Per router index:
+  std::vector<LinkId> local_fwd_in;      ///< testbench → router (21 bits)
+  std::vector<LinkId> local_fwd_out;     ///< router → testbench (21 bits)
+  std::vector<LinkId> local_credit_out;  ///< router → testbench: credits
+                                         ///< for the local input queues
+};
+
+/// Builds one RouterBlock per router and wires every inter-router forward
+/// and credit group as a combinational link; local-port links are external.
+/// `net` must outlive the returned model (RouterBlocks keep a pointer).
+NocModel build_noc_model(const noc::NetworkConfig& net);
+
+/// NocSimulation facade over the sequential engine (the paper's method).
+class SeqNocSimulation : public noc::NocSimulation {
+ public:
+  explicit SeqNocSimulation(const noc::NetworkConfig& net,
+                            SchedulePolicy policy = SchedulePolicy::kDynamic);
+
+  const noc::NetworkConfig& config() const override { return net_; }
+  void set_local_input(std::size_t r, const noc::LinkForward& f) override;
+  void step() override;
+  noc::LinkForward local_output(std::size_t r) const override;
+  noc::CreditWires local_input_credits(std::size_t r) const override;
+  BitVector router_state_word(std::size_t r) const override;
+  SystemCycle cycle() const override { return sim_.cycle(); }
+
+  /// Engine access for delta-cycle statistics (§6) and white-box tests.
+  const SequentialSimulator& engine() const { return sim_; }
+  const StepStats& last_step_stats() const { return last_stats_; }
+
+ private:
+  noc::NetworkConfig net_;
+  NocModel noc_;
+  SequentialSimulator sim_;
+  StepStats last_stats_;
+  std::vector<std::size_t> dirty_inputs_;
+};
+
+}  // namespace tmsim::core

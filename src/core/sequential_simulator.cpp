@@ -1,0 +1,228 @@
+#include "core/sequential_simulator.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tmsim::core {
+
+std::vector<std::size_t> block_state_widths(const SystemModel& model) {
+  std::vector<std::size_t> widths;
+  widths.reserve(model.num_blocks());
+  for (BlockId b = 0; b < model.num_blocks(); ++b) {
+    widths.push_back(model.block(b).logic->state_width());
+  }
+  return widths;
+}
+
+SequentialSimulator::SequentialSimulator(const SystemModel& model,
+                                         SchedulePolicy policy,
+                                         std::size_t max_evals_per_block)
+    : model_(model),
+      policy_(policy),
+      max_evals_per_block_(max_evals_per_block),
+      state_(block_state_widths(model)),
+      links_(model),
+      state_scratch_(0) {
+  TMSIM_CHECK_MSG(model.finalized(), "model must be finalized");
+  TMSIM_CHECK_MSG(max_evals_per_block >= 1, "eval limit must be positive");
+  if (policy_ == SchedulePolicy::kStatic) {
+    TMSIM_CHECK_MSG(model.all_boundaries_registered(),
+                    "static schedule requires registered boundaries (§4.1); "
+                    "use kDynamic for combinational boundaries");
+  }
+  for (BlockId b = 0; b < model.num_blocks(); ++b) {
+    state_.load_old(b, model.block(b).logic->reset_state());
+  }
+  unstable_.assign(model.num_blocks(), 0);
+}
+
+void SequentialSimulator::set_external_input(LinkId link,
+                                             const BitVector& value) {
+  TMSIM_CHECK_MSG(model_.is_external_input(link),
+                  "link '" + model_.link(link).name +
+                      "' is driven by a block, not the testbench");
+  links_.write(link, value);
+}
+
+const BitVector& SequentialSimulator::link_value(LinkId link) const {
+  return links_.read(link);
+}
+
+const BitVector& SequentialSimulator::block_state(BlockId block) const {
+  return state_.read_old(block);
+}
+
+void SequentialSimulator::load_block_state(BlockId block,
+                                           const BitVector& value) {
+  state_.load_old(block, value);
+}
+
+StepStats SequentialSimulator::step() {
+  StepStats stats;
+  switch (policy_) {
+    case SchedulePolicy::kStatic:
+      stats = step_static();
+      break;
+    case SchedulePolicy::kDynamic:
+      stats = step_dynamic();
+      break;
+    case SchedulePolicy::kTwoPhaseOracle:
+      stats = step_two_phase();
+      break;
+  }
+  end_of_cycle();
+  return stats;
+}
+
+StepStats SequentialSimulator::step_static() {
+  // §4.1: "The order in which the circuitry is evaluated to calculate new
+  // register values can be arbitrary" — we use block index order.
+  StepStats stats;
+  for (BlockId b = 0; b < model_.num_blocks(); ++b) {
+    evaluate_block(b, stats);
+  }
+  return stats;
+}
+
+StepStats SequentialSimulator::step_dynamic() {
+  StepStats stats;
+  const std::size_t n = model_.num_blocks();
+
+  // "Every system cycle is started by resetting all status bits to zero.
+  //  [...] it is guaranteed that all routers are evaluated at least once."
+  links_.reset_all_hbr();
+  std::fill(unstable_.begin(), unstable_.end(), 1);
+  unstable_count_ = n;
+
+  const DeltaCycle limit = max_evals_per_block_ * n;
+  while (unstable_count_ > 0) {
+    // "A simple round-robin scheduler will decide which non-stable router
+    //  has to be evaluated."
+    while (unstable_[rr_next_] == 0) {
+      rr_next_ = (rr_next_ + 1) % n;
+    }
+    const BlockId b = rr_next_;
+    rr_next_ = (rr_next_ + 1) % n;
+    unstable_[b] = 0;
+    --unstable_count_;
+
+    evaluate_block(b, stats);
+
+    // Self-loop safety: if b drives one of its own inputs and changed it,
+    // the write path has already destabilized b; this re-checks the HBR
+    // bits directly so a bookkeeping bug cannot end a cycle early.
+    if (unstable_[b] == 0 && !inputs_all_read(b)) {
+      destabilize(b);
+    }
+
+    TMSIM_CHECK_MSG(stats.delta_cycles <= limit,
+                    "combinational dependencies do not settle after " +
+                        std::to_string(limit) +
+                        " delta cycles (oscillating loop?)");
+  }
+  stats.re_evaluations = stats.delta_cycles - n;
+  return stats;
+}
+
+StepStats SequentialSimulator::step_two_phase() {
+  // Ablation schedule: two full passes. Correct only for designs whose
+  // outputs depend on registered state alone (true for the case-study
+  // router); pass 1 publishes all outputs, pass 2 recomputes every next
+  // state with final link values.
+  StepStats stats;
+  links_.reset_all_hbr();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (BlockId b = 0; b < model_.num_blocks(); ++b) {
+      evaluate_block(b, stats);
+    }
+  }
+  stats.re_evaluations = stats.delta_cycles - model_.num_blocks();
+  return stats;
+}
+
+void SequentialSimulator::evaluate_block(BlockId b, StepStats& stats) {
+  const BlockInstance& blk = model_.block(b);
+  const SimBlock& logic = *blk.logic;
+  const std::size_t n_in = logic.num_inputs();
+  const std::size_t n_out = logic.num_outputs();
+
+  if (in_scratch_.size() < n_in) {
+    in_scratch_.resize(n_in, BitVector(0));
+  }
+  if (out_scratch_.size() < n_out) {
+    out_scratch_.resize(n_out, BitVector(0));
+  }
+
+  // Latch the input link values this evaluation consumes, then set their
+  // HBR bits: a later changed write to any of them must destabilize us.
+  for (std::size_t p = 0; p < n_in; ++p) {
+    const LinkId l = blk.input_links[p];
+    in_scratch_[p] = links_.read(l);
+    if (model_.link(l).kind == LinkKind::kCombinational) {
+      links_.mark_read(l);
+    }
+  }
+
+  if (state_scratch_.width() != logic.state_width()) {
+    state_scratch_ = BitVector(logic.state_width());
+  }
+  for (std::size_t p = 0; p < n_out; ++p) {
+    if (out_scratch_[p].width() != logic.output_width(p)) {
+      out_scratch_[p] = BitVector(logic.output_width(p));
+    }
+  }
+
+  logic.evaluate(state_.read_old(b),
+                 std::span<const BitVector>(in_scratch_.data(), n_in),
+                 state_scratch_,
+                 std::span<BitVector>(out_scratch_.data(), n_out));
+
+  state_.write_new(b, state_scratch_);
+
+  for (std::size_t p = 0; p < n_out; ++p) {
+    const LinkId l = blk.output_links[p];
+    const bool changed = links_.write(l, out_scratch_[p]);
+    if (changed) {
+      // "if the router writes a value to a link, which is not equal to the
+      //  current value in the memory, it will reset this link's status bit
+      //  to zero" — destabilizing the reader.
+      ++stats.link_changes;
+      links_.clear_hbr(l);
+      for (const Endpoint& reader : model_.link(l).readers) {
+        destabilize(reader.block);
+      }
+    }
+  }
+
+  ++stats.delta_cycles;
+  ++total_delta_cycles_;
+  if (trace_) {
+    trace_(cycle_, stats.delta_cycles - 1, b);
+  }
+}
+
+void SequentialSimulator::destabilize(BlockId b) {
+  if (unstable_[b] == 0) {
+    unstable_[b] = 1;
+    ++unstable_count_;
+  }
+}
+
+bool SequentialSimulator::inputs_all_read(BlockId b) const {
+  const BlockInstance& blk = model_.block(b);
+  for (const LinkId l : blk.input_links) {
+    if (model_.link(l).kind == LinkKind::kCombinational &&
+        !links_.has_been_read(l)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SequentialSimulator::end_of_cycle() {
+  state_.swap_banks();
+  links_.swap_registered_banks();
+  ++cycle_;
+}
+
+}  // namespace tmsim::core

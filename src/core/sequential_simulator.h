@@ -1,0 +1,130 @@
+// SequentialSimulator: the paper's core contribution (§4) — simulate a
+// parallel synchronous system by evaluating its partitions one at a time.
+//
+// Terminology (§4): a *system cycle* is one clock cycle of the simulated
+// parallel design; a *delta cycle* is one block evaluation in the
+// sequential simulator and does not advance simulated time. A system
+// cycle consists of at least num_blocks delta cycles.
+//
+// Three schedules:
+//
+//  - kStatic (§4.1, Fig. 3): legal only when every internal boundary is
+//    registered. One pass over the blocks in arbitrary order; readers
+//    consume previous-cycle values from the old bank. Exactly num_blocks
+//    delta cycles per system cycle.
+//
+//  - kDynamic (§4.2, Fig. 5): the paper's method for combinational
+//    boundaries. All HBR bits are cleared at the start of the system
+//    cycle (so every block is evaluated at least once); a round-robin
+//    scheduler evaluates non-stable blocks; writing a *changed* value to a
+//    link clears its HBR bit and destabilizes its reader; the cycle ends
+//    when all blocks are stable.
+//
+//  - kTwoPhaseOracle: an ablation, not in the paper. It exploits the fact
+//    that the case-study router's outputs depend on registered state only:
+//    pass 1 evaluates every block against stale links to publish outputs,
+//    pass 2 re-evaluates every block with final links. Exactly 2×num_blocks
+//    delta cycles — a design-specific upper bound the generic HBR schedule
+//    must beat or match on real traffic (bench/ablation_schedules).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/types.h"
+#include "core/link_memory.h"
+#include "core/state_memory.h"
+#include "core/system_model.h"
+
+namespace tmsim::core {
+
+enum class SchedulePolicy : std::uint8_t {
+  kStatic = 0,
+  kDynamic = 1,
+  kTwoPhaseOracle = 2,
+};
+
+/// Per-system-cycle accounting (the data behind §6's delta-cycle numbers).
+struct StepStats {
+  /// Block evaluations performed (== delta cycles).
+  DeltaCycle delta_cycles = 0;
+  /// delta_cycles - num_blocks: the §4.2 re-evaluation overhead.
+  DeltaCycle re_evaluations = 0;
+  /// Combinational link writes whose value differed from memory.
+  std::size_t link_changes = 0;
+};
+
+class SequentialSimulator {
+ public:
+  /// `max_evals_per_block` bounds re-evaluation; exceeding it means the
+  /// netlist contains a combinational cycle that does not settle, which
+  /// is reported as an Error rather than an infinite loop.
+  SequentialSimulator(const SystemModel& model, SchedulePolicy policy,
+                      std::size_t max_evals_per_block = 64);
+
+  /// Drives an external-input link (takes effect for the next step()).
+  void set_external_input(LinkId link, const BitVector& value);
+
+  /// Current reader-visible value of any link. For combinational links
+  /// this is the value driven during the last step(); for registered
+  /// links, the value committed at its clock edge.
+  const BitVector& link_value(LinkId link) const;
+
+  /// Old-bank (committed) state of a block.
+  const BitVector& block_state(BlockId block) const;
+
+  /// Overwrites a block's committed state (reset preloading, testing).
+  void load_block_state(BlockId block, const BitVector& value);
+
+  /// Simulates one system cycle.
+  StepStats step();
+
+  SystemCycle cycle() const { return cycle_; }
+  DeltaCycle total_delta_cycles() const { return total_delta_cycles_; }
+  SchedulePolicy policy() const { return policy_; }
+
+  const SystemModel& model() const { return model_; }
+  const StateMemory& state_memory() const { return state_; }
+  const LinkMemory& link_memory() const { return links_; }
+
+  /// Called once per delta cycle with (system cycle, delta index within
+  /// the cycle, evaluated block) — used by the Fig. 3 / Fig. 5 schedule
+  /// trace benches.
+  using TraceHook = std::function<void(SystemCycle, DeltaCycle, BlockId)>;
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+ private:
+  void evaluate_block(BlockId b, StepStats& stats);
+  void destabilize(BlockId b);
+  bool inputs_all_read(BlockId b) const;
+  StepStats step_static();
+  StepStats step_dynamic();
+  StepStats step_two_phase();
+  void end_of_cycle();
+
+  const SystemModel& model_;
+  SchedulePolicy policy_;
+  std::size_t max_evals_per_block_;
+  StateMemory state_;
+  LinkMemory links_;
+  SystemCycle cycle_ = 0;
+  DeltaCycle total_delta_cycles_ = 0;
+  TraceHook trace_;
+
+  // Dynamic-schedule bookkeeping.
+  std::vector<char> unstable_;
+  std::size_t unstable_count_ = 0;
+  std::size_t rr_next_ = 0;
+
+  // Scratch buffers reused across evaluations (hot path).
+  std::vector<BitVector> in_scratch_;
+  std::vector<BitVector> out_scratch_;
+  BitVector state_scratch_;
+};
+
+/// Builds the widths vector StateMemory needs from a model.
+std::vector<std::size_t> block_state_widths(const SystemModel& model);
+
+}  // namespace tmsim::core

@@ -1,0 +1,59 @@
+// SimBlock: the unit the sequential simulator time-multiplexes (§4).
+//
+// A block is one partition of the parallel design — in the NoC case study
+// one router ("we would like to partition the design at the granularity of
+// routers, as this is our basic element in the NoC", §4.2). A block's
+// registers are held *outside* the block in the engine's StateMemory; the
+// block itself is pure combinational logic:
+//
+//     (old_state, inputs) → (new_state, outputs)
+//
+// evaluated once per delta cycle. The same block instance can be shared by
+// every identical partition (the paper's F'_{i,j}(x)): evaluation carries
+// no per-call state, so homogeneous systems instantiate the logic once —
+// exactly what makes the FPGA approach area-efficient.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/bit_vector.h"
+
+namespace tmsim::core {
+
+/// Pure combinational view of one design partition.
+class SimBlock {
+ public:
+  virtual ~SimBlock() = default;
+
+  /// Width of the block's register file (its state-memory word).
+  virtual std::size_t state_width() const = 0;
+
+  /// Number and width of input link ports.
+  virtual std::size_t num_inputs() const = 0;
+  virtual std::size_t input_width(std::size_t port) const = 0;
+
+  /// Number and width of output link ports.
+  virtual std::size_t num_outputs() const = 0;
+  virtual std::size_t output_width(std::size_t port) const = 0;
+
+  /// Initial (reset) contents of the state word.
+  virtual BitVector reset_state() const = 0;
+
+  /// One delta cycle: evaluate F (next state) and G (outputs) together,
+  /// as the FPGA does ("F(x) and G(x) of a single router will be evaluated
+  /// in parallel", §4.2).
+  ///
+  /// Must be pure: same (old_state, inputs) → same (new_state, outputs).
+  /// The dynamic scheduler relies on this to make re-evaluation safe.
+  virtual void evaluate(const BitVector& old_state,
+                        std::span<const BitVector> inputs,
+                        BitVector& new_state,
+                        std::span<BitVector> outputs) const = 0;
+
+  /// Human-readable type name for traces and error messages.
+  virtual std::string type_name() const = 0;
+};
+
+}  // namespace tmsim::core

@@ -1,0 +1,27 @@
+#include "core/state_memory.h"
+
+#include <algorithm>
+
+namespace tmsim::core {
+
+StateMemory::StateMemory(const std::vector<std::size_t>& widths)
+    : num_blocks_(widths.size()) {
+  TMSIM_CHECK_MSG(!widths.empty(), "state memory needs at least one block");
+  words_.reserve(2 * num_blocks_);
+  for (int bank = 0; bank < 2; ++bank) {
+    for (std::size_t w : widths) {
+      words_.emplace_back(w);
+    }
+  }
+  word_width_ = *std::max_element(widths.begin(), widths.end());
+}
+
+std::size_t StateMemory::total_bits() const {
+  std::size_t bits = 0;
+  for (const auto& w : words_) {
+    bits += w.width();
+  }
+  return bits;
+}
+
+}  // namespace tmsim::core

@@ -1,0 +1,77 @@
+// StateMemory: the double-banked register store of §4.1 / §5.2.
+//
+// "In the memory, both the old and new version of the register values are
+//  stored [...] this copy action is performed by switching the offset
+//  pointer of the current state and new state."
+//
+// One word per block per bank; the bank swap is a pointer flip, never a
+// copy (even system cycles read bank 0 / write bank 1, odd cycles the
+// reverse). Heterogeneous blocks store words of different widths; the
+// word_width() accessor reports the widest word, which is what the FPGA
+// implementation must provision (§7.1) and what the resource model uses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/error.h"
+
+namespace tmsim::core {
+
+class StateMemory {
+ public:
+  /// `widths[b]` is the register-file width of block b.
+  explicit StateMemory(const std::vector<std::size_t>& widths);
+
+  std::size_t num_blocks() const { return num_blocks_; }
+  /// Widest word — the physical memory width the FPGA would provision.
+  std::size_t word_width() const { return word_width_; }
+  /// Total bits held (both banks).
+  std::size_t total_bits() const;
+
+  /// Current ("old") state of block b — what evaluations read.
+  const BitVector& read_old(std::size_t block) const {
+    return words_[old_offset_ + check_block(block)];
+  }
+
+  /// Next ("new") state slot of block b — what evaluations write.
+  /// Re-evaluation overwrites the slot; the old bank is untouched, which
+  /// is exactly why re-evaluation is safe ("the router's old state is
+  /// available during the whole system cycle", §4.2).
+  void write_new(std::size_t block, const BitVector& word) {
+    BitVector& slot = words_[new_offset() + check_block(block)];
+    TMSIM_CHECK_MSG(slot.width() == word.width(), "state word width mismatch");
+    slot = word;
+  }
+
+  /// Direct initialization of the old bank (reset / test preloading).
+  void load_old(std::size_t block, const BitVector& word) {
+    BitVector& slot = words_[old_offset_ + check_block(block)];
+    TMSIM_CHECK_MSG(slot.width() == word.width(), "state word width mismatch");
+    slot = word;
+  }
+
+  /// End of system cycle: flip the offset pointer. O(1), no data moves.
+  void swap_banks() { old_offset_ = new_offset(); }
+
+  /// Offset of the bank currently holding old state (0 or num_blocks) —
+  /// exposed so tests can verify the pointer-swap mechanism.
+  std::size_t old_offset() const { return old_offset_; }
+
+ private:
+  std::size_t new_offset() const {
+    return old_offset_ == 0 ? num_blocks_ : 0;
+  }
+  std::size_t check_block(std::size_t block) const {
+    TMSIM_CHECK_MSG(block < num_blocks_, "block index out of range");
+    return block;
+  }
+
+  std::size_t num_blocks_ = 0;
+  std::size_t word_width_ = 0;
+  std::size_t old_offset_ = 0;
+  std::vector<BitVector> words_;  // [2 * num_blocks]
+};
+
+}  // namespace tmsim::core

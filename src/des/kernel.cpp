@@ -1,0 +1,101 @@
+#include "des/kernel.h"
+
+namespace tmsim::des {
+
+SignalBase::SignalBase(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {}
+
+void SignalBase::request_update() {
+  if (!update_requested_) {
+    update_requested_ = true;
+    kernel_.request_update(this);
+  }
+}
+
+void SignalBase::notify_sensitive() {
+  for (std::size_t pid : sensitive_) {
+    kernel_.schedule(pid);
+  }
+}
+
+std::size_t Kernel::add_process(std::function<void()> fn, std::string name) {
+  processes_.push_back(Process{std::move(fn), std::move(name)});
+  return processes_.size() - 1;
+}
+
+std::size_t Kernel::add_clocked_process(std::function<void()> fn,
+                                        std::string name) {
+  const std::size_t pid = add_process(std::move(fn), std::move(name));
+  processes_[pid].is_clocked = true;
+  clocked_.push_back(pid);
+  return pid;
+}
+
+void Kernel::make_sensitive(std::size_t pid, SignalBase& sig) {
+  TMSIM_CHECK_MSG(pid < processes_.size(), "unknown process id");
+  sig.sensitive_.push_back(pid);
+}
+
+void Kernel::schedule(std::size_t pid) {
+  Process& p = processes_[pid];
+  if (!p.runnable) {
+    p.runnable = true;
+    runnable_.push_back(pid);
+  }
+}
+
+void Kernel::request_update(SignalBase* sig) { update_queue_.push_back(sig); }
+
+void Kernel::run_delta_loop() {
+  std::size_t deltas = 0;
+  while (!runnable_.empty() || !update_queue_.empty()) {
+    TMSIM_CHECK_MSG(++deltas <= max_deltas_,
+                    "combinational activity does not settle "
+                    "(oscillating feedback?)");
+    ++stats_.delta_cycles;
+    // Evaluation phase: run everything runnable in this delta.
+    std::vector<std::size_t> batch;
+    batch.swap(runnable_);
+    for (std::size_t pid : batch) {
+      processes_[pid].runnable = false;
+    }
+    for (std::size_t pid : batch) {
+      ++stats_.process_activations;
+      processes_[pid].fn();
+    }
+    // Update phase: commit signal writes; changes notify for next delta.
+    std::vector<SignalBase*> updates;
+    updates.swap(update_queue_);
+    for (SignalBase* sig : updates) {
+      sig->update_requested_ = false;
+      if (sig->commit()) {
+        ++stats_.signal_commits;
+        sig->notify_sensitive();
+      }
+    }
+  }
+}
+
+void Kernel::initialize() {
+  // Time-zero evaluation of the combinational processes only: register
+  // processes must not fire before the first clock edge (SystemC's
+  // dont_initialize() on edge-sensitive methods).
+  for (std::size_t pid = 0; pid < processes_.size(); ++pid) {
+    if (!processes_[pid].is_clocked) {
+      schedule(pid);
+    }
+  }
+  run_delta_loop();
+}
+
+void Kernel::tick() {
+  ++stats_.ticks;
+  for (std::size_t pid : clocked_) {
+    schedule(pid);
+  }
+  run_delta_loop();
+}
+
+void Kernel::settle() { run_delta_loop(); }
+
+}  // namespace tmsim::des

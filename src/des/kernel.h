@@ -1,0 +1,160 @@
+// A discrete-event simulation kernel with SystemC's evaluate → update →
+// delta-notify semantics — the substitute for the paper's SystemC 2.x
+// baseline (§3, Table 3), since no SystemC installation is assumed.
+//
+// Model of computation (matches sc_signal / SC_METHOD at RT level):
+//  - Signal<T>: single-writer-per-delta channel; write() stores a pending
+//    value, committed in the update phase; a commit that *changes* the
+//    value notifies statically sensitive processes.
+//  - combinational processes (add_process + make_sensitive): run whenever
+//    a signal they watch changes; all runnable processes of a delta run,
+//    then all signal updates commit, then newly triggered processes form
+//    the next delta.
+//  - clocked processes (add_clocked_process): run once per tick(), before
+//    the settle loop — the rising-edge sensitivity of an RTL register
+//    process. They read pre-edge signal values (commits happen after the
+//    whole evaluation phase).
+//
+// The kernel counts process activations, signal commits and delta cycles;
+// Table 3's baseline cost is these counts × per-event kernel overhead,
+// measured, not assumed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tmsim::des {
+
+class Kernel;
+
+/// Untyped signal interface the kernel drives during the update phase.
+class SignalBase {
+ public:
+  explicit SignalBase(Kernel& kernel, std::string name);
+  virtual ~SignalBase() = default;
+  SignalBase(const SignalBase&) = delete;
+  SignalBase& operator=(const SignalBase&) = delete;
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  /// Commits the pending value; returns true when the stored value
+  /// changed (which triggers sensitive processes).
+  virtual bool commit() = 0;
+
+  void request_update();
+  void notify_sensitive();
+
+  Kernel& kernel_;
+
+ private:
+  friend class Kernel;
+  std::string name_;
+  std::vector<std::size_t> sensitive_;  // process ids
+  bool update_requested_ = false;
+};
+
+/// Statistics the baseline benchmarks report.
+struct KernelStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t delta_cycles = 0;
+  std::uint64_t process_activations = 0;
+  std::uint64_t signal_commits = 0;
+};
+
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Registers a combinational process (SC_METHOD with static
+  /// sensitivity). Returns its id.
+  std::size_t add_process(std::function<void()> fn, std::string name);
+
+  /// Registers a clocked process (SC_METHOD sensitive to the rising
+  /// clock edge).
+  std::size_t add_clocked_process(std::function<void()> fn, std::string name);
+
+  /// Makes combinational process `pid` sensitive to `sig`.
+  void make_sensitive(std::size_t pid, SignalBase& sig);
+
+  /// Runs every combinational process once and settles — SystemC's
+  /// time-zero initialization. Call after elaboration, before tick().
+  void initialize();
+
+  /// One clock cycle: clocked processes evaluate, signals commit, then
+  /// combinational deltas run until quiescent.
+  void tick();
+
+  /// Settle combinational activity only (used after the testbench pokes
+  /// input signals between ticks).
+  void settle();
+
+  const KernelStats& stats() const { return stats_; }
+
+  /// Caps runaway combinational feedback (default: plenty for RTL).
+  void set_max_deltas_per_tick(std::size_t n) { max_deltas_ = n; }
+
+ private:
+  friend class SignalBase;
+  struct Process {
+    std::function<void()> fn;
+    std::string name;
+    bool runnable = false;
+    bool is_clocked = false;
+  };
+
+  void schedule(std::size_t pid);
+  void request_update(SignalBase* sig);
+  void run_delta_loop();
+
+  std::vector<Process> processes_;
+  std::vector<std::size_t> clocked_;
+  std::vector<std::size_t> runnable_;
+  std::vector<SignalBase*> update_queue_;
+  KernelStats stats_;
+  std::size_t max_deltas_ = 10000;
+};
+
+/// Typed signal. T needs copy + operator==.
+template <typename T>
+class Signal : public SignalBase {
+ public:
+  Signal(Kernel& kernel, std::string name, T initial = T())
+      : SignalBase(kernel, std::move(name)),
+        current_(initial),
+        pending_(std::move(initial)) {}
+
+  /// Current (committed) value — what processes read.
+  const T& read() const { return current_; }
+
+  /// Schedules `v` for the next update phase. Last write in an
+  /// evaluation phase wins (single writer by design discipline).
+  void write(const T& v) {
+    pending_ = v;
+    request_update();
+  }
+
+ protected:
+  bool commit() override {
+    if (pending_ == current_) {
+      return false;
+    }
+    current_ = pending_;
+    return true;
+  }
+
+ private:
+  T current_;
+  T pending_;
+};
+
+}  // namespace tmsim::des

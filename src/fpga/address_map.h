@@ -1,0 +1,67 @@
+// Address map of the FPGA design on the 17-bit-address / 32-bit-data
+// memory interface (§5.1): "All registers and memory of the FPGA design,
+// via the memory interface, are available in the address map of the ARM9
+// processor."
+//
+// Word-addressed. Layout:
+//   0x00000..0x0005F  global control / status / configuration / RNG
+//   0x00400 + 16r+4v  stimuli buffer port of router r, VC v
+//   0x02000 + 4r      output buffer port of router r
+//   0x03000           link monitor buffer port
+//   0x03010           access-delay monitor buffer port
+#pragma once
+
+#include <cstdint>
+
+namespace tmsim::fpga {
+
+using Addr = std::uint32_t;
+
+/// 17-bit word address space.
+inline constexpr Addr kAddrSpaceWords = 1u << 17;
+
+// --- Global registers -----------------------------------------------------
+inline constexpr Addr kRegCtrl = 0x00;        ///< W: 1 = run one period
+inline constexpr Addr kRegStatus = 0x01;      ///< R: bit0 busy, bit1 overrun
+inline constexpr Addr kRegSimCycles = 0x02;   ///< W: system cycles per period
+inline constexpr Addr kRegNetWidth = 0x03;    ///< W: network width
+inline constexpr Addr kRegNetHeight = 0x04;   ///< W: network height
+inline constexpr Addr kRegTopology = 0x05;    ///< W: 0 torus, 1 mesh
+inline constexpr Addr kRegConfigure = 0x06;   ///< W: commit net configuration
+inline constexpr Addr kRegRandom = 0x07;      ///< R: next 32-bit LFSR word
+inline constexpr Addr kRegCycleLo = 0x08;     ///< R: simulated cycles (lo)
+inline constexpr Addr kRegCycleHi = 0x09;     ///< R: simulated cycles (hi)
+inline constexpr Addr kRegDeltaLo = 0x0a;     ///< R: delta cycles (lo)
+inline constexpr Addr kRegDeltaHi = 0x0b;     ///< R: delta cycles (hi)
+inline constexpr Addr kRegFpgaClkLo = 0x0c;   ///< R: FPGA clock cycles (lo)
+inline constexpr Addr kRegFpgaClkHi = 0x0d;   ///< R: FPGA clock cycles (hi)
+inline constexpr Addr kRegLinkProbe = 0x0e;   ///< W: (router<<8)|port to log
+inline constexpr Addr kRegRngSeed = 0x0f;     ///< W: reseed the LFSR
+
+// --- Per-buffer port sub-registers -----------------------------------------
+// Stimuli ports (ARM = producer): FREE is a read, PUSH_* are writes.
+// Output/monitor ports (ARM = consumer): FILL / POP_* are reads.
+inline constexpr Addr kPortFree = 0;     ///< R: free entries
+inline constexpr Addr kPortPushTs = 1;   ///< W: entry timestamp
+inline constexpr Addr kPortPushData = 2; ///< W: entry payload (commits entry)
+inline constexpr Addr kPortFill = 0;     ///< R: filled entries
+inline constexpr Addr kPortPopTs = 1;    ///< R: front timestamp
+inline constexpr Addr kPortPopData = 2;  ///< R: front payload (pops entry)
+
+inline constexpr Addr kStimuliBase = 0x00400;
+inline constexpr Addr kOutputBase = 0x02000;
+inline constexpr Addr kLinkMonitorBase = 0x03000;
+inline constexpr Addr kAccessMonitorBase = 0x03010;
+
+/// Stimuli buffer port of (router, vc).
+inline Addr stimuli_port(std::size_t router, std::size_t vc, Addr sub) {
+  return kStimuliBase + static_cast<Addr>(router * 16 + vc * 4) + sub;
+}
+
+/// Output buffer port of router r (outputs are stored per router, not per
+/// VC — §5.2).
+inline Addr output_port(std::size_t router, Addr sub) {
+  return kOutputBase + static_cast<Addr>(router * 4) + sub;
+}
+
+}  // namespace tmsim::fpga

@@ -1,0 +1,279 @@
+#include "fpga/arm_host.h"
+
+#include <cmath>
+
+#include "traffic/packet.h"
+
+namespace tmsim::fpga {
+
+using noc::LinkForward;
+using traffic::PacketClass;
+
+ArmHost::ArmHost(FpgaDesign& fpga, Workload workload)
+    : fpga_(fpga), wl_(std::move(workload)), sw_rng_(wl_.rng_seed) {
+  counts_.rng_on_fpga = wl_.rng_on_fpga;
+}
+
+void ArmHost::configure_network(std::size_t width, std::size_t height,
+                                noc::Topology topology) {
+  fpga_.write32(kRegNetWidth, static_cast<std::uint32_t>(width));
+  fpga_.write32(kRegNetHeight, static_cast<std::uint32_t>(height));
+  fpga_.write32(kRegTopology,
+                topology == noc::Topology::kTorus ? 0u : 1u);
+  fpga_.write32(kRegConfigure, 1);
+  fpga_.write32(kRegRngSeed, wl_.rng_seed);
+  sw_rng_ = Lfsr32(wl_.rng_seed);
+
+  const noc::NetworkConfig& net = fpga_.network();
+  streams_.assign(net.num_routers() * net.router.num_vcs, VcStream{});
+  be_next_.assign(net.num_routers(), 0);
+  next_seq_.assign(net.num_routers() * net.router.num_vcs, 0);
+  sent_.clear();
+  generated_horizon_ = 0;
+  overloaded_ = false;
+
+  if (wl_.be_load > 0.0) {
+    // First BE packet time per node via geometric inter-arrival sampling.
+    for (auto& t : be_next_) {
+      t = 0;
+    }
+    for (std::size_t nidx = 0; nidx < be_next_.size(); ++nidx) {
+      const double u = next_uniform();
+      const double p =
+          wl_.be_load /
+          static_cast<double>(traffic::payload_flits_for_bytes(wl_.be_bytes) + 1);
+      be_next_[nidx] = static_cast<SystemCycle>(
+          std::floor(std::log(1.0 - u) / std::log(1.0 - p)));
+    }
+  }
+}
+
+std::uint32_t ArmHost::next_random() {
+  ++counts_.randoms_drawn;
+  if (wl_.rng_on_fpga) {
+    // Bus read from the RNG register; the software mirror stays in sync
+    // so that both modes simulate the identical traffic.
+    const std::uint32_t v = fpga_.read32(kRegRandom);
+    const std::uint32_t mirror = sw_rng_.next();
+    TMSIM_CHECK_MSG(v == mirror, "FPGA RNG out of sync with the mirror");
+    return v;
+  }
+  return sw_rng_.next();
+}
+
+double ArmHost::next_uniform() {
+  return static_cast<double>(next_random()) / 4294967296.0;
+}
+
+std::uint32_t ArmHost::flight_key(std::size_t dst, unsigned vc,
+                                  unsigned seq) const {
+  return static_cast<std::uint32_t>((dst << 8) | (vc << 6) | seq);
+}
+
+void ArmHost::emit_packet(PacketClass cls, std::size_t src, std::size_t dst,
+                          unsigned vc, std::size_t payload_flits,
+                          SystemCycle when) {
+  const noc::NetworkConfig& net = fpga_.network();
+  std::uint16_t& ctr = next_seq_[dst * net.router.num_vcs + vc];
+  unsigned seq = 0;
+  bool found = false;
+  for (unsigned attempt = 0; attempt < 64; ++attempt) {
+    seq = (ctr + attempt) % 64;
+    if (!sent_.contains(flight_key(dst, vc, seq))) {
+      found = true;
+      break;
+    }
+  }
+  TMSIM_CHECK_MSG(found, "sequence tags exhausted for (dst, vc)");
+  ctr = static_cast<std::uint16_t>((seq + 1) % 64);
+
+  const noc::Coord dc = router_coord(net, dst);
+  // Random payload fill — half a 32-bit random per 16-bit flit, which is
+  // where the RNG-offload speedup of §8 comes from.
+  std::uint32_t word = 0;
+  bool have_half = false;
+  std::vector<noc::Flit> flits;
+  flits.push_back(noc::Flit{
+      noc::FlitType::kHead,
+      noc::make_head_payload(static_cast<unsigned>(dc.x),
+                             static_cast<unsigned>(dc.y), vc, seq)});
+  for (std::size_t i = 0; i < payload_flits; ++i) {
+    if (!have_half) {
+      word = next_random();
+      have_half = true;
+    } else {
+      word >>= 16;
+      have_half = false;
+    }
+    flits.push_back(noc::Flit{i + 1 == payload_flits ? noc::FlitType::kTail
+                                                     : noc::FlitType::kBody,
+                              static_cast<std::uint16_t>(word & 0xffffu)});
+  }
+
+  VcStream& stream = streams_[src * net.router.num_vcs + vc];
+  SystemCycle ts = when;
+  for (const noc::Flit& f : flits) {
+    stream.pending.push_back(TimedWord{
+        ts, encode_forward(LinkForward{true, static_cast<std::uint8_t>(vc), f})});
+    ++ts;  // one flit per cycle is the channel capacity
+  }
+  sent_.emplace(flight_key(dst, vc, seq),
+                SentRecord{cls, when, flits.size()});
+  counts_.flits_generated += flits.size();
+  ++counts_.packets_generated;
+}
+
+void ArmHost::generate_up_to(SystemCycle horizon) {
+  const noc::NetworkConfig& net = fpga_.network();
+  const std::size_t n = net.num_routers();
+
+  for (const traffic::GtStream& s : wl_.gt_streams) {
+    // Packets of this stream due in [generated_horizon_, horizon).
+    SystemCycle t = s.phase;
+    if (generated_horizon_ > s.phase) {
+      const SystemCycle k =
+          (generated_horizon_ - s.phase + s.period - 1) / s.period;
+      t = s.phase + k * s.period;
+    }
+    for (; t < horizon; t += s.period) {
+      emit_packet(PacketClass::kGuaranteedThroughput, s.src, s.dst, s.vc,
+                  traffic::payload_flits_for_bytes(s.bytes), t);
+    }
+  }
+
+  if (wl_.be_load > 0.0) {
+    const std::size_t payload =
+        traffic::payload_flits_for_bytes(wl_.be_bytes);
+    const double p = wl_.be_load / static_cast<double>(payload + 1);
+    for (std::size_t src = 0; src < n; ++src) {
+      while (be_next_[src] < horizon) {
+        if (be_next_[src] >= generated_horizon_) {
+          std::size_t dst = next_random() % (n - 1);
+          if (dst >= src) ++dst;
+          const unsigned vc =
+              wl_.be_vcs[next_random() % wl_.be_vcs.size()];
+          emit_packet(PacketClass::kBestEffort, src, dst, vc, payload,
+                      be_next_[src]);
+        }
+        const double u = next_uniform();
+        be_next_[src] += 1 + static_cast<SystemCycle>(std::floor(
+                                 std::log(1.0 - u) / std::log(1.0 - p)));
+      }
+    }
+  }
+  generated_horizon_ = horizon;
+}
+
+void ArmHost::load_phase() {
+  const noc::NetworkConfig& net = fpga_.network();
+  const std::size_t vcs = net.router.num_vcs;
+  for (std::size_t r = 0; r < net.num_routers(); ++r) {
+    for (std::size_t vc = 0; vc < vcs; ++vc) {
+      VcStream& stream = streams_[r * vcs + vc];
+      if (stream.pending.empty()) {
+        stream.stalled_periods = 0;
+        continue;
+      }
+      std::uint32_t free =
+          fpga_.read32(stimuli_port(r, vc, kPortFree));
+      bool any = false;
+      while (free > 0 && !stream.pending.empty()) {
+        const TimedWord w = stream.pending.front();
+        stream.pending.pop_front();
+        fpga_.write32(stimuli_port(r, vc, kPortPushTs),
+                      static_cast<std::uint32_t>(w.timestamp));
+        fpga_.write32(stimuli_port(r, vc, kPortPushData), w.data);
+        --free;
+        any = true;
+      }
+      if (!any) {
+        // "If the network is overloaded with traffic and it does not
+        //  accept data on virtual channels for a longer time, this is
+        //  reported to the user and simulation is stopped." (§5.3)
+        if (++stream.stalled_periods >= wl_.overload_periods) {
+          overloaded_ = true;
+        }
+      } else {
+        stream.stalled_periods = 0;
+      }
+    }
+  }
+}
+
+void ArmHost::retrieve_phase() {
+  const noc::NetworkConfig& net = fpga_.network();
+  const std::size_t vcs = net.router.num_vcs;
+  for (std::size_t r = 0; r < net.num_routers(); ++r) {
+    std::uint32_t fill = fpga_.read32(output_port(r, kPortFill));
+    while (fill-- > 0) {
+      const auto ts = fpga_.read32(output_port(r, kPortPopTs));
+      const auto data = fpga_.read32(output_port(r, kPortPopData));
+      const LinkForward f = noc::decode_forward(data);
+      TMSIM_CHECK_MSG(f.valid, "output buffer holds an idle entry");
+      VcStream& stream = streams_[r * vcs + f.vc];
+      if (f.flit.type == noc::FlitType::kHead) {
+        const noc::HeadFields h = noc::decode_head(f.flit.payload);
+        TMSIM_CHECK_MSG(!stream.receiving,
+                        "HEAD while a packet is open (wormhole violation)");
+        stream.receiving = true;
+        stream.key = flight_key(r, f.vc, h.seq);
+        stream.flits_seen = 1;
+      } else {
+        TMSIM_CHECK_MSG(stream.receiving, "BODY/TAIL with no packet open");
+        ++stream.flits_seen;
+        if (f.flit.type == noc::FlitType::kTail) {
+          const auto it = sent_.find(stream.key);
+          TMSIM_CHECK_MSG(it != sent_.end(), "delivery matches no record");
+          TMSIM_CHECK_MSG(it->second.flits == stream.flits_seen,
+                          "packet delivered with wrong flit count");
+          latency_[static_cast<std::size_t>(it->second.cls)].add(
+              static_cast<double>(ts - it->second.created));
+          ++counts_.packets_analyzed;
+          sent_.erase(it);
+          stream.receiving = false;
+        }
+      }
+      ++counts_.flits_analyzed;
+    }
+  }
+  // Drain the access-delay monitor.
+  std::uint32_t fill = fpga_.read32(kAccessMonitorBase + kPortFill);
+  while (fill-- > 0) {
+    (void)fpga_.read32(kAccessMonitorBase + kPortPopTs);
+    access_delay_.add(
+        static_cast<double>(fpga_.read32(kAccessMonitorBase + kPortPopData)));
+  }
+}
+
+void ArmHost::run(std::size_t total_cycles) {
+  TMSIM_CHECK_MSG(fpga_.configured(),
+                  "call configure_network() before run()");
+  // "the simulation period is fixed to the size of the VC stimuli
+  //  buffers in the FPGA" (§5.3).
+  const std::size_t p = fpga_.build().stimuli_buffer_depth;
+  fpga_.write32(kRegSimCycles, static_cast<std::uint32_t>(p));
+
+  while (fpga_.cycles_simulated() < total_cycles && !overloaded_) {
+    BusStats before = fpga_.bus_stats();
+    generate_up_to(fpga_.cycles_simulated() + 2 * p);
+    BusStats after_gen = fpga_.bus_stats();
+    counts_.generate_bus_reads += after_gen.reads - before.reads;
+
+    load_phase();
+    BusStats after_load = fpga_.bus_stats();
+    counts_.load_bus_reads += after_load.reads - after_gen.reads;
+    counts_.load_bus_writes += after_load.writes - after_gen.writes;
+
+    fpga_.write32(kRegCtrl, 1);  // run one period
+    ++counts_.periods;
+
+    BusStats before_ret = fpga_.bus_stats();
+    retrieve_phase();
+    BusStats after_ret = fpga_.bus_stats();
+    counts_.retrieve_bus_reads += after_ret.reads - before_ret.reads;
+  }
+  counts_.system_cycles = fpga_.cycles_simulated();
+  counts_.fpga_clock_cycles = fpga_.fpga_clock_cycles();
+}
+
+}  // namespace tmsim::fpga

@@ -1,0 +1,114 @@
+// ArmHost: the software side of the simulator (§5.3) — the five-phase
+// loop the ARM9 runs, talking to the FPGA design exclusively through the
+// memory-mapped interface:
+//
+//   1. generate traffic into a stimuli table (timestamps = intended
+//      injection cycles; randomness from the FPGA RNG or C rand()),
+//   2. load the stimuli into the per-VC cyclic buffers ("All input
+//      buffers are maximally filled unless no data is available"),
+//   3. run one simulation period (fixed to the stimuli buffer size, to
+//      prevent underrun),
+//   4. retrieve the output buffers (and the monitor buffers),
+//   5. analyze: reassemble packets, match them to the sent table,
+//      accumulate latency statistics.
+//
+// Unconsumed stimuli stay pending and are re-offered next period ("all
+// unconsumed data will eventually be written into the FPGA"); if the
+// network refuses a VC's traffic for many consecutive periods the run is
+// flagged overloaded and stopped (§5.3).
+//
+// Every bus access and software operation is counted per phase; the
+// TimingModel turns the counts into Table 3/Table 4 numbers.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "common/rng.h"
+#include "fpga/fpga_design.h"
+#include "fpga/timing_model.h"
+#include "traffic/harness.h"
+
+namespace tmsim::fpga {
+
+class ArmHost {
+ public:
+  struct Workload {
+    double be_load = 0.0;
+    std::vector<unsigned> be_vcs = {2, 3};
+    std::size_t be_bytes = traffic::kBePacketBytes;
+    std::vector<traffic::GtStream> gt_streams;
+    /// §5.3 / §8: drawing randoms from the FPGA register vs C rand().
+    bool rng_on_fpga = true;
+    std::uint32_t rng_seed = 0x2bad5eedu;
+    /// Consecutive periods a VC may refuse all traffic before the run is
+    /// declared overloaded.
+    std::size_t overload_periods = 50;
+  };
+
+  ArmHost(FpgaDesign& fpga, Workload workload);
+
+  /// Writes the network geometry registers and commits the configuration.
+  void configure_network(std::size_t width, std::size_t height,
+                         noc::Topology topology);
+
+  /// Runs simulation periods until at least `total_cycles` system cycles
+  /// are simulated (or the network is overloaded).
+  void run(std::size_t total_cycles);
+
+  const PhaseCounts& counts() const { return counts_; }
+  bool overloaded() const { return overloaded_; }
+
+  /// Total latency (creation → tail delivery) per class.
+  const analysis::StatAccumulator& latency(traffic::PacketClass cls) const {
+    return latency_[static_cast<std::size_t>(cls)];
+  }
+  /// Access delay samples from the FPGA's monitor buffer (§5.2).
+  const analysis::StatAccumulator& access_delay() const {
+    return access_delay_;
+  }
+  std::uint64_t packets_delivered() const {
+    return counts_.packets_analyzed;
+  }
+
+ private:
+  struct SentRecord {
+    traffic::PacketClass cls;
+    SystemCycle created = 0;
+    std::size_t flits = 0;
+  };
+  struct VcStream {  // per (router, vc)
+    std::deque<TimedWord> pending;  // generated, not yet loaded
+    std::size_t stalled_periods = 0;
+    // Reassembly state on the receive side.
+    bool receiving = false;
+    std::uint32_t key = 0;
+    std::size_t flits_seen = 0;
+  };
+
+  std::uint32_t next_random();
+  double next_uniform();
+  void generate_up_to(SystemCycle horizon);
+  void emit_packet(traffic::PacketClass cls, std::size_t src, std::size_t dst,
+                   unsigned vc, std::size_t payload_flits, SystemCycle when);
+  void load_phase();
+  void retrieve_phase();
+  std::uint32_t flight_key(std::size_t dst, unsigned vc, unsigned seq) const;
+
+  FpgaDesign& fpga_;
+  Workload wl_;
+  Lfsr32 sw_rng_;  ///< mirror of the FPGA LFSR (same seed ⇒ same traffic)
+  PhaseCounts counts_;
+  std::vector<VcStream> streams_;           // [router * num_vcs + vc]
+  std::vector<SystemCycle> be_next_;        // next BE packet time per node
+  std::unordered_map<std::uint32_t, SentRecord> sent_;
+  std::vector<std::uint16_t> next_seq_;     // per (dst * num_vcs + vc)
+  SystemCycle generated_horizon_ = 0;
+  bool overloaded_ = false;
+  analysis::StatAccumulator latency_[2];
+  analysis::StatAccumulator access_delay_;
+};
+
+}  // namespace tmsim::fpga

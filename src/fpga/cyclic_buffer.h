@@ -1,0 +1,79 @@
+// Timestamped cyclic buffers — the ARM↔FPGA decoupling mechanism (§5.2):
+//
+//  "The data in the buffers has a timestamp and can be read or written by
+//   the ARM9. The timestamps make it possible to store only valid data
+//   [...] The cyclic buffers make it possible to run the simulation
+//   independently from the copying of data."
+//
+// One side is hardware (the FPGA design), the other software (the ARM).
+// Each entry is a (timestamp, payload) pair; timestamps are system-cycle
+// numbers, so sparse traffic costs no storage or copy bandwidth for the
+// idle cycles in between. Under- and overrun must never corrupt the
+// simulated traffic (§5.3), so producers check free space and consumers
+// check fill level explicitly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/ring_buffer.h"
+#include "common/types.h"
+
+namespace tmsim::fpga {
+
+/// One buffer entry: the system cycle the payload belongs to, plus a
+/// 32-bit payload word (a flit encoding fits in 21 bits).
+struct TimedWord {
+  SystemCycle timestamp = 0;
+  std::uint32_t data = 0;
+
+  friend bool operator==(const TimedWord&, const TimedWord&) = default;
+};
+
+/// Cyclic buffer of TimedWords with explicit producer/consumer roles.
+class CyclicBuffer {
+ public:
+  explicit CyclicBuffer(std::size_t capacity) : buf_(capacity) {}
+
+  std::size_t capacity() const { return buf_.capacity(); }
+  std::size_t fill() const { return buf_.size(); }
+  std::size_t free_space() const { return buf_.capacity() - buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+  bool full() const { return buf_.full(); }
+
+  /// Producer side. Throws on overrun — both the ARM software and the
+  /// FPGA control logic check free_space() first, and a violation means
+  /// the flow control of §5.3 is broken.
+  void push(TimedWord w) { buf_.push(w); }
+
+  /// Consumer: next entry without removing it.
+  const TimedWord& front() const { return buf_.front(); }
+
+  /// Consumer: removes and returns the next entry.
+  TimedWord pop() { return buf_.pop(); }
+
+  /// Consumer: pops the entry only if its timestamp is due (<= now).
+  /// This is how the stimuli interface replays traffic cycle-accurately.
+  std::optional<TimedWord> pop_if_due(SystemCycle now) {
+    if (buf_.empty() || buf_.front().timestamp > now) {
+      return std::nullopt;
+    }
+    return buf_.pop();
+  }
+
+  /// "For the buffers that are not interesting we can update the
+  ///  read-pointer, which empties the buffer." (§5.3, step 4)
+  void discard_all() { buf_.clear(); }
+
+  /// Storage bits of this buffer (for the resource model): each entry
+  /// holds a 32-bit payload and a timestamp register.
+  static constexpr std::size_t kTimestampBits = 24;
+  std::size_t storage_bits() const {
+    return buf_.capacity() * (32 + kTimestampBits);
+  }
+
+ private:
+  RingBuffer<TimedWord> buf_;
+};
+
+}  // namespace tmsim::fpga

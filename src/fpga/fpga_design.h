@@ -1,0 +1,118 @@
+// FpgaDesign: functional model of the Figure-7 FPGA design.
+//
+// The design couples the sequential NoC simulator (core engine with one
+// router block per simulated router, dynamic HBR schedule) with:
+//   - per-(router, VC) stimuli cyclic buffers (ARM writes, HW consumes),
+//   - per-router output cyclic buffers (HW writes, ARM reads),
+//   - a link-probe monitor buffer and an access-delay monitor buffer —
+//     "These two buffers cannot influence the traffic in the NoC" (§5.2),
+//     so they drop samples when full instead of stalling,
+//   - the 32-bit hardware LFSR random number generator,
+//   - global control/status registers,
+// all reachable through read32/write32 on the 17-bit/32-bit memory
+// interface (§5.1). Network size and topology are runtime-configurable
+// through registers ("The software on the ARM can change the network size
+// from 1-by-2 to any 2 dimensional size with a maximum number of 256
+// routers", §7.1); queue depth and VC count are synthesis parameters.
+//
+// Timing accounting: a delta cycle costs 2 FPGA clock cycles (read,
+// evaluate+write — §5.2), plus one cycle per system cycle for the HBR
+// reset / scheduler turnaround. The counters feed the TimingModel.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/noc_block.h"
+#include "fpga/address_map.h"
+#include "fpga/cyclic_buffer.h"
+
+namespace tmsim::fpga {
+
+/// Bus traffic counters (for the interface-time model).
+struct BusStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+/// Synthesis-time parameters of the FPGA design.
+struct FpgaBuildConfig {
+  /// Router microarchitecture baked into the bitstream.
+  noc::RouterConfig router;
+  /// Entries per (router, VC) stimuli buffer; the simulation period is
+  /// tied to this size to prevent underrun (§5.3). The default is sized
+  /// so a 256-router provisioning fits the XC2V8000's BlockRAM budget at
+  /// the paper's ~82 % utilization (Table 2).
+  std::size_t stimuli_buffer_depth = 16;
+  /// Entries per router output buffer (must cover one period; outputs are
+  /// at most one flit per router per cycle).
+  std::size_t output_buffer_depth = 32;
+  /// Entries in each monitor buffer.
+  std::size_t monitor_buffer_depth = 64;
+  /// Largest network the BRAM budget was provisioned for.
+  std::size_t max_routers = 256;
+};
+
+class FpgaDesign {
+ public:
+  explicit FpgaDesign(const FpgaBuildConfig& build);
+  ~FpgaDesign();
+
+  /// Memory-mapped interface (the only way the ARM talks to the design).
+  std::uint32_t read32(Addr addr);
+  void write32(Addr addr, std::uint32_t value);
+
+  const BusStats& bus_stats() const { return bus_; }
+
+  /// Convenience accessors used by tests and the timing model (these do
+  /// not count as bus traffic).
+  const FpgaBuildConfig& build() const { return build_; }
+  bool configured() const { return sim_ != nullptr; }
+  const noc::NetworkConfig& network() const;
+  SystemCycle cycles_simulated() const { return cycles_simulated_; }
+  DeltaCycle delta_cycles() const { return delta_cycles_; }
+  std::uint64_t fpga_clock_cycles() const { return fpga_clock_cycles_; }
+  std::uint64_t monitor_drops() const { return monitor_drops_; }
+  bool output_overrun() const { return output_overrun_; }
+  const core::SeqNocSimulation& simulation() const { return *sim_; }
+
+ private:
+  void configure();
+  void run_period(std::size_t cycles);
+  void step_one_cycle();
+
+  FpgaBuildConfig build_;
+  // Configuration registers (staged until kRegConfigure).
+  std::uint32_t reg_width_ = 6;
+  std::uint32_t reg_height_ = 6;
+  std::uint32_t reg_topology_ = 0;
+  std::uint32_t reg_sim_cycles_ = 0;
+  std::uint32_t reg_link_probe_ = 0;
+
+  noc::NetworkConfig net_;
+  std::unique_ptr<core::SeqNocSimulation> sim_;
+  Lfsr32 rng_;
+  BusStats bus_;
+
+  // Buffers (sized at configure()).
+  std::vector<CyclicBuffer> stimuli_;   // [router * num_vcs + vc]
+  std::vector<CyclicBuffer> output_;    // [router]
+  std::unique_ptr<CyclicBuffer> link_monitor_;
+  std::unique_ptr<CyclicBuffer> access_monitor_;
+  // Stimuli-interface state (counted in Table 1's 180 bits/router):
+  std::vector<std::uint8_t> inject_credits_;  // [router * num_vcs + vc]
+  std::vector<std::uint8_t> inject_rr_;       // [router]
+
+  SystemCycle cycles_simulated_ = 0;
+  DeltaCycle delta_cycles_ = 0;
+  std::uint64_t fpga_clock_cycles_ = 0;
+  std::uint64_t monitor_drops_ = 0;
+  bool output_overrun_ = false;
+
+  // Staged push: PUSH_TS latches, PUSH_DATA commits.
+  std::vector<SystemCycle> staged_ts_;  // per stimuli port
+};
+
+}  // namespace tmsim::fpga

@@ -1,0 +1,81 @@
+// ResourceModel: estimates Virtex-II 8000 resource usage for the
+// simulator design (Table 2) and for a fully parallel NoC instantiation
+// (§4's "approximately 24 routers" synthesis limit).
+//
+// What is computed vs what is calibrated:
+//  - BlockRAM counts are *computed* from the bit-accurate state layout
+//    and buffer geometry: a Virtex-II BlockRAM holds 18 kbit with a
+//    maximum data width of 36 bits, so a memory of depth ≤ 512 needs
+//    ceil(width/36) BRAMs. The router state memory (2 banks × 256 words)
+//    and the cyclic buffers dominate — this reproduces the paper's
+//    conclusion that BRAM, not logic, is the limit (82 %).
+//  - Slice ("CLB" in the paper's loose usage: 46 592 slices on the
+//    XC2V8000, 15 % ≈ 7 053) counts for combinational logic are synthesis
+//    results we cannot re-run without the vendor tools; they are modeled
+//    with per-primitive coefficients (LUTs per mux leg, per comparator
+//    bit, per counter bit) *calibrated once* against Table 2 and then
+//    applied unchanged to derived questions (parallel-instantiation
+//    limit, other network sizes, ablations).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fpga/fpga_design.h"
+#include "noc/router_state.h"
+
+namespace tmsim::fpga {
+
+/// XC2V8000 budgets.
+struct FpgaBudget {
+  std::size_t slices = 46592;
+  std::size_t block_rams = 168;
+  std::size_t tbufs = 23296;  ///< tri-state buffers (4 per CLB, half usable)
+};
+
+/// One Table 2 row.
+struct ResourceUsage {
+  std::string block;
+  std::size_t slices = 0;
+  std::size_t brams = 0;
+};
+
+struct ResourceReport {
+  std::vector<ResourceUsage> rows;
+  std::size_t total_slices = 0;
+  std::size_t total_brams = 0;
+  double slice_fraction = 0;
+  double bram_fraction = 0;
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(FpgaBudget budget = FpgaBudget())
+      : budget_(budget) {}
+
+  const FpgaBudget& budget() const { return budget_; }
+
+  /// Table 2: the time-multiplexed simulator provisioned for
+  /// `max_routers` routers with the given build parameters.
+  ResourceReport simulator_usage(const FpgaBuildConfig& build) const;
+
+  /// §4: slices/tbufs of ONE fully parallel router instance (registers in
+  /// flip-flops, crossbar in tri-state buffers) with a reduced datapath.
+  ResourceUsage parallel_router(const noc::RouterConfig& router,
+                                std::size_t datapath_bits) const;
+
+  /// §4: how many fully parallel routers fit (the paper found ~24 with a
+  /// 6-bit datapath, limited by CLBs and tri-states).
+  std::size_t max_parallel_routers(const noc::RouterConfig& router,
+                                   std::size_t datapath_bits) const;
+
+  /// BRAMs for a memory of `depth` words × `width` bits (depth ≤ 512
+  /// assumed per bank, which holds for every memory in this design).
+  static std::size_t brams_for(std::size_t depth, std::size_t width);
+
+ private:
+  FpgaBudget budget_;
+};
+
+}  // namespace tmsim::fpga

@@ -1,0 +1,83 @@
+// Link signals: the unbuffered wires between routers (§4.2).
+//
+// Each physical channel between two routers carries two independent signal
+// groups, modeled as two directed links because each has a single writer:
+//
+//  - the FORWARD group (upstream router → downstream router):
+//      [20] valid, [19:18] vc, [17:0] flit            — 21 bits
+//  - the CREDIT group (downstream router → upstream router):
+//      one wire per VC, set for one cycle when the downstream router pops a
+//      flit from that VC's input queue                — num_vcs (≤4) bits
+//
+// Both groups are *combinational* outputs of the writer (functions of its
+// registered state only): the forward flit is whatever the crossbar grants
+// this cycle, the credit wire is the pop decision of the downstream
+// arbiter. This is exactly the paper's "combinatorial boundary": no fully
+// registered cross-section exists between routers.
+//
+// Encoding discipline: when valid==0 the vc and flit fields are forced to
+// zero. The HBR mechanism detects changed link values by bit comparison,
+// so every simulator must produce identical encodings, not just logically
+// equivalent ones.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+#include "noc/config.h"
+#include "noc/flit.h"
+
+namespace tmsim::noc {
+
+/// Forward link group width in bits.
+inline constexpr std::size_t kForwardBits = 1 + 2 + kFlitBits;  // 21
+
+struct LinkForward {
+  bool valid = false;
+  std::uint8_t vc = 0;
+  Flit flit;
+
+  friend bool operator==(const LinkForward&, const LinkForward&) = default;
+};
+
+/// Canonical idle value (all wires low).
+inline LinkForward idle_forward() { return LinkForward{}; }
+
+inline std::uint32_t encode_forward(const LinkForward& f) {
+  if (!f.valid) {
+    TMSIM_CHECK_MSG(f.vc == 0 && f.flit == Flit{},
+                    "invalid forward link must be all-zero encoded");
+    return 0;
+  }
+  TMSIM_CHECK_MSG(f.vc < 4, "vc out of range");
+  return (std::uint32_t{1} << 20) | (std::uint32_t{f.vc} << kFlitBits) |
+         encode_flit(f.flit);
+}
+
+inline LinkForward decode_forward(std::uint32_t bits) {
+  TMSIM_CHECK_MSG((bits >> kForwardBits) == 0, "forward link encoding too wide");
+  LinkForward f;
+  f.valid = (bits >> 20) & 1u;
+  f.vc = static_cast<std::uint8_t>((bits >> kFlitBits) & 0x3u);
+  f.flit = decode_flit(bits & ((1u << kFlitBits) - 1));
+  return f;
+}
+
+/// Credit wires: bit v set == one credit returned on VC v this cycle.
+struct CreditWires {
+  std::uint8_t mask = 0;
+
+  bool get(std::size_t vc) const { return (mask >> vc) & 1u; }
+  void set(std::size_t vc) { mask = static_cast<std::uint8_t>(mask | (1u << vc)); }
+
+  friend bool operator==(const CreditWires&, const CreditWires&) = default;
+};
+
+inline std::uint32_t encode_credit(const CreditWires& c) { return c.mask; }
+
+inline CreditWires decode_credit(std::uint32_t bits, std::size_t num_vcs) {
+  TMSIM_CHECK_MSG((bits >> num_vcs) == 0, "credit encoding too wide");
+  return CreditWires{static_cast<std::uint8_t>(bits)};
+}
+
+}  // namespace tmsim::noc

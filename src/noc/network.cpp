@@ -1,0 +1,159 @@
+#include "noc/network.h"
+
+namespace tmsim::noc {
+
+UpstreamPort upstream_of(const NetworkConfig& net, std::size_t r, Port p) {
+  TMSIM_CHECK_MSG(p != Port::kLocal, "local port is externally driven");
+  const auto nbr = neighbour(net, router_coord(net, r), p);
+  if (!nbr.has_value()) {
+    return UpstreamPort{};  // mesh boundary: tied to idle
+  }
+  // The neighbour reached through our port p drives us through its output
+  // port facing back at us: opposite(p).
+  return UpstreamPort{true, router_index(net, *nbr), opposite(p)};
+}
+
+void check_credit_invariant(const NocSimulation& sim) {
+  const NetworkConfig& net = sim.config();
+  const RouterConfig& cfg = net.router;
+  const RouterStateCodec codec(cfg);
+  std::vector<RouterState> states;
+  states.reserve(net.num_routers());
+  for (std::size_t r = 0; r < net.num_routers(); ++r) {
+    states.push_back(codec.deserialize(sim.router_state_word(r)));
+  }
+  for (std::size_t r = 0; r < net.num_routers(); ++r) {
+    for (std::size_t v = 0; v < cfg.num_vcs; ++v) {
+      // Local output port: the NI consumes in-cycle, so the counter must
+      // sit at full depth whenever state is committed.
+      const OutVcState& local =
+          states[r].out_vcs[RouterState::index(cfg, Port::kLocal, v)];
+      TMSIM_CHECK_MSG(local.credits == cfg.queue_depth,
+                      "local output credit counter not full at router " +
+                          std::to_string(r) + " vc " + std::to_string(v));
+      for (std::size_t o = 1; o < kPorts; ++o) {
+        const UpstreamPort down = upstream_of(net, r, static_cast<Port>(o));
+        if (!down.connected) {
+          continue;
+        }
+        const OutVcState& ovc =
+            states[r].out_vcs[RouterState::index(cfg, static_cast<Port>(o), v)];
+        // Our output port o feeds the neighbour's input port down.port.
+        const QueueState& q =
+            states[down.router].queues[RouterState::index(cfg, down.port, v)];
+        TMSIM_CHECK_MSG(
+            ovc.credits + q.fifo.size() == cfg.queue_depth,
+            "credit invariant broken: router " + std::to_string(r) + " " +
+                port_name(static_cast<Port>(o)) + " vc " + std::to_string(v) +
+                ": credits " + std::to_string(ovc.credits) + " + occupancy " +
+                std::to_string(q.fifo.size()) + " != depth " +
+                std::to_string(cfg.queue_depth));
+      }
+    }
+  }
+}
+
+DirectNocSimulation::DirectNocSimulation(const NetworkConfig& net)
+    : net_(net), codec_(net.router) {
+  net_.validate();
+  const std::size_t n = net_.num_routers();
+  states_.reserve(n);
+  envs_.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    states_.emplace_back(net_.router);
+    envs_.push_back(RouterEnv{&net_, router_coord(net_, r)});
+  }
+  upstream_.resize(n * kPorts);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t p = 1; p < kPorts; ++p) {
+      upstream_[r * kPorts + p] = upstream_of(net_, r, static_cast<Port>(p));
+    }
+  }
+  local_in_.assign(n, idle_forward());
+  local_out_.assign(n, idle_forward());
+  local_credits_.assign(n, CreditWires{});
+}
+
+void DirectNocSimulation::set_local_input(std::size_t r,
+                                          const LinkForward& f) {
+  local_in_.at(r) = f;
+}
+
+void DirectNocSimulation::step() {
+  const std::size_t n = net_.num_routers();
+
+  // Phase 1 — G: all routers' combinational outputs from registered state.
+  if (outs_scratch_.size() != n) {
+    outs_scratch_.resize(n);
+  }
+  std::vector<RouterOutputs>& outs = outs_scratch_;
+  if (grants_scratch_.size() != n) {
+    grants_scratch_.resize(n);
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    grants_scratch_[r] = compute_grants(states_[r], envs_[r]);
+    outs[r] = compute_outputs(states_[r], grants_scratch_[r], envs_[r]);
+  }
+
+  // Phase 2 — F: assemble each router's inputs from its neighbours'
+  // outputs and commit all next states at the clock edge.
+  if (next_scratch_.empty()) {
+    next_scratch_.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      next_scratch_.emplace_back(net_.router);
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    RouterInputs in;
+    in.fwd_in[static_cast<std::size_t>(Port::kLocal)] = local_in_[r];
+    for (std::size_t p = 1; p < kPorts; ++p) {
+      const UpstreamPort& up = upstream_[r * kPorts + p];
+      if (up.connected) {
+        in.fwd_in[p] =
+            outs[up.router].fwd_out[static_cast<std::size_t>(up.port)];
+      }
+    }
+    // Credits arriving per output port: for grid ports, what the
+    // downstream router returned on the facing input port; for the local
+    // port, the NI echoes a credit for the flit delivered this cycle.
+    for (std::size_t o = 1; o < kPorts; ++o) {
+      const UpstreamPort& down = upstream_[r * kPorts + o];
+      if (down.connected) {
+        // The router downstream through output port o receives us on its
+        // input port `down.port` (== opposite(o) geometry-wise) and
+        // returns credits on that input port's credit group.
+        in.credit_in[o] =
+            outs[down.router].credit_out[static_cast<std::size_t>(down.port)];
+      }
+    }
+    const LinkForward& delivered =
+        outs[r].fwd_out[static_cast<std::size_t>(Port::kLocal)];
+    if (delivered.valid) {
+      CreditWires echo;
+      echo.set(delivered.vc);
+      in.credit_in[static_cast<std::size_t>(Port::kLocal)] = echo;
+    }
+    compute_next_state_into(states_[r], grants_scratch_[r], in, envs_[r],
+                            next_scratch_[r]);
+    local_out_[r] = delivered;
+    local_credits_[r] =
+        outs[r].credit_out[static_cast<std::size_t>(Port::kLocal)];
+  }
+  states_.swap(next_scratch_);
+  local_in_.assign(n, idle_forward());
+  ++cycle_;
+}
+
+LinkForward DirectNocSimulation::local_output(std::size_t r) const {
+  return local_out_.at(r);
+}
+
+CreditWires DirectNocSimulation::local_input_credits(std::size_t r) const {
+  return local_credits_.at(r);
+}
+
+BitVector DirectNocSimulation::router_state_word(std::size_t r) const {
+  return codec_.serialize(states_.at(r));
+}
+
+}  // namespace tmsim::noc

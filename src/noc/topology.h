@@ -1,0 +1,49 @@
+// Grid topology: coordinates, neighbour relations, and XY routing.
+//
+// The paper's simulator supports torus and mesh topologies, selected by
+// software ("The topology of a network can either be a torus or a mesh,
+// which is determined by software", §7.1). Routing is deterministic
+// dimension-order (X first), with shortest-direction wrap on the torus.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "noc/config.h"
+
+namespace tmsim::noc {
+
+/// Router coordinate in the 2-D grid; (0,0) is the north-west corner,
+/// x grows east, y grows south.
+struct Coord {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Router index in row-major order.
+inline std::size_t router_index(const NetworkConfig& net, Coord c) {
+  return c.y * net.width + c.x;
+}
+
+inline Coord router_coord(const NetworkConfig& net, std::size_t index) {
+  return Coord{index % net.width, index / net.width};
+}
+
+/// Opposite direction port (North↔South, East↔West). Local has no opposite.
+Port opposite(Port p);
+
+/// Neighbour of router `c` through output port `p`, or nullopt when the
+/// port is unconnected (mesh boundary). `p` must not be kLocal.
+std::optional<Coord> neighbour(const NetworkConfig& net, Coord c, Port p);
+
+/// Deterministic XY routing: the output port a HEAD flit at router `here`
+/// takes towards `dest`. Returns kLocal when dest == here. On a torus the
+/// shorter wrap direction is chosen; exact ties go east/south.
+Port route_xy(const NetworkConfig& net, Coord here, Coord dest);
+
+/// Number of hops (routers traversed minus one... i.e. links crossed)
+/// that XY routing takes from `src` to `dst`.
+std::size_t route_hops(const NetworkConfig& net, Coord src, Coord dst);
+
+}  // namespace tmsim::noc

@@ -1,0 +1,342 @@
+#include "rtlsim/rtl_noc.h"
+
+#include <array>
+#include <string>
+
+#include "rtlsim/std_logic.h"
+
+namespace tmsim::rtlsim {
+
+using noc::CreditWires;
+using noc::Flit;
+using noc::FlitType;
+using noc::kPorts;
+using noc::LinkForward;
+using noc::Port;
+
+namespace {
+
+/// One input queue's registers as a signal value: flit slots carried as
+/// 9-value std_logic vectors, the way a VHDL simulator stores them.
+struct QueueRegs {
+  std::vector<StdLogicVector> slots;  // encoded flits, 18 std_logic each
+  std::uint8_t rd = 0;
+  std::uint8_t wr = 0;
+  bool full = false;
+  bool locked = false;
+  std::uint8_t out_port = 0;
+
+  friend bool operator==(const QueueRegs&, const QueueRegs&) = default;
+};
+
+/// One output port's four VC state registers.
+struct OvcGroupRegs {
+  std::array<noc::OutVcState, 4> vc{};
+
+  friend bool operator==(const OvcGroupRegs&, const OvcGroupRegs&) = default;
+};
+
+QueueRegs to_regs(const noc::QueueState& q, std::size_t depth) {
+  QueueRegs r;
+  r.slots.resize(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    r.slots[i] = to_std_logic(encode_flit(q.fifo.slot(i)), noc::kFlitBits);
+  }
+  r.rd = static_cast<std::uint8_t>(q.fifo.read_pos());
+  r.wr = static_cast<std::uint8_t>(q.fifo.write_pos());
+  r.full = q.fifo.full();
+  r.locked = q.locked;
+  r.out_port = static_cast<std::uint8_t>(q.out_port);
+  return r;
+}
+
+noc::QueueState to_state(const QueueRegs& r, std::size_t depth) {
+  noc::QueueState q(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.fifo.slot(i) = noc::decode_flit(
+        static_cast<std::uint32_t>(from_std_logic(r.slots[i])));
+  }
+  const std::size_t size =
+      r.full ? depth : (r.wr + depth - r.rd) % depth;
+  q.fifo.restore(r.rd, r.wr, size);
+  q.locked = r.locked;
+  q.out_port = static_cast<Port>(r.out_port);
+  return q;
+}
+
+}  // namespace
+
+/// All signals of one router instance.
+struct RtlNocSimulation::RouterNode {
+  noc::RouterEnv env;
+  std::vector<std::unique_ptr<des::Signal<QueueRegs>>> queue;   // 20
+  std::vector<std::unique_ptr<des::Signal<OvcGroupRegs>>> ovc;  // 5
+  std::vector<std::unique_ptr<des::Signal<std::uint8_t>>> rr;   // 5
+  std::vector<std::unique_ptr<des::Signal<int>>> grant;         // 5
+  std::vector<std::unique_ptr<des::Signal<StdLogicVector>>> fwd_out;    // 5
+  std::vector<std::unique_ptr<des::Signal<StdLogicVector>>> credit_out; // 5
+  std::unique_ptr<des::Signal<StdLogicVector>> local_in;
+  std::vector<des::Signal<StdLogicVector>*> fwd_in;      // 5 (aliases)
+  std::vector<des::Signal<StdLogicVector>*> credit_in;   // 5 (aliases)
+
+  /// Assembles the registered state from the individual signals.
+  noc::RouterState assemble(const noc::RouterConfig& cfg) const {
+    noc::RouterState s(cfg);
+    for (std::size_t q = 0; q < cfg.num_queues(); ++q) {
+      s.queues[q] = to_state(queue[q]->read(), cfg.queue_depth);
+    }
+    for (std::size_t o = 0; o < kPorts; ++o) {
+      const OvcGroupRegs& g = ovc[o]->read();
+      for (std::size_t v = 0; v < cfg.num_vcs; ++v) {
+        s.out_vcs[o * cfg.num_vcs + v] = g.vc[v];
+      }
+      s.rr_ptr[o] = rr[o]->read();
+    }
+    return s;
+  }
+};
+
+RtlNocSimulation::RtlNocSimulation(const noc::NetworkConfig& net)
+    : net_(net), codec_(net.router) {
+  net_.validate();
+  const std::size_t n = net_.num_routers();
+  const noc::RouterConfig& cfg = net_.router;
+  const std::size_t num_vcs = cfg.num_vcs;
+  const std::size_t nq = cfg.num_queues();
+  const std::uint8_t credit_mask =
+      static_cast<std::uint8_t>((1u << cfg.credit_bits()) - 1);
+
+  // Elaborate signals.
+  const noc::RouterState reset(cfg);
+  routers_.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto node = std::make_unique<RouterNode>();
+    node->env = noc::RouterEnv{&net_, router_coord(net_, r)};
+    const std::string base = "r" + std::to_string(r);
+    for (std::size_t q = 0; q < nq; ++q) {
+      node->queue.push_back(std::make_unique<des::Signal<QueueRegs>>(
+          kernel_, base + ".q" + std::to_string(q),
+          to_regs(reset.queues[q], cfg.queue_depth)));
+    }
+    for (std::size_t o = 0; o < kPorts; ++o) {
+      OvcGroupRegs g;
+      for (std::size_t v = 0; v < num_vcs; ++v) {
+        g.vc[v] = reset.out_vcs[o * num_vcs + v];
+      }
+      node->ovc.push_back(std::make_unique<des::Signal<OvcGroupRegs>>(
+          kernel_, base + ".ovc" + std::to_string(o), g));
+      node->rr.push_back(std::make_unique<des::Signal<std::uint8_t>>(
+          kernel_, base + ".rr" + std::to_string(o), 0));
+      node->grant.push_back(std::make_unique<des::Signal<int>>(
+          kernel_, base + ".grant" + std::to_string(o), -1));
+      node->fwd_out.push_back(std::make_unique<des::Signal<StdLogicVector>>(
+          kernel_, base + ".fwd" + std::to_string(o),
+          to_std_logic(0, noc::kForwardBits)));
+      node->credit_out.push_back(
+          std::make_unique<des::Signal<StdLogicVector>>(
+              kernel_, base + ".cr" + std::to_string(o),
+              to_std_logic(0, num_vcs)));
+    }
+    node->local_in = std::make_unique<des::Signal<StdLogicVector>>(
+        kernel_, base + ".local_in", to_std_logic(0, noc::kForwardBits));
+    routers_.push_back(std::move(node));
+  }
+
+  // Wiring: alias input pointers at the drivers' output signals.
+  for (std::size_t r = 0; r < n; ++r) {
+    RouterNode& node = *routers_[r];
+    node.fwd_in.assign(kPorts, nullptr);
+    node.credit_in.assign(kPorts, nullptr);
+    node.fwd_in[static_cast<std::size_t>(Port::kLocal)] = node.local_in.get();
+    for (std::size_t p = 1; p < kPorts; ++p) {
+      const noc::UpstreamPort up = upstream_of(net_, r, static_cast<Port>(p));
+      if (up.connected) {
+        node.fwd_in[p] =
+            routers_[up.router]->fwd_out[static_cast<std::size_t>(up.port)]
+                .get();
+        node.credit_in[p] =
+            routers_[up.router]->credit_out[static_cast<std::size_t>(up.port)]
+                .get();
+      }
+    }
+  }
+
+  // Processes.
+  for (std::size_t r = 0; r < n; ++r) {
+    RouterNode* node = routers_[r].get();
+    const std::string base = "r" + std::to_string(r);
+
+    // Combinational crossbar / arbitration network: grants, forwarded
+    // flits and credit returns from the registered state (shared logic).
+    const std::size_t comb = kernel_.add_process(
+        [this, node] {
+          const noc::RouterState s = node->assemble(net_.router);
+          const noc::Grants g = compute_grants(s, node->env);
+          const noc::RouterOutputs out = compute_outputs(s, g, node->env);
+          for (std::size_t o = 0; o < kPorts; ++o) {
+            node->grant[o]->write(g.granted[o]);
+            // Signal assignments go through the 1164 resolution per bit.
+            StdLogicVector fwd;
+            drive(fwd, to_std_logic(encode_forward(out.fwd_out[o]),
+                                    noc::kForwardBits));
+            node->fwd_out[o]->write(fwd);
+            StdLogicVector cr;
+            drive(cr, to_std_logic(encode_credit(out.credit_out[o]),
+                                   net_.router.num_vcs));
+            node->credit_out[o]->write(cr);
+          }
+        },
+        base + ".xbar");
+    for (std::size_t q = 0; q < nq; ++q) {
+      kernel_.make_sensitive(comb, *node->queue[q]);
+    }
+    for (std::size_t o = 0; o < kPorts; ++o) {
+      kernel_.make_sensitive(comb, *node->ovc[o]);
+      kernel_.make_sensitive(comb, *node->rr[o]);
+    }
+
+    // One clocked process per input queue: push from the input link, pop
+    // on grant, wormhole lock bookkeeping.
+    for (std::size_t q = 0; q < nq; ++q) {
+      kernel_.add_clocked_process(
+          [this, node, q, num_vcs] {
+            const std::size_t depth = net_.router.queue_depth;
+            noc::QueueState qs = to_state(node->queue[q]->read(), depth);
+            // Pop: did any output arbiter grant this queue?
+            for (std::size_t o = 0; o < kPorts; ++o) {
+              if (node->grant[o]->read() == static_cast<int>(q)) {
+                const Flit f = qs.fifo.pop();
+                if (f.type == FlitType::kHead) {
+                  qs.locked = true;
+                  qs.out_port = static_cast<Port>(o);
+                } else if (f.type == FlitType::kTail) {
+                  qs.locked = false;
+                }
+                break;
+              }
+            }
+            // Push: flit arriving on this queue's port and VC.
+            const std::size_t p = q / num_vcs;
+            const std::size_t v = q % num_vcs;
+            if (node->fwd_in[p] != nullptr) {
+              const LinkForward f = noc::decode_forward(
+                  static_cast<std::uint32_t>(
+                      from_std_logic(node->fwd_in[p]->read())));
+              if (f.valid && f.vc == v) {
+                qs.fifo.push_overwrite(f.flit);
+              }
+            }
+            node->queue[q]->write(to_regs(qs, depth));
+          },
+          base + ".q" + std::to_string(q) + ".seq");
+    }
+
+    // One clocked process per output port's VC state group: wormhole
+    // locks on the output side and the credit counters (with register
+    // wrap, identical to the shared next-state function).
+    for (std::size_t o = 0; o < kPorts; ++o) {
+      kernel_.add_clocked_process(
+          [this, node, o, num_vcs, credit_mask] {
+            OvcGroupRegs g = node->ovc[o]->read();
+            const int granted = node->grant[o]->read();
+            if (granted >= 0) {
+              const auto q = static_cast<std::size_t>(granted);
+              const std::size_t v = q % num_vcs;
+              const QueueRegs& regs = node->queue[q]->read();
+              const Flit f = noc::decode_flit(static_cast<std::uint32_t>(
+                  from_std_logic(regs.slots[regs.rd])));
+              if (f.type == FlitType::kHead) {
+                g.vc[v].busy = true;
+                g.vc[v].owner_port = static_cast<std::uint8_t>(q / num_vcs);
+              } else if (f.type == FlitType::kTail) {
+                g.vc[v].busy = false;
+              }
+              TMSIM_CHECK_MSG(g.vc[v].credits > 0,
+                              "flit forwarded without a credit");
+              --g.vc[v].credits;
+            }
+            // Credit returns: downstream wires, or the NI echo on the
+            // local port (consume-and-credit in the same cycle).
+            CreditWires cr;
+            if (o == static_cast<std::size_t>(Port::kLocal)) {
+              if (granted >= 0) {
+                cr.set(static_cast<std::size_t>(granted) % num_vcs);
+              }
+            } else if (node->credit_in[o] != nullptr) {
+              cr = noc::decode_credit(
+                  static_cast<std::uint32_t>(
+                      from_std_logic(node->credit_in[o]->read())),
+                  num_vcs);
+            }
+            for (std::size_t v = 0; v < num_vcs; ++v) {
+              if (cr.get(v)) {
+                g.vc[v].credits = static_cast<std::uint8_t>(
+                    (g.vc[v].credits + 1) & credit_mask);
+              }
+            }
+            node->ovc[o]->write(g);
+          },
+          base + ".ovc" + std::to_string(o) + ".seq");
+    }
+
+    // One clocked process per round-robin pointer.
+    for (std::size_t o = 0; o < kPorts; ++o) {
+      kernel_.add_clocked_process(
+          [node, o, nq] {
+            const int granted = node->grant[o]->read();
+            if (granted >= 0) {
+              node->rr[o]->write(static_cast<std::uint8_t>(
+                  (static_cast<std::size_t>(granted) + 1) % nq));
+            }
+          },
+          base + ".rr" + std::to_string(o) + ".seq");
+    }
+  }
+
+  captured_out_.assign(n, LinkForward{});
+  captured_credits_.assign(n, CreditWires{});
+  kernel_.initialize();
+}
+
+RtlNocSimulation::~RtlNocSimulation() = default;
+
+void RtlNocSimulation::set_local_input(std::size_t r, const LinkForward& f) {
+  StdLogicVector v;
+  drive(v, to_std_logic(encode_forward(f), noc::kForwardBits));
+  routers_.at(r)->local_in->write(v);
+}
+
+void RtlNocSimulation::step() {
+  kernel_.settle();
+  for (std::size_t r = 0; r < routers_.size(); ++r) {
+    captured_out_[r] = noc::decode_forward(static_cast<std::uint32_t>(
+        from_std_logic(routers_[r]
+                           ->fwd_out[static_cast<std::size_t>(Port::kLocal)]
+                           ->read())));
+    captured_credits_[r] = noc::decode_credit(
+        static_cast<std::uint32_t>(from_std_logic(
+            routers_[r]
+                ->credit_out[static_cast<std::size_t>(Port::kLocal)]
+                ->read())),
+        net_.router.num_vcs);
+  }
+  kernel_.tick();
+  for (auto& node : routers_) {
+    node->local_in->write(to_std_logic(0, noc::kForwardBits));
+  }
+  ++cycle_;
+}
+
+LinkForward RtlNocSimulation::local_output(std::size_t r) const {
+  return captured_out_.at(r);
+}
+
+CreditWires RtlNocSimulation::local_input_credits(std::size_t r) const {
+  return captured_credits_.at(r);
+}
+
+BitVector RtlNocSimulation::router_state_word(std::size_t r) const {
+  return codec_.serialize(routers_.at(r)->assemble(net_.router));
+}
+
+}  // namespace tmsim::rtlsim

@@ -1,0 +1,72 @@
+#include "rtlsim/std_logic.h"
+
+namespace tmsim::rtlsim {
+
+namespace {
+// IEEE 1164 resolution table (std_logic_1164 body), indexed [a][b].
+constexpr StdLogic U = StdLogic::kU;
+constexpr StdLogic X = StdLogic::kX;
+constexpr StdLogic O = StdLogic::k0;
+constexpr StdLogic I = StdLogic::k1;
+constexpr StdLogic Z = StdLogic::kZ;
+constexpr StdLogic W = StdLogic::kW;
+constexpr StdLogic L = StdLogic::kL;
+constexpr StdLogic H = StdLogic::kH;
+constexpr StdLogic D = StdLogic::kDash;
+
+constexpr StdLogic kTable[9][9] = {
+    // U  X  0  1  Z  W  L  H  -
+    {U, U, U, U, U, U, U, U, U},  // U
+    {U, X, X, X, X, X, X, X, X},  // X
+    {U, X, O, X, O, O, O, O, X},  // 0
+    {U, X, X, I, I, I, I, I, X},  // 1
+    {U, X, O, I, Z, W, L, H, X},  // Z
+    {U, X, O, I, W, W, W, W, X},  // W
+    {U, X, O, I, L, W, L, W, X},  // L
+    {U, X, O, I, H, W, W, H, X},  // H
+    {U, X, X, X, X, X, X, X, X},  // -
+};
+}  // namespace
+
+StdLogic resolve(StdLogic a, StdLogic b) {
+  return kTable[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+StdLogicVector to_std_logic(std::uint64_t value, std::size_t width) {
+  StdLogicVector v;
+  v.bits.resize(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    v.bits[i] = ((value >> i) & 1u) ? StdLogic::k1 : StdLogic::k0;
+  }
+  return v;
+}
+
+std::uint64_t from_std_logic(const StdLogicVector& v) {
+  TMSIM_CHECK_MSG(v.bits.size() <= 64, "std_logic vector wider than 64");
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < v.bits.size(); ++i) {
+    switch (v.bits[i]) {
+      case StdLogic::k1:
+        out |= std::uint64_t{1} << i;
+        break;
+      case StdLogic::k0:
+        break;
+      default:
+        throw Error("metavalue ('U'/'X'/'Z'/...) read as an integer");
+    }
+  }
+  return out;
+}
+
+void drive(StdLogicVector& target, const StdLogicVector& next) {
+  if (target.bits.size() != next.bits.size()) {
+    target.bits.assign(next.bits.size(), StdLogic::kU);
+  }
+  for (std::size_t i = 0; i < next.bits.size(); ++i) {
+    // Single driver: the resolution collapses to the driven value, but a
+    // VHDL kernel still walks the table per bit.
+    target.bits[i] = resolve(next.bits[i], next.bits[i]);
+  }
+}
+
+}  // namespace tmsim::rtlsim

@@ -1,0 +1,53 @@
+// IEEE 1164 9-value logic, byte per bit — the signal representation a
+// VHDL simulator actually maintains at RTL, and a large part of why VHDL
+// simulation is slow (Table 3's 10–17 Hz): every signal assignment runs
+// the per-bit resolution table and every reader converts back to the
+// two-value world of the logic being evaluated.
+//
+// The rtlsim engine carries all link and queue-slot values in this form;
+// integer values convert at each process boundary. Only '0'/'1' ever
+// appear in a correct run — 'U'/'X' leaking into a conversion is reported
+// as the modeling error it would be in a VHDL testbench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tmsim::rtlsim {
+
+enum class StdLogic : std::uint8_t {
+  kU = 0,  // uninitialized
+  kX = 1,  // forcing unknown
+  k0 = 2,
+  k1 = 3,
+  kZ = 4,  // high impedance
+  kW = 5,  // weak unknown
+  kL = 6,  // weak 0
+  kH = 7,  // weak 1
+  kDash = 8,  // don't care
+};
+
+/// IEEE 1164 resolution for two drivers (symmetric table).
+StdLogic resolve(StdLogic a, StdLogic b);
+
+struct StdLogicVector {
+  std::vector<StdLogic> bits;  // LSB first
+
+  friend bool operator==(const StdLogicVector&, const StdLogicVector&) =
+      default;
+};
+
+/// Encodes the low `width` bits of `value`.
+StdLogicVector to_std_logic(std::uint64_t value, std::size_t width);
+
+/// Decodes to an integer; throws if any bit is not '0'/'1'.
+std::uint64_t from_std_logic(const StdLogicVector& v);
+
+/// Drives `next` onto `target` through the resolution function, as a VHDL
+/// signal assignment with a single driver does (resolve against the
+/// driver's previous value models the per-bit table lookup cost).
+void drive(StdLogicVector& target, const StdLogicVector& next);
+
+}  // namespace tmsim::rtlsim

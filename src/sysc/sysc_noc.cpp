@@ -1,0 +1,162 @@
+#include "sysc/sysc_noc.h"
+
+#include <string>
+
+namespace tmsim::sysc {
+
+using noc::CreditWires;
+using noc::kPorts;
+using noc::LinkForward;
+using noc::Port;
+
+/// Per-router signals and processes.
+struct SyscNocSimulation::RouterNode {
+  RouterNode(des::Kernel& k, std::size_t index, const noc::RouterStateCodec& c)
+      : state(k, "r" + std::to_string(index) + ".state", c.reset_word()) {
+    const std::string base = "r" + std::to_string(index);
+    fwd_out.reserve(kPorts);
+    credit_out.reserve(kPorts);
+    fwd_in.assign(kPorts, nullptr);
+    credit_in.assign(kPorts, nullptr);
+    for (std::size_t p = 0; p < kPorts; ++p) {
+      fwd_out.push_back(std::make_unique<des::Signal<std::uint32_t>>(
+          k, base + ".fwd" + std::to_string(p), 0));
+      credit_out.push_back(std::make_unique<des::Signal<std::uint32_t>>(
+          k, base + ".cr" + std::to_string(p), 0));
+    }
+  }
+
+  /// The registered state as an sc_lv-style bit vector signal.
+  des::Signal<BitVector> state;
+  /// Combinational outputs the router drives (G).
+  std::vector<std::unique_ptr<des::Signal<std::uint32_t>>> fwd_out;
+  std::vector<std::unique_ptr<des::Signal<std::uint32_t>>> credit_out;
+  /// Input wiring: pointers at the driving routers' output signals (or at
+  /// the external local-input signal).
+  std::vector<des::Signal<std::uint32_t>*> fwd_in;
+  std::vector<des::Signal<std::uint32_t>*> credit_in;
+  /// External local input (testbench-driven).
+  std::unique_ptr<des::Signal<std::uint32_t>> local_in;
+  noc::RouterEnv env;
+};
+
+SyscNocSimulation::SyscNocSimulation(const noc::NetworkConfig& net)
+    : net_(net), codec_(net.router) {
+  net_.validate();
+  const std::size_t n = net_.num_routers();
+  const std::size_t num_vcs = net_.router.num_vcs;
+
+  routers_.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    routers_.push_back(std::make_unique<RouterNode>(kernel_, r, codec_));
+    routers_[r]->env = noc::RouterEnv{&net_, router_coord(net_, r)};
+    routers_[r]->local_in = std::make_unique<des::Signal<std::uint32_t>>(
+        kernel_, "r" + std::to_string(r) + ".local_in", 0);
+  }
+
+  // Wiring: input pointers alias the neighbours' output signals.
+  for (std::size_t r = 0; r < n; ++r) {
+    RouterNode& node = *routers_[r];
+    node.fwd_in[static_cast<std::size_t>(Port::kLocal)] = node.local_in.get();
+    for (std::size_t p = 1; p < kPorts; ++p) {
+      const noc::UpstreamPort up = upstream_of(net_, r, static_cast<Port>(p));
+      if (up.connected) {
+        node.fwd_in[p] =
+            routers_[up.router]->fwd_out[static_cast<std::size_t>(up.port)]
+                .get();
+        // Credits for our output port p come back from the neighbour's
+        // credit_out on its input port facing us (same port index).
+        node.credit_in[p] =
+            routers_[up.router]->credit_out[static_cast<std::size_t>(up.port)]
+                .get();
+      }
+    }
+  }
+
+  // Processes: one combinational (G) and one clocked (F) per router.
+  for (std::size_t r = 0; r < n; ++r) {
+    RouterNode* node = routers_[r].get();
+    const std::size_t comb = kernel_.add_process(
+        [this, node] {
+          const noc::RouterState s = codec_.deserialize(node->state.read());
+          const noc::RouterOutputs out = compute_outputs(s, node->env);
+          for (std::size_t p = 0; p < kPorts; ++p) {
+            node->fwd_out[p]->write(encode_forward(out.fwd_out[p]));
+            node->credit_out[p]->write(encode_credit(out.credit_out[p]));
+          }
+        },
+        "r" + std::to_string(r) + ".comb");
+    kernel_.make_sensitive(comb, node->state);
+
+    kernel_.add_clocked_process(
+        [this, node, num_vcs] {
+          const noc::RouterState s = codec_.deserialize(node->state.read());
+          noc::RouterInputs in;
+          for (std::size_t p = 0; p < kPorts; ++p) {
+            if (node->fwd_in[p] != nullptr) {
+              in.fwd_in[p] = noc::decode_forward(node->fwd_in[p]->read());
+            }
+            if (node->credit_in[p] != nullptr) {
+              in.credit_in[p] =
+                  noc::decode_credit(node->credit_in[p]->read(), num_vcs);
+            }
+          }
+          // Local NI echo: consume-and-credit in the same cycle.
+          const LinkForward delivered = noc::decode_forward(
+              node->fwd_out[static_cast<std::size_t>(Port::kLocal)]->read());
+          if (delivered.valid) {
+            in.credit_in[static_cast<std::size_t>(Port::kLocal)].set(
+                delivered.vc);
+          }
+          node->state.write(
+              codec_.serialize(compute_next_state(s, in, node->env)));
+        },
+        "r" + std::to_string(r) + ".seq");
+  }
+
+  captured_out_.assign(n, LinkForward{});
+  captured_credits_.assign(n, CreditWires{});
+  kernel_.initialize();
+}
+
+SyscNocSimulation::~SyscNocSimulation() = default;
+
+void SyscNocSimulation::set_local_input(std::size_t r, const LinkForward& f) {
+  routers_.at(r)->local_in->write(encode_forward(f));
+}
+
+void SyscNocSimulation::step() {
+  // Commit testbench pokes (no comb process watches the inputs, but the
+  // write still needs its update phase).
+  kernel_.settle();
+  // Capture what is on the wires *during* this cycle, pre-edge.
+  for (std::size_t r = 0; r < routers_.size(); ++r) {
+    captured_out_[r] = noc::decode_forward(
+        routers_[r]->fwd_out[static_cast<std::size_t>(Port::kLocal)]->read());
+    captured_credits_[r] = noc::decode_credit(
+        routers_[r]
+            ->credit_out[static_cast<std::size_t>(Port::kLocal)]
+            ->read(),
+        net_.router.num_vcs);
+  }
+  kernel_.tick();
+  // Inputs are per-cycle pulses.
+  for (auto& node : routers_) {
+    node->local_in->write(0);
+  }
+  ++cycle_;
+}
+
+LinkForward SyscNocSimulation::local_output(std::size_t r) const {
+  return captured_out_.at(r);
+}
+
+CreditWires SyscNocSimulation::local_input_credits(std::size_t r) const {
+  return captured_credits_.at(r);
+}
+
+BitVector SyscNocSimulation::router_state_word(std::size_t r) const {
+  return routers_.at(r)->state.read();
+}
+
+}  // namespace tmsim::sysc

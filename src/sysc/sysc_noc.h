@@ -1,0 +1,54 @@
+// SyscNocSimulation: the "SystemC baseline" of Table 3 — the NoC modeled
+// the way the authors' cycle/bit-accurate SystemC description was (§3):
+// per router one combinational method (crossbar, arbitration, credit
+// return) and one clocked method (queues, locks, counters), communicating
+// through sc_signal-style channels carrying bit-vector values.
+//
+// The router *logic* is the shared noc/router_logic.h spec, so results
+// are bit-identical to every other engine; what differs — and what this
+// engine measures — is the simulation machinery: event-driven scheduling,
+// per-signal value-change detection, and state carried as signals of
+// serialized bit vectors (the RT-level SystemC idiom of sc_lv registers).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "des/kernel.h"
+#include "noc/network.h"
+
+namespace tmsim::sysc {
+
+class SyscNocSimulation : public noc::NocSimulation {
+ public:
+  explicit SyscNocSimulation(const noc::NetworkConfig& net);
+  ~SyscNocSimulation() override;
+
+  const noc::NetworkConfig& config() const override { return net_; }
+  void set_local_input(std::size_t r, const noc::LinkForward& f) override;
+  void step() override;
+  noc::LinkForward local_output(std::size_t r) const override;
+  noc::CreditWires local_input_credits(std::size_t r) const override;
+  BitVector router_state_word(std::size_t r) const override;
+  SystemCycle cycle() const override { return cycle_; }
+
+  /// Kernel statistics (process activations, deltas, commits) — the cost
+  /// drivers of the SystemC baseline row in Table 3.
+  const des::KernelStats& kernel_stats() const { return kernel_.stats(); }
+
+ private:
+  struct RouterNode;
+
+  noc::NetworkConfig net_;
+  noc::RouterStateCodec codec_;
+  des::Kernel kernel_;
+  std::vector<std::unique_ptr<RouterNode>> routers_;
+  // Captured link values: what was on the local wires *during* the cycle
+  // just stepped (the settle after the edge already shows next-cycle
+  // values).
+  std::vector<noc::LinkForward> captured_out_;
+  std::vector<noc::CreditWires> captured_credits_;
+  SystemCycle cycle_ = 0;
+};
+
+}  // namespace tmsim::sysc

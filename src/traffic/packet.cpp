@@ -1,0 +1,38 @@
+#include "traffic/packet.h"
+
+#include "common/error.h"
+
+namespace tmsim::traffic {
+
+noc::Flit packet_flit(unsigned dest_x, unsigned dest_y, unsigned vc,
+                      unsigned seq, std::size_t payload_flits,
+                      std::uint16_t fill, std::size_t index) {
+  TMSIM_CHECK_MSG(payload_flits >= 1,
+                  "packet needs at least one payload flit (the TAIL)");
+  TMSIM_CHECK_MSG(index <= payload_flits, "flit index out of range");
+  if (index == 0) {
+    return noc::Flit{noc::FlitType::kHead,
+                     noc::make_head_payload(dest_x, dest_y, vc, seq)};
+  }
+  const bool last = (index == payload_flits);
+  // Deterministic, position-dependent payload so that a dropped or
+  // reordered flit cannot produce a bit-identical stream.
+  const auto word = static_cast<std::uint16_t>(
+      fill ^ (0x9e37u * static_cast<std::uint16_t>(index)));
+  return noc::Flit{last ? noc::FlitType::kTail : noc::FlitType::kBody, word};
+}
+
+std::vector<noc::Flit> build_packet(unsigned dest_x, unsigned dest_y,
+                                    unsigned vc, unsigned seq,
+                                    std::size_t payload_flits,
+                                    std::uint16_t fill) {
+  std::vector<noc::Flit> flits;
+  flits.reserve(payload_flits + 1);
+  for (std::size_t i = 0; i <= payload_flits; ++i) {
+    flits.push_back(
+        packet_flit(dest_x, dest_y, vc, seq, payload_flits, fill, i));
+  }
+  return flits;
+}
+
+}  // namespace tmsim::traffic

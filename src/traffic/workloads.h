@@ -1,0 +1,62 @@
+// Workload presets and the analytic GT latency guarantee.
+//
+// Fig. 1's scenario: a 6×6 network carrying a fixed population of GT
+// streams (256-byte packets, one stream per VC per link) plus uniform
+// random BE traffic (10-byte packets) whose offered load is swept along
+// the x-axis.
+//
+// GT guarantee (§2.1): with one stream per VC and round-robin output
+// arbitration, the queues eligible for one output port in a cycle are
+// bounded by the VC count: each busy output VC has a single owner, and a
+// HEAD can only claim a free VC. Two terms bound a GT flit's service
+// interval:
+//   - up to num_vcs - 1 grants to the other VC owners, plus
+//   - one *head-churn* grant: a competing packet may release its VC and a
+//     new HEAD re-claim it within the window (at most once per window,
+//     because any packet — minimum HEAD+TAIL, and in this workload ≥ 6
+//     flits — occupies the VC for at least as long as the window).
+// So the interval is ≤ num_vcs + 1 cycles per flit, and a packet of F
+// flits crossing h hops completes within
+//
+//     L_guarantee = (num_vcs + 1) * F  +  (num_vcs + 1) * h
+//
+// cycles after its head enters the network (the second term is per-hop
+// pipeline fill: queue latency plus arbitration at each hop).
+// bench/fig1 plots this line; the property test in tests/traffic asserts
+// measured GT max never exceeds it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "noc/config.h"
+#include "noc/topology.h"
+#include "traffic/harness.h"
+#include "traffic/packet.h"
+
+namespace tmsim::traffic {
+
+/// Worst-case network latency (head injection → tail delivery) of a GT
+/// packet with `payload_flits`+1 flits over `hops` links.
+inline std::size_t gt_latency_guarantee(const noc::RouterConfig& cfg,
+                                        std::size_t total_flits,
+                                        std::size_t hops) {
+  return (cfg.num_vcs + 1) * total_flits + (cfg.num_vcs + 1) * hops;
+}
+
+/// The Fig. 1 GT population: every node sources one 2-hop row stream
+/// (east where it stays on-grid, west otherwise — wrap-free on both
+/// topologies). Streams starting at even x use VC 0, odd x VC 1, which
+/// makes all (link, VC) claims disjoint — validate_gt_streams checks
+/// this. BE traffic then runs on VCs 2 and 3.
+///
+/// `period` controls the fixed GT load (one 256-byte packet — 129 flits —
+/// per period per stream).
+std::vector<GtStream> fig1_gt_streams(const noc::NetworkConfig& net,
+                                      SystemCycle period);
+
+/// Longest hop count over a set of streams (for the guarantee line).
+std::size_t max_stream_hops(const noc::NetworkConfig& net,
+                            const std::vector<GtStream>& streams);
+
+}  // namespace tmsim::traffic

@@ -1,0 +1,84 @@
+#include "analysis/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/table.h"
+
+namespace tmsim::analysis {
+namespace {
+
+TEST(StatAccumulator, EmptyIsZero) {
+  StatAccumulator s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StatAccumulator, MinMeanMax) {
+  StatAccumulator s;
+  for (double x : {3.0, 1.0, 4.0, 1.0, 5.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.sum(), 14.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.8);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StatAccumulator, NegativeValues) {
+  StatAccumulator s;
+  s.add(-2.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+}
+
+TEST(Histogram, BinningAndOverflowClamp) {
+  Histogram h(10.0, 4);  // [0,10) [10,20) [20,30) [30,inf→last]
+  h.add(0.0);
+  h.add(9.9);
+  h.add(10.0);
+  h.add(35.0);
+  h.add(1000.0);
+  h.add(-5.0);  // clamps to bin 0
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bins()[0], 3u);
+  EXPECT_EQ(h.bins()[1], 1u);
+  EXPECT_EQ(h.bins()[2], 0u);
+  EXPECT_EQ(h.bins()[3], 2u);
+}
+
+TEST(Histogram, QuantileEstimate) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.5);
+  EXPECT_EQ(Histogram(1.0, 4).quantile(0.5), 0.0);  // empty
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"a", "long_header"});
+  t.add_row({"xxxxxxx", "1"});
+  t.add_row({"y", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxxxx"), std::string::npos);
+  // Rule line present between header and rows.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Fmt, FormatsDoubles) {
+  EXPECT_EQ(fmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(fmt("%.0f%%", 42.4), "42%");
+}
+
+}  // namespace
+}  // namespace tmsim::analysis

@@ -1,0 +1,329 @@
+#include "core/sequential_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/example_blocks.h"
+
+namespace tmsim::core {
+namespace {
+
+using examples::CombAdderBlock;
+using examples::NotBlock;
+using examples::PipeBlock;
+using examples::RegAdderBlock;
+
+BitVector val(std::size_t width, std::uint64_t v) {
+  BitVector b(width);
+  b.set_field(0, width, v);
+  return b;
+}
+
+/// Fig. 2/3 system: three registered blocks in a ring. R_{i} links hold
+/// the boundary registers; block i computes R_i' = R_{i-1} + addend_i.
+struct RegRing {
+  RegRing(std::uint64_t a1, std::uint64_t a2, std::uint64_t a3) {
+    const BlockId b1 = model.add_block(std::make_shared<RegAdderBlock>(16, a1),
+                                       "F1");
+    const BlockId b2 = model.add_block(std::make_shared<RegAdderBlock>(16, a2),
+                                       "F2");
+    const BlockId b3 = model.add_block(std::make_shared<RegAdderBlock>(16, a3),
+                                       "F3");
+    r1 = model.add_link("R1", 16, LinkKind::kRegistered);
+    r2 = model.add_link("R2", 16, LinkKind::kRegistered);
+    r3 = model.add_link("R3", 16, LinkKind::kRegistered);
+    // F1: R3 → R1, F2: R1 → R2, F3: R2 → R3 (a cyclic system, like the
+    // paper's example in Fig. 2a).
+    model.bind_input(b1, 0, r3);
+    model.bind_output(b1, 0, r1);
+    model.bind_input(b2, 0, r1);
+    model.bind_output(b2, 0, r2);
+    model.bind_input(b3, 0, r2);
+    model.bind_output(b3, 0, r3);
+    model.finalize();
+  }
+  SystemModel model;
+  LinkId r1 = 0, r2 = 0, r3 = 0;
+};
+
+TEST(StaticSchedule, RegisteredRingMatchesHandComputedValues) {
+  RegRing ring(1, 10, 100);
+  SequentialSimulator sim(ring.model, SchedulePolicy::kStatic);
+  // Reference model: r1' = r3+1, r2' = r1+10, r3' = r2+100, all in
+  // parallel from the previous cycle's values.
+  std::uint64_t r1 = 0, r2 = 0, r3 = 0;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const StepStats st = sim.step();
+    EXPECT_EQ(st.delta_cycles, 3u);
+    EXPECT_EQ(st.re_evaluations, 0u);
+    const std::uint64_t n1 = (r3 + 1) & 0xffff;
+    const std::uint64_t n2 = (r1 + 10) & 0xffff;
+    const std::uint64_t n3 = (r2 + 100) & 0xffff;
+    r1 = n1;
+    r2 = n2;
+    r3 = n3;
+    ASSERT_EQ(sim.link_value(ring.r1).get_field(0, 16), r1) << cycle;
+    ASSERT_EQ(sim.link_value(ring.r2).get_field(0, 16), r2) << cycle;
+    ASSERT_EQ(sim.link_value(ring.r3).get_field(0, 16), r3) << cycle;
+  }
+}
+
+TEST(StaticSchedule, DynamicPolicyGivesIdenticalResultsOnRegisteredRing) {
+  // §4.1 order-independence: the dynamic engine on a registered design
+  // must produce the same trajectory with the same delta-cycle count
+  // (no boundary can change after being read).
+  RegRing a(3, 5, 7), b(3, 5, 7);
+  SequentialSimulator s_static(a.model, SchedulePolicy::kStatic);
+  SequentialSimulator s_dyn(b.model, SchedulePolicy::kDynamic);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    s_static.step();
+    const StepStats st = s_dyn.step();
+    EXPECT_EQ(st.re_evaluations, 0u);
+    for (LinkId l : {a.r1, a.r2, a.r3}) {
+      ASSERT_EQ(s_static.link_value(l), s_dyn.link_value(l)) << cycle;
+    }
+  }
+}
+
+TEST(StaticSchedule, RejectsCombinationalBoundaries) {
+  SystemModel m;
+  auto blk = std::make_shared<CombAdderBlock>(8, 1);
+  const BlockId a = m.add_block(blk, "a");
+  const BlockId b = m.add_block(blk, "b");
+  const LinkId in = m.add_link("in", 8, LinkKind::kCombinational);
+  const LinkId mid = m.add_link("mid", 8, LinkKind::kCombinational);
+  const LinkId out = m.add_link("out", 8, LinkKind::kCombinational);
+  m.bind_input(a, 0, in);
+  m.bind_output(a, 0, mid);
+  m.bind_input(b, 0, mid);
+  m.bind_output(b, 0, out);
+  m.finalize();
+  EXPECT_THROW(SequentialSimulator(m, SchedulePolicy::kStatic), Error);
+  SequentialSimulator ok(m, SchedulePolicy::kDynamic);  // fine
+}
+
+/// Fig. 4/5 system: ring of three PipeBlocks over combinational links.
+struct PipeRing {
+  explicit PipeRing(std::vector<std::uint64_t> resets) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      blocks.push_back(model.add_block(
+          std::make_shared<PipeBlock>(16, 1, resets[i]),
+          "P" + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+      links.push_back(model.add_link("L" + std::to_string(i), 16,
+                                     LinkKind::kCombinational));
+    }
+    // Block i drives link i; block (i+1)%3 reads link i.
+    for (std::size_t i = 0; i < 3; ++i) {
+      model.bind_output(blocks[i], 0, links[i]);
+      model.bind_input(blocks[(i + 1) % 3], 0, links[i]);
+    }
+    model.finalize();
+  }
+  SystemModel model;
+  std::vector<BlockId> blocks;
+  std::vector<LinkId> links;
+};
+
+TEST(DynamicSchedule, CombinationalRingMatchesReference) {
+  PipeRing ring({5, 20, 90});
+  SequentialSimulator sim(ring.model, SchedulePolicy::kDynamic);
+  // Reference: out_i = s_i + 1 (combinational, current cycle);
+  // s_i(t+1) = out_{i-1}(t).
+  std::uint64_t s[3] = {5, 20, 90};
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    sim.step();
+    std::uint64_t out[3];
+    for (int i = 0; i < 3; ++i) out[i] = (s[i] + 1) & 0xffff;
+    for (int i = 0; i < 3; ++i) s[i] = out[(i + 2) % 3];
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(sim.link_value(ring.links[i]).get_field(0, 16), out[i])
+          << "cycle " << cycle << " link " << i;
+      ASSERT_EQ(sim.block_state(ring.blocks[i]).get_field(0, 16), s[i])
+          << "cycle " << cycle << " block " << i;
+    }
+  }
+}
+
+TEST(DynamicSchedule, StateOnlyOutputsNeedAtMostOneReEvalPerBlock) {
+  PipeRing ring({1, 2, 3});
+  SequentialSimulator sim(ring.model, SchedulePolicy::kDynamic);
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    const StepStats st = sim.step();
+    EXPECT_GE(st.delta_cycles, 3u);
+    EXPECT_LE(st.delta_cycles, 6u);
+  }
+}
+
+TEST(DynamicSchedule, EveryBlockEvaluatedAtLeastOncePerCycle) {
+  // "it is guaranteed that all routers are evaluated at least once" —
+  // even a completely idle system pays one delta cycle per block.
+  PipeRing ring({0, 0, 0});
+  SequentialSimulator sim(ring.model, SchedulePolicy::kDynamic);
+  std::vector<int> evals(3, 0);
+  sim.set_trace_hook([&](SystemCycle, DeltaCycle, BlockId b) { ++evals[b]; });
+  sim.step();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(evals[i], 1);
+  }
+}
+
+TEST(DynamicSchedule, CombChainPropagatesWithinOneSystemCycle) {
+  // in → +1 → +2 → +3 → out, blocks deliberately evaluated in the worst
+  // order (the chain tail first, due to round-robin from block 0).
+  SystemModel m;
+  const BlockId c = m.add_block(std::make_shared<CombAdderBlock>(8, 3), "c");
+  const BlockId b = m.add_block(std::make_shared<CombAdderBlock>(8, 2), "b");
+  const BlockId a = m.add_block(std::make_shared<CombAdderBlock>(8, 1), "a");
+  const LinkId in = m.add_link("in", 8, LinkKind::kCombinational);
+  const LinkId ab = m.add_link("ab", 8, LinkKind::kCombinational);
+  const LinkId bc = m.add_link("bc", 8, LinkKind::kCombinational);
+  const LinkId out = m.add_link("out", 8, LinkKind::kCombinational);
+  m.bind_input(a, 0, in);
+  m.bind_output(a, 0, ab);
+  m.bind_input(b, 0, ab);
+  m.bind_output(b, 0, bc);
+  m.bind_input(c, 0, bc);
+  m.bind_output(c, 0, out);
+  m.finalize();
+  SequentialSimulator sim(m, SchedulePolicy::kDynamic);
+  sim.set_external_input(in, val(8, 10));
+  StepStats st = sim.step();
+  EXPECT_EQ(sim.link_value(out).get_field(0, 8), 16u);
+  // Worst-case order c,b,a needs re-evaluations to converge.
+  EXPECT_GE(st.delta_cycles, 3u);
+  // A second cycle with the same input settles with no value changes on
+  // the chain's internal links.
+  st = sim.step();
+  EXPECT_EQ(sim.link_value(out).get_field(0, 8), 16u);
+  EXPECT_EQ(st.link_changes, 0u);
+}
+
+TEST(DynamicSchedule, TwoInverterRingSettlesToALatchState) {
+  // Two cross-coupled inverters form a latch with two stable fixpoints,
+  // not an oscillator — the engine must settle, not flag it.
+  SystemModel m;
+  const BlockId a = m.add_block(std::make_shared<NotBlock>(), "a");
+  const BlockId b = m.add_block(std::make_shared<NotBlock>(), "b");
+  const LinkId ab = m.add_link("ab", 1, LinkKind::kCombinational);
+  const LinkId ba = m.add_link("ba", 1, LinkKind::kCombinational);
+  m.bind_output(a, 0, ab);
+  m.bind_input(b, 0, ab);
+  m.bind_output(b, 0, ba);
+  m.bind_input(a, 0, ba);
+  m.finalize();
+  SequentialSimulator sim(m, SchedulePolicy::kDynamic, /*max_evals=*/16);
+  sim.step();
+  EXPECT_NE(sim.link_value(ab).get_field(0, 1),
+            sim.link_value(ba).get_field(0, 1));
+}
+
+TEST(DynamicSchedule, DetectsOscillatingRingOfThreeInverters) {
+  // An odd inverter ring has no stable assignment: the HBR machinery
+  // would re-evaluate forever; the engine must detect and report it.
+  SystemModel m;
+  std::vector<BlockId> blocks;
+  std::vector<LinkId> links;
+  for (int i = 0; i < 3; ++i) {
+    blocks.push_back(
+        m.add_block(std::make_shared<NotBlock>(), "n" + std::to_string(i)));
+    links.push_back(m.add_link("l" + std::to_string(i), 1,
+                               LinkKind::kCombinational));
+  }
+  for (int i = 0; i < 3; ++i) {
+    m.bind_output(blocks[i], 0, links[i]);
+    m.bind_input(blocks[(i + 1) % 3], 0, links[i]);
+  }
+  m.finalize();
+  SequentialSimulator sim(m, SchedulePolicy::kDynamic, /*max_evals=*/16);
+  EXPECT_THROW(sim.step(), Error);
+}
+
+TEST(DynamicSchedule, DetectsOscillatingSelfLoop) {
+  // A block inverting its own output exercises the self-destabilization
+  // path (a writer clearing the HBR bit of its own input link).
+  SystemModel m;
+  const BlockId a = m.add_block(std::make_shared<NotBlock>(), "a");
+  const LinkId aa = m.add_link("aa", 1, LinkKind::kCombinational);
+  m.bind_output(a, 0, aa);
+  m.bind_input(a, 0, aa);
+  m.finalize();
+  SequentialSimulator sim(m, SchedulePolicy::kDynamic, /*max_evals=*/16);
+  EXPECT_THROW(sim.step(), Error);
+}
+
+TEST(DynamicSchedule, SettlingCombinationalLoopConverges) {
+  // A ring of two +0 adders is a combinational loop that *does* settle
+  // (identity): the engine must terminate, not flag it.
+  SystemModel m;
+  const BlockId a = m.add_block(std::make_shared<CombAdderBlock>(4, 0), "a");
+  const BlockId b = m.add_block(std::make_shared<CombAdderBlock>(4, 0), "b");
+  const LinkId ab = m.add_link("ab", 4, LinkKind::kCombinational);
+  const LinkId ba = m.add_link("ba", 4, LinkKind::kCombinational);
+  m.bind_output(a, 0, ab);
+  m.bind_input(b, 0, ab);
+  m.bind_output(b, 0, ba);
+  m.bind_input(a, 0, ba);
+  m.finalize();
+  SequentialSimulator sim(m, SchedulePolicy::kDynamic);
+  const StepStats st = sim.step();
+  EXPECT_LE(st.delta_cycles, 4u);
+}
+
+TEST(TwoPhaseOracle, MatchesDynamicOnStateOnlyDesign) {
+  PipeRing a({9, 8, 7}), b({9, 8, 7});
+  SequentialSimulator dyn(a.model, SchedulePolicy::kDynamic);
+  SequentialSimulator oracle(b.model, SchedulePolicy::kTwoPhaseOracle);
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    dyn.step();
+    const StepStats st = oracle.step();
+    EXPECT_EQ(st.delta_cycles, 6u);  // always exactly 2N
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(dyn.block_state(a.blocks[i]), oracle.block_state(b.blocks[i]))
+          << cycle;
+      ASSERT_EQ(dyn.link_value(a.links[i]), oracle.link_value(b.links[i]))
+          << cycle;
+    }
+  }
+}
+
+TEST(Engine, ExternalInputValidation) {
+  PipeRing ring({0, 0, 0});
+  SequentialSimulator sim(ring.model, SchedulePolicy::kDynamic);
+  EXPECT_THROW(sim.set_external_input(ring.links[0], val(16, 1)), Error);
+}
+
+TEST(Engine, TraceHookSeesFigFiveStyleSchedule) {
+  PipeRing ring({1, 0, 0});
+  SequentialSimulator sim(ring.model, SchedulePolicy::kDynamic);
+  std::vector<std::pair<SystemCycle, BlockId>> trace;
+  sim.set_trace_hook([&](SystemCycle c, DeltaCycle, BlockId b) {
+    trace.emplace_back(c, b);
+  });
+  sim.step();
+  sim.step();
+  // All first-cycle entries precede second-cycle entries, and each cycle
+  // starts with the full round 0,1,2 (round-robin from the persistent
+  // pointer position).
+  ASSERT_GE(trace.size(), 6u);
+  EXPECT_EQ(trace[0].first, 0u);
+  EXPECT_EQ(trace[0].second, 0u);
+  EXPECT_EQ(trace[1].second, 1u);
+  EXPECT_EQ(trace[2].second, 2u);
+}
+
+TEST(Engine, DeltaCycleTotalsAccumulate) {
+  PipeRing ring({1, 2, 3});
+  SequentialSimulator sim(ring.model, SchedulePolicy::kDynamic);
+  DeltaCycle total = 0;
+  for (int i = 0; i < 10; ++i) {
+    total += sim.step().delta_cycles;
+  }
+  EXPECT_EQ(sim.total_delta_cycles(), total);
+  EXPECT_EQ(sim.cycle(), 10u);
+}
+
+}  // namespace
+}  // namespace tmsim::core

@@ -1,0 +1,75 @@
+#include "core/state_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace tmsim::core {
+namespace {
+
+TEST(StateMemory, HoldsPerBlockWidths) {
+  StateMemory mem({8, 16, 0});
+  EXPECT_EQ(mem.num_blocks(), 3u);
+  EXPECT_EQ(mem.word_width(), 16u);
+  EXPECT_EQ(mem.read_old(0).width(), 8u);
+  EXPECT_EQ(mem.read_old(2).width(), 0u);
+  EXPECT_EQ(mem.total_bits(), 2u * (8 + 16 + 0));
+}
+
+TEST(StateMemory, WriteGoesToNewBankOnly) {
+  StateMemory mem({8});
+  BitVector v(8);
+  v.set_field(0, 8, 0xab);
+  mem.write_new(0, v);
+  // Old bank still reset.
+  EXPECT_EQ(mem.read_old(0).get_field(0, 8), 0u);
+  mem.swap_banks();
+  EXPECT_EQ(mem.read_old(0).get_field(0, 8), 0xabu);
+}
+
+TEST(StateMemory, BankSwapIsAPointerFlip) {
+  // §4.1: "this copy action is performed by switching the offset pointer".
+  StateMemory mem({4, 4});
+  EXPECT_EQ(mem.old_offset(), 0u);
+  mem.swap_banks();
+  EXPECT_EQ(mem.old_offset(), 2u);
+  mem.swap_banks();
+  EXPECT_EQ(mem.old_offset(), 0u);
+}
+
+TEST(StateMemory, ReEvaluationOverwritesNewSlotSafely) {
+  // The old bank must survive any number of re-writes to the new slot —
+  // the §4.2 re-evaluation guarantee.
+  StateMemory mem({8});
+  BitVector old(8);
+  old.set_field(0, 8, 0x11);
+  mem.load_old(0, old);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    BitVector v(8);
+    v.set_field(0, 8, 0x20 + i);
+    mem.write_new(0, v);
+    EXPECT_EQ(mem.read_old(0).get_field(0, 8), 0x11u);
+  }
+  mem.swap_banks();
+  EXPECT_EQ(mem.read_old(0).get_field(0, 8), 0x24u);  // last write wins
+}
+
+TEST(StateMemory, AlternatingBanksKeepIndependentData) {
+  StateMemory mem({8});
+  for (std::uint64_t cycle = 0; cycle < 6; ++cycle) {
+    BitVector v(8);
+    v.set_field(0, 8, cycle + 1);
+    mem.write_new(0, v);
+    mem.swap_banks();
+    EXPECT_EQ(mem.read_old(0).get_field(0, 8), cycle + 1);
+  }
+}
+
+TEST(StateMemory, RejectsBadUsage) {
+  StateMemory mem({8});
+  EXPECT_THROW(mem.read_old(1), Error);
+  EXPECT_THROW(mem.write_new(0, BitVector(9)), Error);
+  EXPECT_THROW(mem.load_old(0, BitVector(7)), Error);
+  EXPECT_THROW(StateMemory({}), Error);
+}
+
+}  // namespace
+}  // namespace tmsim::core

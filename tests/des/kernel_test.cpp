@@ -1,0 +1,137 @@
+#include "des/kernel.h"
+
+#include <gtest/gtest.h>
+
+namespace tmsim::des {
+namespace {
+
+TEST(Kernel, SignalHoldsInitialValue) {
+  Kernel k;
+  Signal<int> s(k, "s", 42);
+  EXPECT_EQ(s.read(), 42);
+}
+
+TEST(Kernel, WriteCommitsOnlyInUpdatePhase) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  s.write(7);
+  EXPECT_EQ(s.read(), 0);  // not yet committed
+  k.settle();
+  EXPECT_EQ(s.read(), 7);
+}
+
+TEST(Kernel, LastWriteWinsWithinADelta) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  s.write(1);
+  s.write(2);
+  k.settle();
+  EXPECT_EQ(s.read(), 2);
+}
+
+TEST(Kernel, SensitiveProcessRunsOnChangeOnly) {
+  Kernel k;
+  Signal<int> in(k, "in", 0);
+  int runs = 0;
+  const auto pid = k.add_process([&] { ++runs; }, "watch");
+  k.make_sensitive(pid, in);
+  k.initialize();
+  EXPECT_EQ(runs, 1);  // time-zero evaluation
+  in.write(0);         // no value change
+  k.settle();
+  EXPECT_EQ(runs, 1);
+  in.write(5);
+  k.settle();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Kernel, CombChainPropagatesThroughDeltas) {
+  Kernel k;
+  Signal<int> a(k, "a", 0);
+  Signal<int> b(k, "b", 0);
+  Signal<int> c(k, "c", 0);
+  const auto p1 = k.add_process([&] { b.write(a.read() + 1); }, "p1");
+  k.make_sensitive(p1, a);
+  const auto p2 = k.add_process([&] { c.write(b.read() * 2); }, "p2");
+  k.make_sensitive(p2, b);
+  k.initialize();
+  a.write(10);
+  k.settle();
+  EXPECT_EQ(b.read(), 11);
+  EXPECT_EQ(c.read(), 22);
+}
+
+TEST(Kernel, ClockedProcessesSeePreEdgeValues) {
+  // Two registers swapping values through each other must exchange, not
+  // duplicate — the classic two-flop test of evaluate/update semantics.
+  Kernel k;
+  Signal<int> x(k, "x", 1);
+  Signal<int> y(k, "y", 2);
+  k.add_clocked_process([&] { x.write(y.read()); }, "fx");
+  k.add_clocked_process([&] { y.write(x.read()); }, "fy");
+  k.initialize();
+  k.tick();
+  EXPECT_EQ(x.read(), 2);
+  EXPECT_EQ(y.read(), 1);
+  k.tick();
+  EXPECT_EQ(x.read(), 1);
+  EXPECT_EQ(y.read(), 2);
+}
+
+TEST(Kernel, ClockedProcessesDontRunAtInitialize) {
+  Kernel k;
+  Signal<int> count(k, "count", 0);
+  k.add_clocked_process([&] { count.write(count.read() + 1); }, "ctr");
+  k.initialize();
+  EXPECT_EQ(count.read(), 0);
+  k.tick();
+  EXPECT_EQ(count.read(), 1);
+}
+
+TEST(Kernel, CombFollowsClockedWithinOneTick) {
+  // Register → combinational doubling: after a tick the comb output must
+  // reflect the new register value (the settle loop inside tick()).
+  Kernel k;
+  Signal<int> reg(k, "reg", 3);
+  Signal<int> twice(k, "twice", 0);
+  const auto comb = k.add_process([&] { twice.write(2 * reg.read()); }, "x2");
+  k.make_sensitive(comb, reg);
+  k.add_clocked_process([&] { reg.write(reg.read() + 1); }, "inc");
+  k.initialize();
+  EXPECT_EQ(twice.read(), 6);
+  k.tick();
+  EXPECT_EQ(reg.read(), 4);
+  EXPECT_EQ(twice.read(), 8);
+}
+
+TEST(Kernel, OscillatingFeedbackDetected) {
+  Kernel k;
+  Signal<int> a(k, "a", 0);
+  const auto p = k.add_process([&] { a.write(1 - a.read()); }, "osc");
+  k.make_sensitive(p, a);
+  k.set_max_deltas_per_tick(32);
+  EXPECT_THROW(k.initialize(), Error);
+}
+
+TEST(Kernel, StatsCountActivity) {
+  Kernel k;
+  Signal<int> a(k, "a", 0);
+  Signal<int> b(k, "b", 0);
+  const auto p = k.add_process([&] { b.write(a.read() + 1); }, "p");
+  k.make_sensitive(p, a);
+  k.add_clocked_process([&] { a.write(a.read() + 1); }, "inc");
+  k.initialize();
+  const auto after_init = k.stats();
+  EXPECT_GE(after_init.process_activations, 1u);
+  for (int i = 0; i < 5; ++i) {
+    k.tick();
+  }
+  const auto& st = k.stats();
+  EXPECT_EQ(st.ticks, 5u);
+  EXPECT_GT(st.process_activations, after_init.process_activations);
+  EXPECT_GT(st.signal_commits, 0u);
+  EXPECT_GT(st.delta_cycles, 5u);  // ≥ 2 deltas per tick here
+}
+
+}  // namespace
+}  // namespace tmsim::des

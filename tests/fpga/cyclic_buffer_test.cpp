@@ -1,0 +1,58 @@
+#include "fpga/cyclic_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace tmsim::fpga {
+namespace {
+
+TEST(CyclicBuffer, FifoWithTimestamps) {
+  CyclicBuffer buf(4);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.free_space(), 4u);
+  buf.push(TimedWord{10, 0xa});
+  buf.push(TimedWord{11, 0xb});
+  EXPECT_EQ(buf.fill(), 2u);
+  EXPECT_EQ(buf.front().timestamp, 10u);
+  EXPECT_EQ(buf.pop().data, 0xau);
+  EXPECT_EQ(buf.pop().data, 0xbu);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(CyclicBuffer, PopIfDueRespectsTimestamps) {
+  CyclicBuffer buf(4);
+  buf.push(TimedWord{5, 1});
+  buf.push(TimedWord{9, 2});
+  EXPECT_FALSE(buf.pop_if_due(4).has_value());
+  const auto w = buf.pop_if_due(5);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->data, 1u);
+  // The next entry is not due yet, even though the buffer is non-empty.
+  EXPECT_FALSE(buf.pop_if_due(8).has_value());
+  EXPECT_TRUE(buf.pop_if_due(20).has_value());
+}
+
+TEST(CyclicBuffer, OverrunAndUnderrunThrow) {
+  CyclicBuffer buf(2);
+  EXPECT_THROW(buf.pop(), Error);
+  buf.push(TimedWord{0, 0});
+  buf.push(TimedWord{0, 1});
+  EXPECT_TRUE(buf.full());
+  EXPECT_THROW(buf.push(TimedWord{0, 2}), Error);
+}
+
+TEST(CyclicBuffer, DiscardAllEmptiesViaReadPointer) {
+  CyclicBuffer buf(4);
+  buf.push(TimedWord{1, 1});
+  buf.push(TimedWord{2, 2});
+  buf.discard_all();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.free_space(), 4u);
+}
+
+TEST(CyclicBuffer, StorageBitsAccountTimestamps) {
+  CyclicBuffer buf(16);
+  EXPECT_EQ(buf.storage_bits(), 16u * (32 + CyclicBuffer::kTimestampBits));
+}
+
+}  // namespace
+}  // namespace tmsim::fpga

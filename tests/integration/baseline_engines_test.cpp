@@ -1,0 +1,126 @@
+// Direct unit tests of the two baseline engines (beyond the lockstep
+// suites): reset state, event accounting, and the granularity difference
+// that makes them the paper's Table 3 rows.
+#include <gtest/gtest.h>
+
+#include "noc/network.h"
+#include "noc/router_state.h"
+#include "rtlsim/rtl_noc.h"
+#include "rtlsim/std_logic.h"
+#include "sysc/sysc_noc.h"
+
+namespace tmsim {
+namespace {
+
+noc::NetworkConfig net3() {
+  noc::NetworkConfig net;
+  net.width = 3;
+  net.height = 3;
+  net.topology = noc::Topology::kMesh;
+  return net;
+}
+
+TEST(SyscEngine, ResetStateMatchesCodecResetWord) {
+  const auto net = net3();
+  sysc::SyscNocSimulation sim(net);
+  const noc::RouterStateCodec codec(net.router);
+  for (std::size_t r = 0; r < net.num_routers(); ++r) {
+    EXPECT_EQ(sim.router_state_word(r), codec.reset_word());
+  }
+}
+
+TEST(RtlEngine, ResetStateMatchesCodecResetWord) {
+  const auto net = net3();
+  rtlsim::RtlNocSimulation sim(net);
+  const noc::RouterStateCodec codec(net.router);
+  for (std::size_t r = 0; r < net.num_routers(); ++r) {
+    EXPECT_EQ(sim.router_state_word(r), codec.reset_word());
+  }
+}
+
+TEST(SyscEngine, IdleStepsAreQuiet) {
+  const auto net = net3();
+  sysc::SyscNocSimulation sim(net);
+  const auto init = sim.kernel_stats();
+  for (int i = 0; i < 10; ++i) {
+    sim.step();
+  }
+  const auto& st = sim.kernel_stats();
+  EXPECT_EQ(st.ticks, init.ticks + 10);
+  // Idle network: every clocked process still fires per tick (2 per
+  // router in the coarse model: 9 routers → 9 seq procs... one clocked
+  // per router), but no signal changes, so no comb re-evaluations.
+  EXPECT_GE(st.process_activations, init.process_activations + 10 * 9);
+  EXPECT_EQ(st.signal_commits, init.signal_commits);
+}
+
+TEST(RtlEngine, ActivationCountReflectsGranularity) {
+  // The structural model activates an order of magnitude more processes
+  // per cycle than the coarse model — the measured reason VHDL-level
+  // simulation is slow (§3, Table 3).
+  const auto net = net3();
+  sysc::SyscNocSimulation coarse(net);
+  rtlsim::RtlNocSimulation fine(net);
+  const auto c0 = coarse.kernel_stats().process_activations;
+  const auto f0 = fine.kernel_stats().process_activations;
+  for (int i = 0; i < 20; ++i) {
+    coarse.step();
+    fine.step();
+  }
+  const auto c = coarse.kernel_stats().process_activations - c0;
+  const auto f = fine.kernel_stats().process_activations - f0;
+  EXPECT_GT(f, 10 * c);
+}
+
+TEST(BaselineEngines, SingleFlitTraversalMatchesEachOther) {
+  const auto net = net3();
+  sysc::SyscNocSimulation a(net);
+  rtlsim::RtlNocSimulation b(net);
+  const noc::LinkForward head{
+      true, 1,
+      noc::Flit{noc::FlitType::kHead, noc::make_head_payload(1, 0, 1, 4)}};
+  const noc::LinkForward tail{true, 1,
+                              noc::Flit{noc::FlitType::kTail, 0x1212}};
+  a.set_local_input(0, head);
+  b.set_local_input(0, head);
+  a.step();
+  b.step();
+  a.set_local_input(0, tail);
+  b.set_local_input(0, tail);
+  for (int i = 0; i < 8; ++i) {
+    a.step();
+    b.step();
+    ASSERT_EQ(a.local_output(1), b.local_output(1)) << "cycle " << i;
+    for (std::size_t r = 0; r < net.num_routers(); ++r) {
+      ASSERT_EQ(a.router_state_word(r), b.router_state_word(r));
+    }
+  }
+}
+
+TEST(RtlEngine, StdLogicConversionRoundTrips) {
+  using rtlsim::from_std_logic;
+  using rtlsim::to_std_logic;
+  for (std::uint64_t v : {0ull, 1ull, 0x15555ull, 0x1ffffull}) {
+    EXPECT_EQ(from_std_logic(to_std_logic(v, 17)), v);
+  }
+  // Metavalues must be rejected when read as integers.
+  rtlsim::StdLogicVector x;
+  x.bits = {rtlsim::StdLogic::kX};
+  EXPECT_THROW(from_std_logic(x), Error);
+  x.bits = {rtlsim::StdLogic::kU};
+  EXPECT_THROW(from_std_logic(x), Error);
+}
+
+TEST(RtlEngine, ResolutionTableBasics) {
+  using rtlsim::resolve;
+  using enum rtlsim::StdLogic;
+  EXPECT_EQ(resolve(k0, k0), k0);
+  EXPECT_EQ(resolve(k1, k1), k1);
+  EXPECT_EQ(resolve(k0, k1), kX);  // driver conflict
+  EXPECT_EQ(resolve(kZ, k1), k1);  // high-Z yields
+  EXPECT_EQ(resolve(kZ, kL), kL);
+  EXPECT_EQ(resolve(kU, k1), kU);  // uninitialized dominates
+}
+
+}  // namespace
+}  // namespace tmsim

@@ -1,0 +1,154 @@
+#include "noc/network.h"
+
+#include <gtest/gtest.h>
+
+namespace tmsim::noc {
+namespace {
+
+NetworkConfig small_net(Topology topo = Topology::kTorus) {
+  NetworkConfig net;
+  net.width = 3;
+  net.height = 3;
+  net.topology = topo;
+  return net;
+}
+
+TEST(UpstreamOf, TorusWiring) {
+  const NetworkConfig net = small_net();
+  // Router 4 = (1,1). Its west input is driven by (0,1) = router 3,
+  // through that router's east output.
+  const UpstreamPort up = upstream_of(net, 4, Port::kWest);
+  EXPECT_TRUE(up.connected);
+  EXPECT_EQ(up.router, 3u);
+  EXPECT_EQ(up.port, Port::kEast);
+}
+
+TEST(UpstreamOf, MeshBoundary) {
+  const NetworkConfig net = small_net(Topology::kMesh);
+  EXPECT_FALSE(upstream_of(net, 0, Port::kNorth).connected);
+  EXPECT_FALSE(upstream_of(net, 0, Port::kWest).connected);
+  EXPECT_TRUE(upstream_of(net, 0, Port::kEast).connected);
+}
+
+/// Injects one packet and steps until it is delivered; returns the cycle
+/// count and checks the payload sequence.
+void expect_delivery(DirectNocSimulation& sim, std::size_t src,
+                     std::size_t dst, unsigned vc,
+                     const std::vector<Flit>& flits, std::size_t max_cycles) {
+  std::size_t sent = 0;
+  std::vector<Flit> received;
+  for (std::size_t c = 0; c < max_cycles; ++c) {
+    if (sent < flits.size()) {
+      sim.set_local_input(src, LinkForward{true,
+                                           static_cast<std::uint8_t>(vc),
+                                           flits[sent]});
+      ++sent;
+    }
+    sim.step();
+    const LinkForward out = sim.local_output(dst);
+    if (out.valid) {
+      EXPECT_EQ(out.vc, vc);
+      received.push_back(out.flit);
+    }
+    // Nothing may leak out of other nodes.
+    for (std::size_t r = 0; r < sim.config().num_routers(); ++r) {
+      if (r != dst) {
+        ASSERT_FALSE(sim.local_output(r).valid)
+            << "flit escaped at router " << r;
+      }
+    }
+    if (received.size() == flits.size()) {
+      EXPECT_EQ(received, flits);
+      return;
+    }
+  }
+  FAIL() << "packet not delivered within " << max_cycles << " cycles ("
+         << received.size() << "/" << flits.size() << " flits)";
+}
+
+TEST(DirectNocSimulation, SingleHopPacketDelivery) {
+  const NetworkConfig net = small_net();
+  DirectNocSimulation sim(net);
+  const std::vector<Flit> pkt{
+      Flit{FlitType::kHead, make_head_payload(1, 0, 0, 1)},
+      Flit{FlitType::kBody, 0xaaaa},
+      Flit{FlitType::kTail, 0x5555},
+  };
+  expect_delivery(sim, /*src=*/0, /*dst=*/1, /*vc=*/0, pkt, 50);
+}
+
+TEST(DirectNocSimulation, MultiHopWithXYTurn) {
+  const NetworkConfig net = small_net();
+  DirectNocSimulation sim(net);
+  // (0,0) → (2,2): torus shortest is 1 west-wrap? dx: 0→2 width 3: fwd 2,
+  // bwd 1 → west wrap, then 1 north-wrap. 2 hops.
+  const std::vector<Flit> pkt{
+      Flit{FlitType::kHead, make_head_payload(2, 2, 1, 2)},
+      Flit{FlitType::kTail, 0x1234},
+  };
+  expect_delivery(sim, 0, 8, 1, pkt, 50);
+}
+
+TEST(DirectNocSimulation, MeshCornerToCorner) {
+  const NetworkConfig net = small_net(Topology::kMesh);
+  DirectNocSimulation sim(net);
+  const std::vector<Flit> pkt{
+      Flit{FlitType::kHead, make_head_payload(2, 2, 3, 3)},
+      Flit{FlitType::kBody, 1},
+      Flit{FlitType::kBody, 2},
+      Flit{FlitType::kTail, 3},
+  };
+  expect_delivery(sim, 0, 8, 3, pkt, 60);
+}
+
+TEST(DirectNocSimulation, MinimumLatencyIsOneCyclePerHop) {
+  const NetworkConfig net = small_net();
+  DirectNocSimulation sim(net);
+  sim.set_local_input(0, LinkForward{true, 0,
+                                     Flit{FlitType::kHead,
+                                          make_head_payload(1, 0, 0, 0)}});
+  sim.step();  // cycle 0: head enters local queue of router 0
+  EXPECT_FALSE(sim.local_output(1).valid);
+  sim.step();  // cycle 1: router 0 forwards east; lands in router 1 queue
+  EXPECT_FALSE(sim.local_output(1).valid);
+  sim.step();  // cycle 2: router 1 ejects on its local port
+  EXPECT_TRUE(sim.local_output(1).valid);
+}
+
+TEST(DirectNocSimulation, CreditsReturnedToNi) {
+  const NetworkConfig net = small_net();
+  DirectNocSimulation sim(net);
+  sim.set_local_input(0, LinkForward{true, 2,
+                                     Flit{FlitType::kHead,
+                                          make_head_payload(1, 0, 2, 0)}});
+  sim.step();
+  // Head sits in the local queue; next cycle it is forwarded and the
+  // credit for the local input VC 2 comes back.
+  sim.step();
+  EXPECT_TRUE(sim.local_input_credits(0).get(2));
+}
+
+TEST(DirectNocSimulation, StateWordChangesOnActivity) {
+  const NetworkConfig net = small_net();
+  DirectNocSimulation sim(net);
+  const BitVector before = sim.router_state_word(0);
+  sim.set_local_input(0, LinkForward{true, 0,
+                                     Flit{FlitType::kHead,
+                                          make_head_payload(1, 0, 0, 0)}});
+  sim.step();
+  EXPECT_NE(sim.router_state_word(0), before);
+}
+
+TEST(DirectNocSimulation, IdleNetworkStateIsStable) {
+  const NetworkConfig net = small_net();
+  DirectNocSimulation sim(net);
+  const BitVector before = sim.router_state_word(4);
+  for (int i = 0; i < 10; ++i) {
+    sim.step();
+  }
+  EXPECT_EQ(sim.router_state_word(4), before);
+  EXPECT_EQ(sim.cycle(), 10u);
+}
+
+}  // namespace
+}  // namespace tmsim::noc

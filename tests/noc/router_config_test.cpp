@@ -1,0 +1,156 @@
+// Parameterized sweeps over the router's synthesis parameters: the codec
+// and logic must be bit-consistent for every (num_vcs, queue_depth) the
+// FPGA build could be synthesized with.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "noc/network.h"
+#include "noc/router_logic.h"
+#include "noc/router_state.h"
+
+namespace tmsim::noc {
+namespace {
+
+struct Params {
+  std::size_t num_vcs;
+  std::size_t queue_depth;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  return "vcs" + std::to_string(info.param.num_vcs) + "_depth" +
+         std::to_string(info.param.queue_depth);
+}
+
+class RouterConfigSweep : public ::testing::TestWithParam<Params> {
+ protected:
+  RouterConfig cfg() const {
+    RouterConfig c;
+    c.num_vcs = GetParam().num_vcs;
+    c.queue_depth = GetParam().queue_depth;
+    return c;
+  }
+};
+
+TEST_P(RouterConfigSweep, DerivedWidths) {
+  const RouterConfig c = cfg();
+  EXPECT_EQ(c.num_queues(), kPorts * c.num_vcs);
+  EXPECT_EQ(std::size_t{1} << c.ptr_bits() >= c.queue_depth, true);
+  EXPECT_GE((std::size_t{1} << c.credit_bits()), c.queue_depth + 1);
+  EXPECT_GE((std::size_t{1} << c.rr_bits()), c.num_queues());
+}
+
+TEST_P(RouterConfigSweep, StateBitsScaleWithParameters) {
+  const RouterConfig c = cfg();
+  const RouterStateCodec codec(c);
+  const auto by_cat = codec.layout().bits_by_category();
+  EXPECT_EQ(by_cat.at("input queues"),
+            c.num_queues() * c.queue_depth * kFlitBits);
+  EXPECT_GT(by_cat.at("control and arbitration"), 0u);
+  EXPECT_EQ(codec.state_bits(),
+            by_cat.at("input queues") + by_cat.at("control and arbitration"));
+}
+
+TEST_P(RouterConfigSweep, RandomizedCodecRoundTrip) {
+  const RouterConfig c = cfg();
+  const RouterStateCodec codec(c);
+  tmsim::SplitMix64 rng(c.num_vcs * 131 + c.queue_depth);
+  for (int iter = 0; iter < 50; ++iter) {
+    RouterState s(c);
+    for (auto& q : s.queues) {
+      const std::size_t n = rng.next_below(c.queue_depth + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        q.fifo.push(Flit{static_cast<FlitType>(1 + rng.next_below(3)),
+                         static_cast<std::uint16_t>(rng.next())});
+      }
+      q.locked = rng.next_below(2) == 1;
+      q.out_port = static_cast<Port>(rng.next_below(kPorts));
+    }
+    for (auto& ovc : s.out_vcs) {
+      ovc.busy = rng.next_below(2) == 1;
+      ovc.owner_port = static_cast<std::uint8_t>(rng.next_below(kPorts));
+      ovc.credits =
+          static_cast<std::uint8_t>(rng.next_below(c.queue_depth + 1));
+    }
+    const BitVector w = codec.serialize(s);
+    ASSERT_EQ(codec.serialize(codec.deserialize(w)), w);
+  }
+}
+
+TEST_P(RouterConfigSweep, SinglePacketCrossesTheNetwork) {
+  NetworkConfig net;
+  net.width = 3;
+  net.height = 3;
+  net.topology = Topology::kMesh;
+  net.router = cfg();
+  DirectNocSimulation sim(net);
+  const unsigned vc = static_cast<unsigned>(net.router.num_vcs - 1);
+  const std::vector<Flit> pkt{
+      Flit{FlitType::kHead, make_head_payload(2, 2, vc, 1)},
+      Flit{FlitType::kTail, 0x7777},
+  };
+  std::size_t sent = 0;
+  std::vector<Flit> got;
+  for (int cycleno = 0; cycleno < 60 && got.size() < pkt.size(); ++cycleno) {
+    if (sent < pkt.size()) {
+      sim.set_local_input(0, LinkForward{true, static_cast<std::uint8_t>(vc),
+                                         pkt[sent]});
+      ++sent;
+    }
+    sim.step();
+    const LinkForward out = sim.local_output(8);
+    if (out.valid) {
+      EXPECT_EQ(out.vc, vc);
+      got.push_back(out.flit);
+    }
+  }
+  EXPECT_EQ(got, pkt);
+  check_credit_invariant(sim);
+}
+
+TEST_P(RouterConfigSweep, IdleRouterOutputsNothing) {
+  NetworkConfig net;
+  net.width = 2;
+  net.height = 2;
+  net.router = cfg();
+  RouterEnv env{&net, Coord{0, 0}};
+  RouterState s(net.router);
+  const RouterOutputs out = compute_outputs(s, env);
+  for (std::size_t o = 0; o < kPorts; ++o) {
+    EXPECT_FALSE(out.fwd_out[o].valid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RouterConfigSweep,
+    ::testing::Values(Params{1, 1}, Params{1, 4}, Params{2, 2}, Params{2, 8},
+                      Params{3, 4}, Params{4, 1}, Params{4, 2}, Params{4, 4},
+                      Params{4, 8}, Params{4, 15}),
+    param_name);
+
+TEST(RouterConfigValidation, RejectsOutOfRange) {
+  RouterConfig c;
+  c.num_vcs = 0;
+  EXPECT_THROW(c.validate(), tmsim::Error);
+  c.num_vcs = 5;
+  EXPECT_THROW(c.validate(), tmsim::Error);
+  c = RouterConfig{};
+  c.queue_depth = 0;
+  EXPECT_THROW(c.validate(), tmsim::Error);
+  c.queue_depth = 16;
+  EXPECT_THROW(c.validate(), tmsim::Error);
+}
+
+TEST(NetworkConfigValidation, PaperRange) {
+  NetworkConfig net;
+  net.width = 1;
+  net.height = 1;  // 1 router < the paper's minimum of 2
+  EXPECT_THROW(net.validate(), tmsim::Error);
+  net.width = 16;
+  net.height = 16;  // 256 routers: the paper's maximum — allowed
+  net.validate();
+  net.width = 17;
+  EXPECT_THROW(net.validate(), tmsim::Error);
+}
+
+}  // namespace
+}  // namespace tmsim::noc

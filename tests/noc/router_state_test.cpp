@@ -1,0 +1,153 @@
+#include "noc/router_state.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tmsim::noc {
+namespace {
+
+RouterConfig default_cfg() { return RouterConfig{}; }
+
+TEST(RouterState, ResetShape) {
+  const RouterConfig cfg = default_cfg();
+  RouterState s(cfg);
+  EXPECT_EQ(s.queues.size(), 20u);
+  EXPECT_EQ(s.out_vcs.size(), 20u);
+  EXPECT_EQ(s.rr_ptr.size(), kPorts);
+  for (const auto& ovc : s.out_vcs) {
+    EXPECT_EQ(ovc.credits, cfg.queue_depth);
+    EXPECT_FALSE(ovc.busy);
+  }
+}
+
+TEST(RouterStateCodec, PaperTable1QueueBits) {
+  // Table 1: "Input queues 1440 bits" for 20 queues × 4 flits × 18 bits.
+  const RouterStateCodec codec(default_cfg());
+  const auto by_cat = codec.layout().bits_by_category();
+  EXPECT_EQ(by_cat.at("input queues"), 1440u);
+}
+
+TEST(RouterStateCodec, ResetRoundTrip) {
+  const RouterStateCodec codec(default_cfg());
+  const BitVector word = codec.reset_word();
+  const RouterState s = codec.deserialize(word);
+  EXPECT_EQ(codec.serialize(s), word);
+}
+
+TEST(RouterStateCodec, NonTrivialStateRoundTrip) {
+  const RouterConfig cfg = default_cfg();
+  const RouterStateCodec codec(cfg);
+  RouterState s(cfg);
+  // Exercise queue contents, pointers-after-wrap, locks and counters.
+  s.queues[3].fifo.push(Flit{FlitType::kHead, 0x1234});
+  s.queues[3].fifo.push(Flit{FlitType::kTail, 0x5678});
+  s.queues[7].fifo.push(Flit{FlitType::kBody, 0xffff});
+  s.queues[7].fifo.pop();
+  s.queues[7].fifo.push(Flit{FlitType::kBody, 0xaaaa});
+  s.queues[7].locked = true;
+  s.queues[7].out_port = Port::kWest;
+  s.out_vcs[5].busy = true;
+  s.out_vcs[5].owner_port = 3;
+  s.out_vcs[5].credits = 1;
+  s.rr_ptr[2] = 13;
+
+  const BitVector word = codec.serialize(s);
+  const RouterState t = codec.deserialize(word);
+  EXPECT_TRUE(states_equal(codec, s, t));
+  EXPECT_EQ(t.queues[3].fifo.size(), 2u);
+  EXPECT_EQ(t.queues[3].fifo.front(), (Flit{FlitType::kHead, 0x1234}));
+  EXPECT_EQ(t.queues[7].fifo.size(), 1u);
+  EXPECT_EQ(t.queues[7].fifo.front(), (Flit{FlitType::kBody, 0xaaaa}));
+  EXPECT_TRUE(t.queues[7].locked);
+  EXPECT_EQ(t.queues[7].out_port, Port::kWest);
+  EXPECT_EQ(t.out_vcs[5].credits, 1u);
+  EXPECT_EQ(t.rr_ptr[2], 13u);
+}
+
+TEST(RouterStateCodec, FullQueueRoundTrip) {
+  const RouterConfig cfg = default_cfg();
+  const RouterStateCodec codec(cfg);
+  RouterState s(cfg);
+  for (std::size_t i = 0; i < cfg.queue_depth; ++i) {
+    s.queues[0].fifo.push(
+        Flit{FlitType::kBody, static_cast<std::uint16_t>(i)});
+  }
+  const RouterState t = codec.deserialize(codec.serialize(s));
+  EXPECT_TRUE(t.queues[0].fifo.full());
+  EXPECT_TRUE(states_equal(codec, s, t));
+}
+
+TEST(RouterStateCodec, DepthAffectsWidths) {
+  RouterConfig d2 = default_cfg();
+  d2.queue_depth = 2;
+  RouterConfig d8 = default_cfg();
+  d8.queue_depth = 8;
+  const RouterStateCodec c2(d2), c8(d8);
+  EXPECT_LT(c2.state_bits(), c8.state_bits());
+  EXPECT_EQ(c2.layout().bits_by_category().at("input queues"),
+            20u * 2 * kFlitBits);
+  EXPECT_EQ(c8.layout().bits_by_category().at("input queues"),
+            20u * 8 * kFlitBits);
+}
+
+TEST(RouterStateCodec, RandomizedRoundTrip) {
+  // Property: serialize∘deserialize is the identity on the serialized
+  // form, for random reachable-ish states.
+  const RouterConfig cfg = default_cfg();
+  const RouterStateCodec codec(cfg);
+  tmsim::SplitMix64 rng(11);
+  for (int iter = 0; iter < 200; ++iter) {
+    RouterState s(cfg);
+    for (auto& q : s.queues) {
+      const std::size_t n = rng.next_below(cfg.queue_depth + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        q.fifo.push(Flit{static_cast<FlitType>(1 + rng.next_below(3)),
+                         static_cast<std::uint16_t>(rng.next())});
+      }
+      q.locked = rng.next_below(2) == 1;
+      q.out_port = static_cast<Port>(rng.next_below(kPorts));
+    }
+    for (auto& ovc : s.out_vcs) {
+      ovc.busy = rng.next_below(2) == 1;
+      ovc.owner_port = static_cast<std::uint8_t>(rng.next_below(kPorts));
+      ovc.credits = static_cast<std::uint8_t>(
+          rng.next_below(cfg.queue_depth + 1));
+    }
+    for (auto& rr : s.rr_ptr) {
+      rr = static_cast<std::uint8_t>(rng.next_below(cfg.num_queues()));
+    }
+    const BitVector w1 = codec.serialize(s);
+    const BitVector w2 = codec.serialize(codec.deserialize(w1));
+    ASSERT_EQ(w1, w2);
+  }
+}
+
+TEST(RouterStateCodec, RejectsWrongWidthWord) {
+  const RouterStateCodec codec(default_cfg());
+  EXPECT_THROW(codec.deserialize(BitVector(codec.state_bits() + 1)),
+               tmsim::Error);
+}
+
+TEST(StateLayout, CategoriesAndOffsets) {
+  StateLayout layout;
+  const auto a = layout.add_field("cat1", "a", 5);
+  const auto b = layout.add_field("cat2", "b", 7);
+  const auto c = layout.add_field("cat1", "c", 64);
+  EXPECT_EQ(layout.total_bits(), 76u);
+  EXPECT_EQ(layout.field(b).offset, 5u);
+  EXPECT_EQ(layout.field(c).offset, 12u);
+  const auto by_cat = layout.bits_by_category();
+  EXPECT_EQ(by_cat.at("cat1"), 69u);
+  EXPECT_EQ(by_cat.at("cat2"), 7u);
+
+  BitVector w(layout.total_bits());
+  layout.write(w, a, 0x1f);
+  layout.write(w, c, 0xffffffffffffffffull);
+  EXPECT_EQ(layout.read(w, a), 0x1fu);
+  EXPECT_EQ(layout.read(w, b), 0u);
+  EXPECT_EQ(layout.read(w, c), 0xffffffffffffffffull);
+}
+
+}  // namespace
+}  // namespace tmsim::noc

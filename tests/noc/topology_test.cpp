@@ -1,0 +1,126 @@
+#include "noc/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace tmsim::noc {
+namespace {
+
+NetworkConfig torus(std::size_t w, std::size_t h) {
+  NetworkConfig net;
+  net.width = w;
+  net.height = h;
+  net.topology = Topology::kTorus;
+  return net;
+}
+
+NetworkConfig mesh(std::size_t w, std::size_t h) {
+  NetworkConfig net = torus(w, h);
+  net.topology = Topology::kMesh;
+  return net;
+}
+
+TEST(Topology, IndexCoordRoundTrip) {
+  const NetworkConfig net = torus(6, 4);
+  for (std::size_t i = 0; i < net.num_routers(); ++i) {
+    EXPECT_EQ(router_index(net, router_coord(net, i)), i);
+  }
+  EXPECT_EQ(router_index(net, Coord{2, 3}), 3u * 6 + 2);
+}
+
+TEST(Topology, OppositePorts) {
+  EXPECT_EQ(opposite(Port::kNorth), Port::kSouth);
+  EXPECT_EQ(opposite(Port::kSouth), Port::kNorth);
+  EXPECT_EQ(opposite(Port::kEast), Port::kWest);
+  EXPECT_EQ(opposite(Port::kWest), Port::kEast);
+  EXPECT_THROW(opposite(Port::kLocal), tmsim::Error);
+}
+
+TEST(Topology, TorusWrapsAround) {
+  const NetworkConfig net = torus(4, 3);
+  EXPECT_EQ(neighbour(net, Coord{0, 0}, Port::kWest), (Coord{3, 0}));
+  EXPECT_EQ(neighbour(net, Coord{3, 2}, Port::kEast), (Coord{0, 2}));
+  EXPECT_EQ(neighbour(net, Coord{1, 0}, Port::kNorth), (Coord{1, 2}));
+  EXPECT_EQ(neighbour(net, Coord{1, 2}, Port::kSouth), (Coord{1, 0}));
+}
+
+TEST(Topology, MeshBoundariesUnconnected) {
+  const NetworkConfig net = mesh(4, 3);
+  EXPECT_FALSE(neighbour(net, Coord{0, 0}, Port::kWest).has_value());
+  EXPECT_FALSE(neighbour(net, Coord{0, 0}, Port::kNorth).has_value());
+  EXPECT_FALSE(neighbour(net, Coord{3, 2}, Port::kEast).has_value());
+  EXPECT_FALSE(neighbour(net, Coord{3, 2}, Port::kSouth).has_value());
+  EXPECT_EQ(neighbour(net, Coord{0, 0}, Port::kEast), (Coord{1, 0}));
+}
+
+TEST(Topology, NeighbourSymmetry) {
+  // If B is A's neighbour through p, then A is B's neighbour through
+  // opposite(p) — for both topologies.
+  for (const NetworkConfig& net : {torus(5, 4), mesh(5, 4)}) {
+    for (std::size_t i = 0; i < net.num_routers(); ++i) {
+      const Coord a = router_coord(net, i);
+      for (std::size_t p = 1; p < kPorts; ++p) {
+        const auto b = neighbour(net, a, static_cast<Port>(p));
+        if (b.has_value()) {
+          EXPECT_EQ(neighbour(net, *b, opposite(static_cast<Port>(p))), a);
+        }
+      }
+    }
+  }
+}
+
+TEST(Topology, DegenerateSingleColumnTorus) {
+  // A 1-wide torus dimension must not make a router its own neighbour.
+  const NetworkConfig net = torus(1, 4);
+  EXPECT_FALSE(neighbour(net, Coord{0, 1}, Port::kEast).has_value());
+  EXPECT_FALSE(neighbour(net, Coord{0, 1}, Port::kWest).has_value());
+  EXPECT_TRUE(neighbour(net, Coord{0, 1}, Port::kSouth).has_value());
+}
+
+TEST(Routing, SelfRoutesLocal) {
+  const NetworkConfig net = torus(6, 6);
+  EXPECT_EQ(route_xy(net, Coord{2, 3}, Coord{2, 3}), Port::kLocal);
+}
+
+TEST(Routing, XBeforeY) {
+  const NetworkConfig net = mesh(6, 6);
+  EXPECT_EQ(route_xy(net, Coord{1, 1}, Coord{3, 4}), Port::kEast);
+  EXPECT_EQ(route_xy(net, Coord{3, 1}, Coord{3, 4}), Port::kSouth);
+  EXPECT_EQ(route_xy(net, Coord{3, 4}, Coord{1, 1}), Port::kWest);
+  EXPECT_EQ(route_xy(net, Coord{1, 4}, Coord{1, 1}), Port::kNorth);
+}
+
+TEST(Routing, TorusTakesShorterWrap) {
+  const NetworkConfig net = torus(6, 6);
+  EXPECT_EQ(route_xy(net, Coord{0, 0}, Coord{5, 0}), Port::kWest);  // 1 hop
+  EXPECT_EQ(route_xy(net, Coord{0, 0}, Coord{2, 0}), Port::kEast);  // 2 hops
+  // Exact tie (3 vs 3) goes to the positive (east) direction.
+  EXPECT_EQ(route_xy(net, Coord{0, 0}, Coord{3, 0}), Port::kEast);
+  EXPECT_EQ(route_xy(net, Coord{1, 0}, Coord{1, 5}), Port::kNorth);
+}
+
+TEST(Routing, EveryPairConvergesToDestination) {
+  // Property: following route_xy hop by hop reaches the destination in
+  // exactly route_hops steps, for both topologies.
+  for (const NetworkConfig& net : {torus(5, 3), mesh(5, 3)}) {
+    for (std::size_t s = 0; s < net.num_routers(); ++s) {
+      for (std::size_t d = 0; d < net.num_routers(); ++d) {
+        Coord here = router_coord(net, s);
+        const Coord dest = router_coord(net, d);
+        const std::size_t expected = route_hops(net, here, dest);
+        std::size_t steps = 0;
+        while (!(here == dest)) {
+          const Port p = route_xy(net, here, dest);
+          ASSERT_NE(p, Port::kLocal);
+          const auto next = neighbour(net, here, p);
+          ASSERT_TRUE(next.has_value()) << "route left the grid";
+          here = *next;
+          ASSERT_LE(++steps, net.num_routers()) << "routing loop";
+        }
+        EXPECT_EQ(steps, expected);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tmsim::noc

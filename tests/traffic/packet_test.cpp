@@ -1,0 +1,67 @@
+#include "traffic/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace tmsim::traffic {
+namespace {
+
+TEST(Packet, PayloadFlitsForPaperSizes) {
+  EXPECT_EQ(payload_flits_for_bytes(kGtPacketBytes), 128u);
+  EXPECT_EQ(payload_flits_for_bytes(kBePacketBytes), 5u);
+  EXPECT_EQ(payload_flits_for_bytes(1), 1u);
+  EXPECT_EQ(payload_flits_for_bytes(3), 2u);
+}
+
+TEST(Packet, GtPacketIs129Flits) {
+  const auto flits =
+      build_packet(1, 2, 0, 7, payload_flits_for_bytes(kGtPacketBytes), 0);
+  EXPECT_EQ(flits.size(), 129u);
+  EXPECT_EQ(flits.front().type, noc::FlitType::kHead);
+  EXPECT_EQ(flits.back().type, noc::FlitType::kTail);
+  for (std::size_t i = 1; i + 1 < flits.size(); ++i) {
+    EXPECT_EQ(flits[i].type, noc::FlitType::kBody);
+  }
+}
+
+TEST(Packet, BePacketIs6Flits) {
+  const auto flits =
+      build_packet(0, 0, 3, 1, payload_flits_for_bytes(kBePacketBytes), 0);
+  EXPECT_EQ(flits.size(), 6u);
+}
+
+TEST(Packet, HeadEncodesRoutingFields) {
+  const auto flits = build_packet(4, 5, 2, 33, 1, 0);
+  const noc::HeadFields h = noc::decode_head(flits[0].payload);
+  EXPECT_EQ(h.dest_x, 4u);
+  EXPECT_EQ(h.dest_y, 5u);
+  EXPECT_EQ(h.vc, 2u);
+  EXPECT_EQ(h.seq, 33u);
+}
+
+TEST(Packet, PayloadIsPositionDependent) {
+  const auto flits = build_packet(0, 0, 0, 0, 4, 0x1111);
+  EXPECT_NE(flits[1].payload, flits[2].payload);
+  EXPECT_NE(flits[2].payload, flits[3].payload);
+  // Same fill reproduces the same packet.
+  EXPECT_EQ(build_packet(0, 0, 0, 0, 4, 0x1111), flits);
+}
+
+TEST(Packet, MinimumPacketIsHeadPlusTail) {
+  const auto flits = build_packet(0, 0, 0, 0, 1, 0);
+  EXPECT_EQ(flits.size(), 2u);
+  EXPECT_EQ(flits[1].type, noc::FlitType::kTail);
+  EXPECT_THROW(build_packet(0, 0, 0, 0, 0, 0), tmsim::Error);
+}
+
+TEST(PacketRecord, LatencyArithmetic) {
+  PacketRecord r;
+  r.created = 10;
+  r.injected_head = 25;
+  r.delivered_tail = 100;
+  EXPECT_EQ(r.access_delay(), 15u);
+  EXPECT_EQ(r.network_latency(), 75u);
+  EXPECT_EQ(r.total_latency(), 90u);
+}
+
+}  // namespace
+}  // namespace tmsim::traffic
