@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rng"
+  "../bench/ablation_rng.pdb"
+  "CMakeFiles/ablation_rng.dir/ablation_rng.cpp.o"
+  "CMakeFiles/ablation_rng.dir/ablation_rng.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_schedules"
+  "../bench/ablation_schedules.pdb"
+  "CMakeFiles/ablation_schedules.dir/ablation_schedules.cpp.o"
+  "CMakeFiles/ablation_schedules.dir/ablation_schedules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

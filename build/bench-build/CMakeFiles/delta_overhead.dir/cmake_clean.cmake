@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/delta_overhead"
+  "../bench/delta_overhead.pdb"
+  "CMakeFiles/delta_overhead.dir/delta_overhead.cpp.o"
+  "CMakeFiles/delta_overhead.dir/delta_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

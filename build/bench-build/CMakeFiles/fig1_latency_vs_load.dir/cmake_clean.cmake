@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_latency_vs_load"
+  "../bench/fig1_latency_vs_load.pdb"
+  "CMakeFiles/fig1_latency_vs_load.dir/fig1_latency_vs_load.cpp.o"
+  "CMakeFiles/fig1_latency_vs_load.dir/fig1_latency_vs_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_latency_vs_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

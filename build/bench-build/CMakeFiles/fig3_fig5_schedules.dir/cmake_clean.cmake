@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_fig5_schedules"
+  "../bench/fig3_fig5_schedules.pdb"
+  "CMakeFiles/fig3_fig5_schedules.dir/fig3_fig5_schedules.cpp.o"
+  "CMakeFiles/fig3_fig5_schedules.dir/fig3_fig5_schedules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fig5_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_engines.cpp" "bench-build/CMakeFiles/micro_engines.dir/micro_engines.cpp.o" "gcc" "bench-build/CMakeFiles/micro_engines.dir/micro_engines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tmsim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tmsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tmsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/tmsim_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlsim/CMakeFiles/tmsim_rtlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/tmsim_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_registers"
+  "../bench/table1_registers.pdb"
+  "CMakeFiles/table1_registers.dir/table1_registers.cpp.o"
+  "CMakeFiles/table1_registers.dir/table1_registers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

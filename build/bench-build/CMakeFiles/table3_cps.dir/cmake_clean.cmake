@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_cps"
+  "../bench/table3_cps.pdb"
+  "CMakeFiles/table3_cps.dir/table3_cps.cpp.o"
+  "CMakeFiles/table3_cps.dir/table3_cps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

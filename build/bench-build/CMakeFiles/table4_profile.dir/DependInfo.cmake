@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_profile.cpp" "bench-build/CMakeFiles/table4_profile.dir/table4_profile.cpp.o" "gcc" "bench-build/CMakeFiles/table4_profile.dir/table4_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tmsim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tmsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tmsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/tmsim_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/tmsim_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlsim/CMakeFiles/tmsim_rtlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/tmsim_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_profile"
+  "../bench/table4_profile.pdb"
+  "CMakeFiles/table4_profile.dir/table4_profile.cpp.o"
+  "CMakeFiles/table4_profile.dir/table4_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

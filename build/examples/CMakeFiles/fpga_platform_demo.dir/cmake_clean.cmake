@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_platform_demo.dir/fpga_platform_demo.cpp.o"
+  "CMakeFiles/fpga_platform_demo.dir/fpga_platform_demo.cpp.o.d"
+  "fpga_platform_demo"
+  "fpga_platform_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_platform_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_array.dir/systolic_array.cpp.o"
+  "CMakeFiles/systolic_array.dir/systolic_array.cpp.o.d"
+  "systolic_array"
+  "systolic_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_common.dir/bit_vector.cpp.o"
+  "CMakeFiles/tmsim_common.dir/bit_vector.cpp.o.d"
+  "CMakeFiles/tmsim_common.dir/error.cpp.o"
+  "CMakeFiles/tmsim_common.dir/error.cpp.o.d"
+  "libtmsim_common.a"
+  "libtmsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/link_memory.cpp" "src/core/CMakeFiles/tmsim_core.dir/link_memory.cpp.o" "gcc" "src/core/CMakeFiles/tmsim_core.dir/link_memory.cpp.o.d"
+  "/root/repo/src/core/noc_block.cpp" "src/core/CMakeFiles/tmsim_core.dir/noc_block.cpp.o" "gcc" "src/core/CMakeFiles/tmsim_core.dir/noc_block.cpp.o.d"
+  "/root/repo/src/core/sequential_simulator.cpp" "src/core/CMakeFiles/tmsim_core.dir/sequential_simulator.cpp.o" "gcc" "src/core/CMakeFiles/tmsim_core.dir/sequential_simulator.cpp.o.d"
+  "/root/repo/src/core/state_memory.cpp" "src/core/CMakeFiles/tmsim_core.dir/state_memory.cpp.o" "gcc" "src/core/CMakeFiles/tmsim_core.dir/state_memory.cpp.o.d"
+  "/root/repo/src/core/system_model.cpp" "src/core/CMakeFiles/tmsim_core.dir/system_model.cpp.o" "gcc" "src/core/CMakeFiles/tmsim_core.dir/system_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tmsim_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

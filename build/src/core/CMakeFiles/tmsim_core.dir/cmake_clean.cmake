@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_core.dir/link_memory.cpp.o"
+  "CMakeFiles/tmsim_core.dir/link_memory.cpp.o.d"
+  "CMakeFiles/tmsim_core.dir/noc_block.cpp.o"
+  "CMakeFiles/tmsim_core.dir/noc_block.cpp.o.d"
+  "CMakeFiles/tmsim_core.dir/sequential_simulator.cpp.o"
+  "CMakeFiles/tmsim_core.dir/sequential_simulator.cpp.o.d"
+  "CMakeFiles/tmsim_core.dir/state_memory.cpp.o"
+  "CMakeFiles/tmsim_core.dir/state_memory.cpp.o.d"
+  "CMakeFiles/tmsim_core.dir/system_model.cpp.o"
+  "CMakeFiles/tmsim_core.dir/system_model.cpp.o.d"
+  "libtmsim_core.a"
+  "libtmsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_des.dir/kernel.cpp.o"
+  "CMakeFiles/tmsim_des.dir/kernel.cpp.o.d"
+  "libtmsim_des.a"
+  "libtmsim_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_fpga.dir/arm_host.cpp.o"
+  "CMakeFiles/tmsim_fpga.dir/arm_host.cpp.o.d"
+  "CMakeFiles/tmsim_fpga.dir/fpga_design.cpp.o"
+  "CMakeFiles/tmsim_fpga.dir/fpga_design.cpp.o.d"
+  "CMakeFiles/tmsim_fpga.dir/resource_model.cpp.o"
+  "CMakeFiles/tmsim_fpga.dir/resource_model.cpp.o.d"
+  "CMakeFiles/tmsim_fpga.dir/timing_model.cpp.o"
+  "CMakeFiles/tmsim_fpga.dir/timing_model.cpp.o.d"
+  "libtmsim_fpga.a"
+  "libtmsim_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/tmsim_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/tmsim_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/router_logic.cpp" "src/noc/CMakeFiles/tmsim_noc.dir/router_logic.cpp.o" "gcc" "src/noc/CMakeFiles/tmsim_noc.dir/router_logic.cpp.o.d"
+  "/root/repo/src/noc/router_state.cpp" "src/noc/CMakeFiles/tmsim_noc.dir/router_state.cpp.o" "gcc" "src/noc/CMakeFiles/tmsim_noc.dir/router_state.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/noc/CMakeFiles/tmsim_noc.dir/topology.cpp.o" "gcc" "src/noc/CMakeFiles/tmsim_noc.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_noc.dir/network.cpp.o"
+  "CMakeFiles/tmsim_noc.dir/network.cpp.o.d"
+  "CMakeFiles/tmsim_noc.dir/router_logic.cpp.o"
+  "CMakeFiles/tmsim_noc.dir/router_logic.cpp.o.d"
+  "CMakeFiles/tmsim_noc.dir/router_state.cpp.o"
+  "CMakeFiles/tmsim_noc.dir/router_state.cpp.o.d"
+  "CMakeFiles/tmsim_noc.dir/topology.cpp.o"
+  "CMakeFiles/tmsim_noc.dir/topology.cpp.o.d"
+  "libtmsim_noc.a"
+  "libtmsim_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

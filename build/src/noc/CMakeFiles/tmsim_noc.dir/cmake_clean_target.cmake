@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmsim_noc.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtlsim/rtl_noc.cpp" "src/rtlsim/CMakeFiles/tmsim_rtlsim.dir/rtl_noc.cpp.o" "gcc" "src/rtlsim/CMakeFiles/tmsim_rtlsim.dir/rtl_noc.cpp.o.d"
+  "/root/repo/src/rtlsim/std_logic.cpp" "src/rtlsim/CMakeFiles/tmsim_rtlsim.dir/std_logic.cpp.o" "gcc" "src/rtlsim/CMakeFiles/tmsim_rtlsim.dir/std_logic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/tmsim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tmsim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tmsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

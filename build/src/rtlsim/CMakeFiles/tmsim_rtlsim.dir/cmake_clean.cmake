@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_rtlsim.dir/rtl_noc.cpp.o"
+  "CMakeFiles/tmsim_rtlsim.dir/rtl_noc.cpp.o.d"
+  "CMakeFiles/tmsim_rtlsim.dir/std_logic.cpp.o"
+  "CMakeFiles/tmsim_rtlsim.dir/std_logic.cpp.o.d"
+  "libtmsim_rtlsim.a"
+  "libtmsim_rtlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_rtlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tmsim_rtlsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_sysc.dir/sysc_noc.cpp.o"
+  "CMakeFiles/tmsim_sysc.dir/sysc_noc.cpp.o.d"
+  "libtmsim_sysc.a"
+  "libtmsim_sysc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_sysc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsim_traffic.dir/harness.cpp.o"
+  "CMakeFiles/tmsim_traffic.dir/harness.cpp.o.d"
+  "CMakeFiles/tmsim_traffic.dir/packet.cpp.o"
+  "CMakeFiles/tmsim_traffic.dir/packet.cpp.o.d"
+  "CMakeFiles/tmsim_traffic.dir/workloads.cpp.o"
+  "CMakeFiles/tmsim_traffic.dir/workloads.cpp.o.d"
+  "libtmsim_traffic.a"
+  "libtmsim_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsim_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/engine_property_test.cpp" "tests/CMakeFiles/core_test.dir/core/engine_property_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/engine_property_test.cpp.o.d"
+  "/root/repo/tests/core/link_memory_test.cpp" "tests/CMakeFiles/core_test.dir/core/link_memory_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/link_memory_test.cpp.o.d"
+  "/root/repo/tests/core/sequential_simulator_test.cpp" "tests/CMakeFiles/core_test.dir/core/sequential_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sequential_simulator_test.cpp.o.d"
+  "/root/repo/tests/core/state_memory_test.cpp" "tests/CMakeFiles/core_test.dir/core/state_memory_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/state_memory_test.cpp.o.d"
+  "/root/repo/tests/core/system_model_test.cpp" "tests/CMakeFiles/core_test.dir/core/system_model_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/system_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tmsim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tmsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tmsim_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

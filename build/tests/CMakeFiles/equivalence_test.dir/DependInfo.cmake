@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/baseline_engines_test.cpp" "tests/CMakeFiles/equivalence_test.dir/integration/baseline_engines_test.cpp.o" "gcc" "tests/CMakeFiles/equivalence_test.dir/integration/baseline_engines_test.cpp.o.d"
+  "/root/repo/tests/integration/deadlock_test.cpp" "tests/CMakeFiles/equivalence_test.dir/integration/deadlock_test.cpp.o" "gcc" "tests/CMakeFiles/equivalence_test.dir/integration/deadlock_test.cpp.o.d"
+  "/root/repo/tests/integration/engines_equivalence_test.cpp" "tests/CMakeFiles/equivalence_test.dir/integration/engines_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/equivalence_test.dir/integration/engines_equivalence_test.cpp.o.d"
+  "/root/repo/tests/integration/seq_equivalence_test.cpp" "tests/CMakeFiles/equivalence_test.dir/integration/seq_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/equivalence_test.dir/integration/seq_equivalence_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tmsim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tmsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tmsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/tmsim_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlsim/CMakeFiles/tmsim_rtlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/tmsim_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

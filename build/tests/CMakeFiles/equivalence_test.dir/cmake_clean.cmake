@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_test.dir/integration/baseline_engines_test.cpp.o"
+  "CMakeFiles/equivalence_test.dir/integration/baseline_engines_test.cpp.o.d"
+  "CMakeFiles/equivalence_test.dir/integration/deadlock_test.cpp.o"
+  "CMakeFiles/equivalence_test.dir/integration/deadlock_test.cpp.o.d"
+  "CMakeFiles/equivalence_test.dir/integration/engines_equivalence_test.cpp.o"
+  "CMakeFiles/equivalence_test.dir/integration/engines_equivalence_test.cpp.o.d"
+  "CMakeFiles/equivalence_test.dir/integration/seq_equivalence_test.cpp.o"
+  "CMakeFiles/equivalence_test.dir/integration/seq_equivalence_test.cpp.o.d"
+  "equivalence_test"
+  "equivalence_test.pdb"
+  "equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_test.dir/fpga/address_map_test.cpp.o"
+  "CMakeFiles/fpga_test.dir/fpga/address_map_test.cpp.o.d"
+  "CMakeFiles/fpga_test.dir/fpga/arm_host_test.cpp.o"
+  "CMakeFiles/fpga_test.dir/fpga/arm_host_test.cpp.o.d"
+  "CMakeFiles/fpga_test.dir/fpga/cyclic_buffer_test.cpp.o"
+  "CMakeFiles/fpga_test.dir/fpga/cyclic_buffer_test.cpp.o.d"
+  "CMakeFiles/fpga_test.dir/fpga/fpga_design_test.cpp.o"
+  "CMakeFiles/fpga_test.dir/fpga/fpga_design_test.cpp.o.d"
+  "fpga_test"
+  "fpga_test.pdb"
+  "fpga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/noc/flit_test.cpp" "tests/CMakeFiles/noc_test.dir/noc/flit_test.cpp.o" "gcc" "tests/CMakeFiles/noc_test.dir/noc/flit_test.cpp.o.d"
+  "/root/repo/tests/noc/network_test.cpp" "tests/CMakeFiles/noc_test.dir/noc/network_test.cpp.o" "gcc" "tests/CMakeFiles/noc_test.dir/noc/network_test.cpp.o.d"
+  "/root/repo/tests/noc/router_config_test.cpp" "tests/CMakeFiles/noc_test.dir/noc/router_config_test.cpp.o" "gcc" "tests/CMakeFiles/noc_test.dir/noc/router_config_test.cpp.o.d"
+  "/root/repo/tests/noc/router_logic_test.cpp" "tests/CMakeFiles/noc_test.dir/noc/router_logic_test.cpp.o" "gcc" "tests/CMakeFiles/noc_test.dir/noc/router_logic_test.cpp.o.d"
+  "/root/repo/tests/noc/router_state_test.cpp" "tests/CMakeFiles/noc_test.dir/noc/router_state_test.cpp.o" "gcc" "tests/CMakeFiles/noc_test.dir/noc/router_state_test.cpp.o.d"
+  "/root/repo/tests/noc/topology_test.cpp" "tests/CMakeFiles/noc_test.dir/noc/topology_test.cpp.o" "gcc" "tests/CMakeFiles/noc_test.dir/noc/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tmsim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tmsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tmsim_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
