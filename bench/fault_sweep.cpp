@@ -1,0 +1,108 @@
+// Fault-rate sweep: how much bus corruption the hardened ARM host
+// absorbs before a run stops being recoverable, and what the recovery
+// machinery costs (DESIGN.md, "Robustness").
+//
+// For each per-access fault rate, the same workload runs through a
+// FaultyBus and is compared against the fault-free baseline:
+//   - "identical" — final statistics bit-identical to the clean run,
+//   - injected / recovered — fault-layer vs host ledgers,
+//   - verify share — hardening bus overhead on the paper's platform,
+//   - outcome — completed, diverged, or graceful abort (never a hang).
+//
+// The bit-identical-or-abort guarantee is scoped to the 1e-3 envelope
+// (ISSUE acceptance bar): the 2-bit checksums detect every single-bit
+// fault, but at rates 10-100x beyond the envelope colluding multi-bit
+// faults can forge a valid word, so the tail rows chart where the
+// guards run out — divergence there is detected by this bench, not by
+// the host.
+#include <cstdio>
+#include <string>
+
+#include "fpga/arm_host.h"
+#include "fpga/faulty_bus.h"
+
+namespace {
+
+struct SweepResult {
+  bool aborted = false;
+  std::string reason;
+  std::uint64_t packets = 0;
+  double lat_sum = 0;
+  double access_sum = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t hw_rejected = 0;
+  double verify_share = 0;
+  double cps = 0;
+};
+
+SweepResult run_one(double rate, std::uint64_t seed) {
+  using namespace tmsim;
+  fpga::FpgaDesign design{fpga::FpgaBuildConfig{}};
+  fpga::FaultyBus bus(design, fpga::FaultRates::uniform(rate), seed);
+  fpga::ArmHost::Workload wl;
+  wl.be_load = 0.10;
+  fpga::ArmHost host(bus, design.build(), wl);
+  SweepResult r;
+  try {
+    host.configure_network(6, 6, noc::Topology::kMesh);
+    host.run(4000);
+  } catch (const Error& e) {
+    // Configuration that never converges (or, at extreme rates, a design
+    // rejecting desynchronized traffic) surfaces as a thrown Error.
+    r.aborted = true;
+    r.reason = e.what();
+  }
+  if (host.aborted()) {
+    r.aborted = true;
+    r.reason = host.fault_report().abort_reason;
+  }
+  r.packets = host.packets_delivered();
+  r.lat_sum = host.latency(traffic::PacketClass::kBestEffort).sum();
+  r.access_sum = host.access_delay().sum();
+  r.injected = bus.injected().total();
+  r.recovered = host.fault_report().total_recovered();
+  r.hw_rejected = host.fault_report().hw_rejected_words;
+  const fpga::TimingModel model;
+  const fpga::PhaseTimes t = model.evaluate(host.counts());
+  r.verify_share = t.share_verify();
+  r.cps = t.cycles_per_second;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const double rates[] = {0.0,  1e-5, 1e-4, 3e-4, 1e-3,
+                          3e-3, 1e-2, 3e-2, 1e-1};
+  std::printf("fault sweep: 6x6 mesh, BE load 0.10, 4000 cycles/run\n");
+  std::printf("%9s %9s %10s %9s %7s %8s %10s  %s\n", "rate", "injected",
+              "recovered", "rejected", "verify", "kcps", "identical",
+              "outcome");
+  const SweepResult clean = run_one(0.0, 1);
+  bool envelope_holds = true;
+  for (const double rate : rates) {
+    const SweepResult r = run_one(rate, 12345);
+    const bool identical = !r.aborted && r.packets == clean.packets &&
+                           r.lat_sum == clean.lat_sum &&
+                           r.access_sum == clean.access_sum;
+    const std::string outcome = r.aborted  ? "abort: " + r.reason
+                                : identical ? "completed"
+                                            : "completed but DIVERGED";
+    std::printf("%9.0e %9llu %10llu %9llu %6.1f%% %8.1f %10s  %s\n", rate,
+                static_cast<unsigned long long>(r.injected),
+                static_cast<unsigned long long>(r.recovered),
+                static_cast<unsigned long long>(r.hw_rejected),
+                100 * r.verify_share, r.cps / 1e3,
+                identical ? "yes" : "NO", outcome.c_str());
+    if (rate <= 1e-3 && !identical) {
+      envelope_holds = false;
+    }
+  }
+  std::printf(
+      "\nWithin the 1e-3 envelope every row reproduces the clean statistics\n"
+      "bit-exactly: %s. Beyond it the 2-bit guards can be forged by\n"
+      "colluding faults, so rows diverge or abort — but never hang.\n",
+      envelope_holds ? "PASS" : "FAIL");
+  return envelope_holds ? 0 : 1;
+}

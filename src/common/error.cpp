@@ -1,5 +1,42 @@
 #include "common/error.h"
 
+namespace tmsim {
+
+ContextualError::ContextualError(const std::string& what, Context context)
+    : Error(format(what, context)), context_(std::move(context)) {}
+
+std::string ContextualError::context_value(const std::string& key) const {
+  for (const auto& [k, v] : context_) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return {};
+}
+
+std::string ContextualError::format(const std::string& what,
+                                    const Context& context) {
+  if (context.empty()) {
+    return what;
+  }
+  std::string out = what;
+  out += " [";
+  bool first = true;
+  for (const auto& [k, v] : context) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += k;
+    out += '=';
+    out += v;
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace tmsim
+
 namespace tmsim::detail {
 
 void throw_check_failure(const char* expr, const char* file, int line,

@@ -9,6 +9,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tmsim {
 
@@ -16,6 +18,26 @@ namespace tmsim {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Error carrying structured key/value diagnostics alongside the message.
+/// A long-running host can log or inspect the context programmatically
+/// instead of parsing the what() string.
+class ContextualError : public Error {
+ public:
+  using Context = std::vector<std::pair<std::string, std::string>>;
+
+  ContextualError(const std::string& what, Context context);
+
+  const Context& context() const { return context_; }
+
+  /// First value stored under `key`, or an empty string.
+  std::string context_value(const std::string& key) const;
+
+ private:
+  static std::string format(const std::string& what, const Context& context);
+
+  Context context_;
 };
 
 namespace detail {

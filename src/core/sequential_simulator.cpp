@@ -5,6 +5,55 @@
 
 namespace tmsim::core {
 
+std::string ConvergenceReport::summary() const {
+  std::string s = "system cycle " + std::to_string(cycle) +
+                  " did not settle after " + std::to_string(delta_cycles) +
+                  " delta cycles (limit " + std::to_string(limit) + "); " +
+                  std::to_string(oscillating_blocks.size()) + "/" +
+                  std::to_string(num_blocks) + " blocks unstable";
+  if (!oscillating_blocks.empty()) {
+    s += " {";
+    const std::size_t shown = std::min<std::size_t>(8, oscillating_blocks.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      if (i) s += ',';
+      s += std::to_string(oscillating_blocks[i]);
+    }
+    if (shown < oscillating_blocks.size()) s += ",...";
+    s += '}';
+  }
+  if (!last_changed_links.empty()) {
+    s += "; last changed links {";
+    for (std::size_t i = 0; i < last_changed_links.size(); ++i) {
+      if (i) s += ',';
+      s += std::to_string(last_changed_links[i]);
+    }
+    s += '}';
+  }
+  return s;
+}
+
+namespace {
+
+ContextualError::Context convergence_context(const ConvergenceReport& r) {
+  ContextualError::Context ctx;
+  ctx.emplace_back("cycle", std::to_string(r.cycle));
+  ctx.emplace_back("delta_cycles", std::to_string(r.delta_cycles));
+  ctx.emplace_back("limit", std::to_string(r.limit));
+  ctx.emplace_back("unstable_blocks",
+                   std::to_string(r.oscillating_blocks.size()));
+  ctx.emplace_back("link_changes", std::to_string(r.link_changes));
+  return ctx;
+}
+
+}  // namespace
+
+ConvergenceError::ConvergenceError(ConvergenceReport report)
+    : ContextualError(
+          "combinational dependencies do not settle (oscillating loop?): " +
+              report.summary(),
+          convergence_context(report)),
+      report_(std::move(report)) {}
+
 std::vector<std::size_t> block_state_widths(const SystemModel& model) {
   std::vector<std::size_t> widths;
   widths.reserve(model.num_blocks());
@@ -93,6 +142,7 @@ StepStats SequentialSimulator::step_dynamic() {
   links_.reset_all_hbr();
   std::fill(unstable_.begin(), unstable_.end(), 1);
   unstable_count_ = n;
+  recent_changed_count_ = 0;
 
   const DeltaCycle limit = max_evals_per_block_ * n;
   while (unstable_count_ > 0) {
@@ -115,10 +165,9 @@ StepStats SequentialSimulator::step_dynamic() {
       destabilize(b);
     }
 
-    TMSIM_CHECK_MSG(stats.delta_cycles <= limit,
-                    "combinational dependencies do not settle after " +
-                        std::to_string(limit) +
-                        " delta cycles (oscillating loop?)");
+    if (stats.delta_cycles > limit) {
+      throw ConvergenceError(make_convergence_report(stats, limit));
+    }
   }
   stats.re_evaluations = stats.delta_cycles - n;
   return stats;
@@ -187,6 +236,7 @@ void SequentialSimulator::evaluate_block(BlockId b, StepStats& stats) {
       //  current value in the memory, it will reset this link's status bit
       //  to zero" — destabilizing the reader.
       ++stats.link_changes;
+      recent_changed_links_[recent_changed_count_++ % kChangedLinkHistory] = l;
       links_.clear_hbr(l);
       for (const Endpoint& reader : model_.link(l).readers) {
         destabilize(reader.block);
@@ -199,6 +249,30 @@ void SequentialSimulator::evaluate_block(BlockId b, StepStats& stats) {
   if (trace_) {
     trace_(cycle_, stats.delta_cycles - 1, b);
   }
+}
+
+ConvergenceReport SequentialSimulator::make_convergence_report(
+    const StepStats& stats, DeltaCycle limit) const {
+  ConvergenceReport r;
+  r.cycle = cycle_;
+  r.delta_cycles = stats.delta_cycles;
+  r.limit = limit;
+  r.num_blocks = model_.num_blocks();
+  r.link_changes = stats.link_changes;
+  for (BlockId b = 0; b < model_.num_blocks(); ++b) {
+    if (unstable_[b]) {
+      r.oscillating_blocks.push_back(b);
+    }
+  }
+  // Newest first; the ring may not be full yet.
+  const std::size_t have =
+      std::min(recent_changed_count_, kChangedLinkHistory);
+  for (std::size_t i = 0; i < have; ++i) {
+    r.last_changed_links.push_back(
+        recent_changed_links_[(recent_changed_count_ - 1 - i) %
+                              kChangedLinkHistory]);
+  }
+  return r;
 }
 
 void SequentialSimulator::destabilize(BlockId b) {

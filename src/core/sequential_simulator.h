@@ -28,11 +28,14 @@
 //    must beat or match on real traffic (bench/ablation_schedules).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/bit_vector.h"
+#include "common/error.h"
 #include "common/types.h"
 #include "core/link_memory.h"
 #include "core/state_memory.h"
@@ -44,6 +47,38 @@ enum class SchedulePolicy : std::uint8_t {
   kStatic = 0,
   kDynamic = 1,
   kTwoPhaseOracle = 2,
+};
+
+/// Diagnostic snapshot taken when the dynamic schedule gives up on a
+/// system cycle: which blocks were still unstable, which links changed
+/// most recently, and how far past the budget the settling ran. A host
+/// can turn this into a graceful run-abort with a useful report instead
+/// of an opaque crash deep inside a multi-hour simulation.
+struct ConvergenceReport {
+  SystemCycle cycle = 0;          ///< system cycle that failed to settle
+  DeltaCycle delta_cycles = 0;    ///< delta cycles spent in that cycle
+  DeltaCycle limit = 0;           ///< the configured budget that was hit
+  std::size_t num_blocks = 0;
+  std::size_t link_changes = 0;   ///< changed link writes in that cycle
+  /// Blocks still marked unstable when the budget ran out — the
+  /// oscillating set (or its downstream cone).
+  std::vector<BlockId> oscillating_blocks;
+  /// Most recently changed links, newest first (bounded history).
+  std::vector<LinkId> last_changed_links;
+
+  std::string summary() const;
+};
+
+/// Thrown by the dynamic schedule instead of a bare Error; carries the
+/// ConvergenceReport for the host to query.
+class ConvergenceError : public ContextualError {
+ public:
+  explicit ConvergenceError(ConvergenceReport report);
+
+  const ConvergenceReport& report() const { return report_; }
+
+ private:
+  ConvergenceReport report_;
 };
 
 /// Per-system-cycle accounting (the data behind §6's delta-cycle numbers).
@@ -113,10 +148,17 @@ class SequentialSimulator {
   DeltaCycle total_delta_cycles_ = 0;
   TraceHook trace_;
 
+  ConvergenceReport make_convergence_report(const StepStats& stats,
+                                            DeltaCycle limit) const;
+
   // Dynamic-schedule bookkeeping.
   std::vector<char> unstable_;
   std::size_t unstable_count_ = 0;
   std::size_t rr_next_ = 0;
+  // Bounded history of changed links, for convergence diagnostics.
+  static constexpr std::size_t kChangedLinkHistory = 8;
+  std::array<LinkId, kChangedLinkHistory> recent_changed_links_{};
+  std::size_t recent_changed_count_ = 0;
 
   // Scratch buffers reused across evaluations (hot path).
   std::vector<BitVector> in_scratch_;

@@ -6,11 +6,19 @@
 // Word-addressed. Layout:
 //   0x00000..0x0005F  global control / status / configuration / RNG
 //   0x00400 + 16r+4v  stimuli buffer port of router r, VC v
-//   0x02000 + 4r      output buffer port of router r
+//   0x02000 + 8r      output buffer port of router r
 //   0x03000           link monitor buffer port
 //   0x03010           access-delay monitor buffer port
+//
+// Consumer ports carry, besides the legacy destructive pop, a
+// peek/tag/ack protocol so a host that mistrusts the bus can re-read a
+// corrupted word and acknowledge explicitly (see DESIGN.md,
+// "Robustness"). Stimuli ports optionally (kRegGuard) validate a
+// sequence+checksum tag folded into the unused high bits of the push
+// word, rejecting corrupted entries instead of simulating them.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 namespace tmsim::fpga {
@@ -22,11 +30,11 @@ inline constexpr Addr kAddrSpaceWords = 1u << 17;
 
 // --- Global registers -----------------------------------------------------
 inline constexpr Addr kRegCtrl = 0x00;        ///< W: 1 = run one period
-inline constexpr Addr kRegStatus = 0x01;      ///< R: bit0 busy, bit1 overrun
-inline constexpr Addr kRegSimCycles = 0x02;   ///< W: system cycles per period
-inline constexpr Addr kRegNetWidth = 0x03;    ///< W: network width
-inline constexpr Addr kRegNetHeight = 0x04;   ///< W: network height
-inline constexpr Addr kRegTopology = 0x05;    ///< W: 0 torus, 1 mesh
+inline constexpr Addr kRegStatus = 0x01;      ///< R: status bits; W: W1C
+inline constexpr Addr kRegSimCycles = 0x02;   ///< R/W: system cycles/period
+inline constexpr Addr kRegNetWidth = 0x03;    ///< R/W: network width
+inline constexpr Addr kRegNetHeight = 0x04;   ///< R/W: network height
+inline constexpr Addr kRegTopology = 0x05;    ///< R/W: 0 torus, 1 mesh
 inline constexpr Addr kRegConfigure = 0x06;   ///< W: commit net configuration
 inline constexpr Addr kRegRandom = 0x07;      ///< R: next 32-bit LFSR word
 inline constexpr Addr kRegCycleLo = 0x08;     ///< R: simulated cycles (lo)
@@ -35,18 +43,33 @@ inline constexpr Addr kRegDeltaLo = 0x0a;     ///< R: delta cycles (lo)
 inline constexpr Addr kRegDeltaHi = 0x0b;     ///< R: delta cycles (hi)
 inline constexpr Addr kRegFpgaClkLo = 0x0c;   ///< R: FPGA clock cycles (lo)
 inline constexpr Addr kRegFpgaClkHi = 0x0d;   ///< R: FPGA clock cycles (hi)
-inline constexpr Addr kRegLinkProbe = 0x0e;   ///< W: (router<<8)|port to log
-inline constexpr Addr kRegRngSeed = 0x0f;     ///< W: reseed the LFSR
+inline constexpr Addr kRegLinkProbe = 0x0e;   ///< R/W: (router<<8)|port to log
+inline constexpr Addr kRegRngSeed = 0x0f;     ///< W: reseed; R: LFSR state
+inline constexpr Addr kRegConfigGen = 0x10;   ///< R: committed config count
+inline constexpr Addr kRegGuard = 0x11;       ///< R/W: bit0 = guarded pushes
+inline constexpr Addr kRegFaults = 0x12;      ///< R: rejected stimuli words
+
+// kRegStatus bits. Sticky bits stay set until the host clears them by
+// writing a mask with that bit (write-one-to-clear), so one recovered
+// fault cannot poison every later period's status poll.
+inline constexpr std::uint32_t kStatusBusy = 1u << 0;
+inline constexpr std::uint32_t kStatusOverrun = 1u << 1;    ///< sticky, W1C
+inline constexpr std::uint32_t kStatusLoadFault = 1u << 2;  ///< sticky, W1C
 
 // --- Per-buffer port sub-registers -----------------------------------------
-// Stimuli ports (ARM = producer): FREE is a read, PUSH_* are writes.
-// Output/monitor ports (ARM = consumer): FILL / POP_* are reads.
-inline constexpr Addr kPortFree = 0;     ///< R: free entries
-inline constexpr Addr kPortPushTs = 1;   ///< W: entry timestamp
-inline constexpr Addr kPortPushData = 2; ///< W: entry payload (commits entry)
-inline constexpr Addr kPortFill = 0;     ///< R: filled entries
-inline constexpr Addr kPortPopTs = 1;    ///< R: front timestamp
-inline constexpr Addr kPortPopData = 2;  ///< R: front payload (pops entry)
+// Stimuli ports (ARM = producer): FREE/COMMITS are reads, PUSH_* writes.
+// Output/monitor ports (ARM = consumer): FILL/POP_*/PEEK/TAG are reads,
+// ACK is a write.
+inline constexpr Addr kPortFree = 0;      ///< R: free entries
+inline constexpr Addr kPortPushTs = 1;    ///< W: entry timestamp
+inline constexpr Addr kPortPushData = 2;  ///< W: entry payload (commits)
+inline constexpr Addr kPortCommits = 3;   ///< R: words committed (cumulative)
+inline constexpr Addr kPortFill = 0;      ///< R: filled entries
+inline constexpr Addr kPortPopTs = 1;     ///< R: front timestamp (peek)
+inline constexpr Addr kPortPopData = 2;   ///< R: front payload (pops entry)
+inline constexpr Addr kPortPeekData = 3;  ///< R: front payload (no pop)
+inline constexpr Addr kPortTag = 4;       ///< R: front entry tag (0 if empty)
+inline constexpr Addr kPortAck = 5;       ///< W: pop if value matches seq
 
 inline constexpr Addr kStimuliBase = 0x00400;
 inline constexpr Addr kOutputBase = 0x02000;
@@ -59,9 +82,39 @@ inline Addr stimuli_port(std::size_t router, std::size_t vc, Addr sub) {
 }
 
 /// Output buffer port of router r (outputs are stored per router, not per
-/// VC — §5.2).
+/// VC — §5.2). Eight words per router to fit the peek/tag/ack ports.
 inline Addr output_port(std::size_t router, Addr sub) {
-  return kOutputBase + static_cast<Addr>(router * 4) + sub;
+  return kOutputBase + static_cast<Addr>(router * 8) + sub;
+}
+
+// --- Word tagging (corruption detection) -----------------------------------
+// A 2-bit checksum over (payload XOR low timestamp bits), offset by one so
+// that an all-zero word (what an empty buffer's peek ports return) never
+// validates against any tag.
+inline std::uint32_t word_checksum(std::uint32_t data, std::uint32_t ts) {
+  return (static_cast<std::uint32_t>(std::popcount(data ^ ts)) + 1u) & 3u;
+}
+
+/// Consumer-port TAG word: bit8 = valid, bits[7:6] = checksum,
+/// bits[5:0] = sequence number (pop count mod 64) of the front entry.
+inline constexpr std::uint32_t kTagValidBit = 1u << 8;
+inline std::uint32_t entry_tag(std::uint32_t data, std::uint32_t ts,
+                               std::uint32_t seq) {
+  return kTagValidBit | (word_checksum(data, ts) << 6) | (seq & 63u);
+}
+
+/// Guarded stimuli push word: the flit encoding occupies bits[20:0]; the
+/// free high bits carry bits[26:21] = sequence (commit count mod 64) and
+/// bits[28:27] = checksum over (payload, timestamp). With kRegGuard off
+/// the high bits are simply not connected, as before.
+inline constexpr std::uint32_t kStimuliPayloadBits = 21;
+inline constexpr std::uint32_t kStimuliPayloadMask =
+    (1u << kStimuliPayloadBits) - 1u;
+inline std::uint32_t guard_stimulus(std::uint32_t payload, std::uint32_t ts,
+                                    std::uint32_t seq) {
+  payload &= kStimuliPayloadMask;
+  return payload | ((seq & 63u) << kStimuliPayloadBits) |
+         (word_checksum(payload, ts) << 27);
 }
 
 }  // namespace tmsim::fpga

@@ -9,27 +9,138 @@ namespace tmsim::fpga {
 using noc::LinkForward;
 using traffic::PacketClass;
 
-ArmHost::ArmHost(FpgaDesign& fpga, Workload workload)
-    : fpga_(fpga), wl_(std::move(workload)), sw_rng_(wl_.rng_seed) {
+ArmHost::ArmHost(BusInterface& bus, const FpgaBuildConfig& build,
+                 Workload workload)
+    : bus_(bus),
+      build_(build),
+      wl_(std::move(workload)),
+      sw_rng_(wl_.rng_seed) {
   counts_.rng_on_fpga = wl_.rng_on_fpga;
 }
 
+ArmHost::ArmHost(FpgaDesign& fpga, Workload workload)
+    : ArmHost(static_cast<BusInterface&>(fpga), fpga.build(),
+              std::move(workload)) {}
+
+// --- Bus access with per-phase accounting ----------------------------------
+
+std::uint32_t ArmHost::rd(Addr addr, Bucket b) {
+  switch (b) {
+    case Bucket::kGenerate: ++counts_.generate_bus_reads; break;
+    case Bucket::kLoad: ++counts_.load_bus_reads; break;
+    case Bucket::kRetrieve: ++counts_.retrieve_bus_reads; break;
+    case Bucket::kVerify: ++counts_.verify_bus_reads; break;
+    case Bucket::kSync: ++counts_.sync_bus_reads; break;
+  }
+  return bus_.read32(addr);
+}
+
+void ArmHost::wr(Addr addr, std::uint32_t value, Bucket b) {
+  switch (b) {
+    case Bucket::kGenerate: break;  // no generate-phase writes exist
+    case Bucket::kLoad: ++counts_.load_bus_writes; break;
+    case Bucket::kRetrieve: break;  // retrieve writes are all acks (verify)
+    case Bucket::kVerify: ++counts_.verify_bus_writes; break;
+    case Bucket::kSync: ++counts_.sync_bus_writes; break;
+  }
+  bus_.write32(addr, value);
+}
+
+std::uint32_t ArmHost::rd_agreed(Addr addr, Bucket b) {
+  std::uint32_t prev = rd(addr, b);
+  const std::size_t budget = 2 * wl_.max_attempts + 2;
+  for (std::size_t i = 0; i < budget; ++i) {
+    const std::uint32_t v = rd(addr, b);
+    if (v == prev) {
+      return v;
+    }
+    ++fault_report_.read_disagreements;
+    prev = v;
+  }
+  throw ContextualError("bus reads never agree",
+                        {{"addr", std::to_string(addr)}});
+}
+
+void ArmHost::verified_write(Addr addr, std::uint32_t value,
+                             std::uint32_t expect) {
+  for (std::size_t attempt = 0; attempt <= wl_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++fault_report_.config_retries;
+    }
+    wr(addr, value, Bucket::kSync);
+    if (rd_agreed(addr, Bucket::kVerify) == expect) {
+      return;
+    }
+  }
+  throw ContextualError("verified register write never converged",
+                        {{"addr", std::to_string(addr)},
+                         {"value", std::to_string(value)}});
+}
+
+void ArmHost::abort_run(const std::string& reason) {
+  if (fault_report_.aborted) {
+    return;  // keep the first (root-cause) reason
+  }
+  fault_report_.aborted = true;
+  fault_report_.abort_reason = reason;
+}
+
+// --- Configuration ----------------------------------------------------------
+
 void ArmHost::configure_network(std::size_t width, std::size_t height,
                                 noc::Topology topology) {
-  fpga_.write32(kRegNetWidth, static_cast<std::uint32_t>(width));
-  fpga_.write32(kRegNetHeight, static_cast<std::uint32_t>(height));
-  fpga_.write32(kRegTopology,
-                topology == noc::Topology::kTorus ? 0u : 1u);
-  fpga_.write32(kRegConfigure, 1);
-  fpga_.write32(kRegRngSeed, wl_.rng_seed);
-  sw_rng_ = Lfsr32(wl_.rng_seed);
+  const auto w = static_cast<std::uint32_t>(width);
+  const auto h = static_cast<std::uint32_t>(height);
+  const std::uint32_t topo = topology == noc::Topology::kTorus ? 0u : 1u;
+  verified_write(kRegNetWidth, w, w);
+  verified_write(kRegNetHeight, h, h);
+  verified_write(kRegTopology, topo, topo);
 
-  const noc::NetworkConfig& net = fpga_.network();
-  streams_.assign(net.num_routers() * net.router.num_vcs, VcStream{});
-  be_next_.assign(net.num_routers(), 0);
-  next_seq_.assign(net.num_routers() * net.router.num_vcs, 0);
+  // Commit, observed through the configuration-generation counter (the
+  // commit write itself has no readback).
+  const std::uint32_t gen = rd_agreed(kRegConfigGen, Bucket::kVerify);
+  bool committed = false;
+  for (std::size_t attempt = 0; attempt <= wl_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++fault_report_.config_retries;
+    }
+    wr(kRegConfigure, 1, Bucket::kSync);
+    if (rd_agreed(kRegConfigGen, Bucket::kVerify) != gen) {
+      committed = true;
+      break;
+    }
+  }
+  if (!committed) {
+    throw ContextualError("configuration commit never registered",
+                          {{"width", std::to_string(width)},
+                           {"height", std::to_string(height)}});
+  }
+
+  // The seed register reads back as the LFSR state, which equals the
+  // written seed right after seeding (zero maps like hardware reset).
+  verified_write(kRegRngSeed, wl_.rng_seed, Lfsr32(wl_.rng_seed).state());
+  sw_rng_ = Lfsr32(wl_.rng_seed);
+  // Enable the guarded (sequence+checksum tagged) stimuli protocol.
+  verified_write(kRegGuard, 1, 1);
+
+  // Host-side mirror of the committed configuration: the hardened host
+  // never consults the design object directly.
+  net_ = noc::NetworkConfig{};
+  net_.width = width;
+  net_.height = height;
+  net_.topology = topology;
+  net_.router = build_.router;
+  net_.validate();
+  configured_ = true;
+
+  streams_.assign(net_.num_routers() * net_.router.num_vcs, VcStream{});
+  be_next_.assign(net_.num_routers(), 0);
+  next_seq_.assign(net_.num_routers() * net_.router.num_vcs, 0);
+  output_pops_.assign(net_.num_routers(), 0);
+  access_monitor_pops_ = 0;
   sent_.clear();
   generated_horizon_ = 0;
+  cycles_ = 0;
   overloaded_ = false;
 
   if (wl_.be_load > 0.0) {
@@ -48,17 +159,22 @@ void ArmHost::configure_network(std::size_t width, std::size_t height,
   }
 }
 
+// --- Generate ---------------------------------------------------------------
+
 std::uint32_t ArmHost::next_random() {
   ++counts_.randoms_drawn;
+  const std::uint32_t mirror = sw_rng_.next();
   if (wl_.rng_on_fpga) {
-    // Bus read from the RNG register; the software mirror stays in sync
-    // so that both modes simulate the identical traffic.
-    const std::uint32_t v = fpga_.read32(kRegRandom);
-    const std::uint32_t mirror = sw_rng_.next();
-    TMSIM_CHECK_MSG(v == mirror, "FPGA RNG out of sync with the mirror");
-    return v;
+    // One bus read per random (§5.3). The software mirror advances in
+    // lockstep, so a corrupted read heals locally: the mirror value is
+    // authoritative and the hardware LFSR needs no rewind. A persistent
+    // mismatch stream shows up as rng_mirror_fixes in the FaultReport.
+    const std::uint32_t v = rd(kRegRandom, Bucket::kGenerate);
+    if (v != mirror) {
+      ++fault_report_.rng_mirror_fixes;
+    }
   }
-  return sw_rng_.next();
+  return mirror;
 }
 
 double ArmHost::next_uniform() {
@@ -73,8 +189,7 @@ std::uint32_t ArmHost::flight_key(std::size_t dst, unsigned vc,
 void ArmHost::emit_packet(PacketClass cls, std::size_t src, std::size_t dst,
                           unsigned vc, std::size_t payload_flits,
                           SystemCycle when) {
-  const noc::NetworkConfig& net = fpga_.network();
-  std::uint16_t& ctr = next_seq_[dst * net.router.num_vcs + vc];
+  std::uint16_t& ctr = next_seq_[dst * net_.router.num_vcs + vc];
   unsigned seq = 0;
   bool found = false;
   for (unsigned attempt = 0; attempt < 64; ++attempt) {
@@ -87,7 +202,7 @@ void ArmHost::emit_packet(PacketClass cls, std::size_t src, std::size_t dst,
   TMSIM_CHECK_MSG(found, "sequence tags exhausted for (dst, vc)");
   ctr = static_cast<std::uint16_t>((seq + 1) % 64);
 
-  const noc::Coord dc = router_coord(net, dst);
+  const noc::Coord dc = router_coord(net_, dst);
   // Random payload fill — half a 32-bit random per 16-bit flit, which is
   // where the RNG-offload speedup of §8 comes from.
   std::uint32_t word = 0;
@@ -110,7 +225,7 @@ void ArmHost::emit_packet(PacketClass cls, std::size_t src, std::size_t dst,
                               static_cast<std::uint16_t>(word & 0xffffu)});
   }
 
-  VcStream& stream = streams_[src * net.router.num_vcs + vc];
+  VcStream& stream = streams_[src * net_.router.num_vcs + vc];
   SystemCycle ts = when;
   for (const noc::Flit& f : flits) {
     stream.pending.push_back(TimedWord{
@@ -124,8 +239,7 @@ void ArmHost::emit_packet(PacketClass cls, std::size_t src, std::size_t dst,
 }
 
 void ArmHost::generate_up_to(SystemCycle horizon) {
-  const noc::NetworkConfig& net = fpga_.network();
-  const std::size_t n = net.num_routers();
+  const std::size_t n = net_.num_routers();
 
   for (const traffic::GtStream& s : wl_.gt_streams) {
     // Packets of this stream due in [generated_horizon_, horizon).
@@ -164,116 +278,325 @@ void ArmHost::generate_up_to(SystemCycle horizon) {
   generated_horizon_ = horizon;
 }
 
+// --- Load -------------------------------------------------------------------
+
+bool ArmHost::load_port(std::size_t r, std::size_t vc) {
+  VcStream& stream = streams_[r * net_.router.num_vcs + vc];
+  if (stream.pending.empty()) {
+    stream.stalled_periods = 0;
+    return true;
+  }
+  const Addr free_addr = stimuli_port(r, vc, kPortFree);
+  const Addr commit_addr = stimuli_port(r, vc, kPortCommits);
+  std::size_t committed_this_period = 0;
+  bool settled = false;
+  for (std::size_t attempt = 0; attempt <= wl_.max_attempts && !settled;
+       ++attempt) {
+    if (stream.pending.empty()) {
+      settled = true;  // a replay resync consumed the remaining words
+      break;
+    }
+    std::uint32_t free = rd(free_addr, Bucket::kLoad);
+    if (free > build_.stimuli_buffer_depth) {
+      // Corrupted high; clamp to the physical depth so the push burst
+      // stays bounded (the commit verification below catches the rest).
+      free = static_cast<std::uint32_t>(build_.stimuli_buffer_depth);
+    }
+    // Optimistic burst with an undo log: the checkpoint of this port's
+    // pending queue is simply the words we popped from it.
+    std::vector<TimedWord> undo;
+    std::uint32_t pushed = 0;
+    while (free > 0 && !stream.pending.empty()) {
+      const TimedWord w = stream.pending.front();
+      stream.pending.pop_front();
+      undo.push_back(w);
+      const auto ts32 = static_cast<std::uint32_t>(w.timestamp);
+      wr(stimuli_port(r, vc, kPortPushTs), ts32, Bucket::kLoad);
+      wr(stimuli_port(r, vc, kPortPushData),
+         guard_stimulus(w.data, ts32, stream.commits + pushed),
+         Bucket::kLoad);
+      --free;
+      ++pushed;
+    }
+    const std::uint32_t expect = stream.commits + pushed;
+    const std::uint32_t c_hw = rd_agreed(commit_addr, Bucket::kVerify);
+    bool ok = c_hw == expect;
+    if (ok && !stream.pending.empty()) {
+      // "All input buffers are maximally filled unless no data is
+      // available" (§5.3). A short fill (free-space read corrupted low)
+      // would change injection timing, so confirm genuine fullness.
+      ok = rd_agreed(free_addr, Bucket::kVerify) == 0;
+    }
+    if (ok) {
+      stream.commits = expect;
+      committed_this_period += pushed;
+      settled = true;
+      break;
+    }
+    // Replay from the accepted prefix: restore the burst into the pending
+    // queue, re-credit the words the hardware did commit, clear the
+    // sticky reject flag, and go around again.
+    ++fault_report_.load_replays;
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      stream.pending.push_front(*it);
+    }
+    const std::uint32_t accepted = c_hw - stream.commits;
+    if (accepted > pushed) {
+      abort_run("stimuli commit counter diverged on router " +
+                std::to_string(r) + " vc " + std::to_string(vc));
+      return false;
+    }
+    for (std::uint32_t i = 0; i < accepted; ++i) {
+      stream.pending.pop_front();
+    }
+    stream.commits += accepted;
+    committed_this_period += accepted;
+    fault_report_.load_words_resynced += accepted;
+    wr(kRegStatus, kStatusLoadFault, Bucket::kVerify);
+    ++fault_report_.status_clears;
+  }
+  if (!settled) {
+    abort_run("load phase retries exhausted on router " + std::to_string(r) +
+              " vc " + std::to_string(vc));
+    return false;
+  }
+  if (committed_this_period > 0 || stream.pending.empty()) {
+    // Any accepted word proves the network is still consuming this VC.
+    stream.stalled_periods = 0;
+  } else if (++stream.stalled_periods >= wl_.overload_periods) {
+    // "If the network is overloaded with traffic and it does not accept
+    //  data on virtual channels for a longer time, this is reported to
+    //  the user and simulation is stopped." (§5.3)
+    overloaded_ = true;
+  }
+  return true;
+}
+
 void ArmHost::load_phase() {
-  const noc::NetworkConfig& net = fpga_.network();
-  const std::size_t vcs = net.router.num_vcs;
-  for (std::size_t r = 0; r < net.num_routers(); ++r) {
+  const std::size_t vcs = net_.router.num_vcs;
+  for (std::size_t r = 0; r < net_.num_routers(); ++r) {
     for (std::size_t vc = 0; vc < vcs; ++vc) {
-      VcStream& stream = streams_[r * vcs + vc];
-      if (stream.pending.empty()) {
-        stream.stalled_periods = 0;
-        continue;
-      }
-      std::uint32_t free =
-          fpga_.read32(stimuli_port(r, vc, kPortFree));
-      bool any = false;
-      while (free > 0 && !stream.pending.empty()) {
-        const TimedWord w = stream.pending.front();
-        stream.pending.pop_front();
-        fpga_.write32(stimuli_port(r, vc, kPortPushTs),
-                      static_cast<std::uint32_t>(w.timestamp));
-        fpga_.write32(stimuli_port(r, vc, kPortPushData), w.data);
-        --free;
-        any = true;
-      }
-      if (!any) {
-        // "If the network is overloaded with traffic and it does not
-        //  accept data on virtual channels for a longer time, this is
-        //  reported to the user and simulation is stopped." (§5.3)
-        if (++stream.stalled_periods >= wl_.overload_periods) {
-          overloaded_ = true;
-        }
-      } else {
-        stream.stalled_periods = 0;
+      if (!load_port(r, vc)) {
+        return;
       }
     }
   }
+}
+
+// --- Simulate ---------------------------------------------------------------
+
+void ArmHost::simulate_phase(std::size_t period) {
+  const auto start = static_cast<std::uint32_t>(cycles_);
+  const auto want = static_cast<std::uint32_t>(cycles_ + period);
+  for (std::size_t attempt = 0; attempt <= wl_.max_attempts; ++attempt) {
+    try {
+      wr(kRegCtrl, 1, Bucket::kSync);
+    } catch (const core::ConvergenceError& e) {
+      // The design's netlist did not settle: graceful abort with the
+      // structured report instead of a crash mid-run.
+      convergence_report_ = e.report();
+      abort_run("core convergence failure: " + e.report().summary());
+      return;
+    }
+    // Busy poll, watchdog bounded. The functional model completes
+    // synchronously, but a fault layer (or real hardware) can stretch
+    // this — the run must never hang on a stuck status bit.
+    std::uint32_t status = 0;
+    for (std::size_t polls = 0;;) {
+      status = rd(kRegStatus, Bucket::kSync);
+      if (!(status & kStatusBusy)) {
+        break;
+      }
+      ++fault_report_.busy_polls;
+      if (++polls >= wl_.watchdog_polls) {
+        ++fault_report_.watchdog_trips;
+        abort_run("watchdog: simulate phase still busy after " +
+                  std::to_string(wl_.watchdog_polls) + " status polls");
+        return;
+      }
+    }
+    if (status & kStatusOverrun) {
+      if (rd_agreed(kRegStatus, Bucket::kVerify) & kStatusOverrun) {
+        abort_run("output buffer overrun flagged by the design");
+        return;
+      }
+      ++fault_report_.spurious_overruns_ignored;
+    }
+    if (status & kStatusLoadFault) {
+      // Leftover (or spuriously read) sticky bit; clear it so later
+      // periods poll a clean status.
+      wr(kRegStatus, kStatusLoadFault, Bucket::kVerify);
+      ++fault_report_.status_clears;
+    }
+    // The run command itself may have been lost; the cycle counter is
+    // the ground truth for whether the period executed.
+    const std::uint32_t lo = rd_agreed(kRegCycleLo, Bucket::kVerify);
+    if (lo == want) {
+      cycles_ += period;
+      return;
+    }
+    if (lo == start) {
+      ++fault_report_.ctrl_retries;
+      continue;  // safe to re-issue: the period never started
+    }
+    abort_run("cycle counter in unexpected state after period: read " +
+              std::to_string(lo) + ", expected " + std::to_string(want));
+    return;
+  }
+  abort_run("simulate phase retries exhausted");
+}
+
+// --- Retrieve / analyze -----------------------------------------------------
+
+void ArmHost::deliver_output(std::size_t router, std::uint32_t ts,
+                             std::uint32_t data) {
+  const LinkForward f = noc::decode_forward(data);
+  TMSIM_CHECK_MSG(f.valid, "output buffer holds an idle entry");
+  VcStream& stream = streams_[router * net_.router.num_vcs + f.vc];
+  if (f.flit.type == noc::FlitType::kHead) {
+    const noc::HeadFields h = noc::decode_head(f.flit.payload);
+    TMSIM_CHECK_MSG(!stream.receiving,
+                    "HEAD while a packet is open (wormhole violation)");
+    stream.receiving = true;
+    stream.key = flight_key(router, f.vc, h.seq);
+    stream.flits_seen = 1;
+  } else {
+    TMSIM_CHECK_MSG(stream.receiving, "BODY/TAIL with no packet open");
+    ++stream.flits_seen;
+    if (f.flit.type == noc::FlitType::kTail) {
+      const auto it = sent_.find(stream.key);
+      TMSIM_CHECK_MSG(it != sent_.end(), "delivery matches no record");
+      TMSIM_CHECK_MSG(it->second.flits == stream.flits_seen,
+                      "packet delivered with wrong flit count");
+      latency_[static_cast<std::size_t>(it->second.cls)].add(
+          static_cast<double>(ts - it->second.created));
+      ++counts_.packets_analyzed;
+      sent_.erase(it);
+      stream.receiving = false;
+    }
+  }
+  ++counts_.flits_analyzed;
+}
+
+bool ArmHost::drain_port(
+    Addr base, std::uint32_t& pops,
+    const std::function<void(std::uint32_t, std::uint32_t)>& deliver) {
+  const std::uint32_t fill = rd(base + kPortFill, Bucket::kRetrieve);
+  if (fill == 0 && rd_agreed(base + kPortFill, Bucket::kVerify) == 0) {
+    return true;  // agreed empty — the common idle-port fast path
+  }
+  // Drain to empty, keyed on the hardware tag rather than a counter: the
+  // fill read above may itself be corrupted either way. Every word is
+  // validated against its tag's checksum before it reaches the analysis
+  // state, and acknowledged explicitly; a lost ack is re-sent when the
+  // stale tag shows up again. Bounded, like every recovery loop.
+  const std::size_t bound =
+      (build_.output_buffer_depth + 4) * (wl_.max_attempts + 4);
+  for (std::size_t iter = 0; iter < bound; ++iter) {
+    const std::uint32_t tag = rd(base + kPortTag, Bucket::kVerify);
+    if (!(tag & kTagValidBit)) {
+      if (rd_agreed(base + kPortFill, Bucket::kVerify) == 0) {
+        return true;  // genuinely drained
+      }
+      ++fault_report_.retrieve_retries;  // corrupted tag read
+      continue;
+    }
+    const std::uint32_t seq = tag & 63u;
+    if (seq == ((pops + 63u) & 63u)) {
+      // Front entry is one we already processed: our ack was lost.
+      // Re-acking is idempotent (the hardware ignores stale acks).
+      wr(base + kPortAck, seq, Bucket::kVerify);
+      ++fault_report_.reacks;
+      continue;
+    }
+    if (seq != (pops & 63u)) {
+      ++fault_report_.retrieve_retries;  // corrupted tag read
+      continue;
+    }
+    std::uint32_t ts = 0;
+    std::uint32_t data = 0;
+    try {
+      ts = rd(base + kPortPopTs, Bucket::kRetrieve);
+      data = rd(base + kPortPeekData, Bucket::kRetrieve);
+    } catch (const Error&) {
+      // A corrupted tag can read as valid on an empty buffer, whose
+      // timestamp port then rejects the access; retry resolves it.
+      ++fault_report_.retrieve_retries;
+      continue;
+    }
+    if (((tag >> 6) & 3u) != word_checksum(data, ts)) {
+      ++fault_report_.retrieve_retries;  // ts, data, or tag corrupted
+      continue;
+    }
+    deliver(ts, data);
+    wr(base + kPortAck, pops & 63u, Bucket::kVerify);
+    ++pops;
+  }
+  abort_run("retrieve drain exceeded its iteration bound");
+  return false;
 }
 
 void ArmHost::retrieve_phase() {
-  const noc::NetworkConfig& net = fpga_.network();
-  const std::size_t vcs = net.router.num_vcs;
-  for (std::size_t r = 0; r < net.num_routers(); ++r) {
-    std::uint32_t fill = fpga_.read32(output_port(r, kPortFill));
-    while (fill-- > 0) {
-      const auto ts = fpga_.read32(output_port(r, kPortPopTs));
-      const auto data = fpga_.read32(output_port(r, kPortPopData));
-      const LinkForward f = noc::decode_forward(data);
-      TMSIM_CHECK_MSG(f.valid, "output buffer holds an idle entry");
-      VcStream& stream = streams_[r * vcs + f.vc];
-      if (f.flit.type == noc::FlitType::kHead) {
-        const noc::HeadFields h = noc::decode_head(f.flit.payload);
-        TMSIM_CHECK_MSG(!stream.receiving,
-                        "HEAD while a packet is open (wormhole violation)");
-        stream.receiving = true;
-        stream.key = flight_key(r, f.vc, h.seq);
-        stream.flits_seen = 1;
-      } else {
-        TMSIM_CHECK_MSG(stream.receiving, "BODY/TAIL with no packet open");
-        ++stream.flits_seen;
-        if (f.flit.type == noc::FlitType::kTail) {
-          const auto it = sent_.find(stream.key);
-          TMSIM_CHECK_MSG(it != sent_.end(), "delivery matches no record");
-          TMSIM_CHECK_MSG(it->second.flits == stream.flits_seen,
-                          "packet delivered with wrong flit count");
-          latency_[static_cast<std::size_t>(it->second.cls)].add(
-              static_cast<double>(ts - it->second.created));
-          ++counts_.packets_analyzed;
-          sent_.erase(it);
-          stream.receiving = false;
-        }
-      }
-      ++counts_.flits_analyzed;
+  // Ports are drained fully and in a fixed order so the floating-point
+  // accumulation order of the statistics is identical run to run — the
+  // precondition for the bit-identical recovery guarantee.
+  for (std::size_t r = 0; r < net_.num_routers(); ++r) {
+    if (!drain_port(output_port(r, 0), output_pops_[r],
+                    [this, r](std::uint32_t ts, std::uint32_t data) {
+                      deliver_output(r, ts, data);
+                    })) {
+      return;
     }
   }
   // Drain the access-delay monitor.
-  std::uint32_t fill = fpga_.read32(kAccessMonitorBase + kPortFill);
-  while (fill-- > 0) {
-    (void)fpga_.read32(kAccessMonitorBase + kPortPopTs);
-    access_delay_.add(
-        static_cast<double>(fpga_.read32(kAccessMonitorBase + kPortPopData)));
+  if (!drain_port(kAccessMonitorBase, access_monitor_pops_,
+                  [this](std::uint32_t, std::uint32_t data) {
+                    access_delay_.add(static_cast<double>(data));
+                  })) {
+    return;
   }
 }
 
+// --- The five-phase loop ----------------------------------------------------
+
 void ArmHost::run(std::size_t total_cycles) {
-  TMSIM_CHECK_MSG(fpga_.configured(),
-                  "call configure_network() before run()");
+  TMSIM_CHECK_MSG(configured_, "call configure_network() before run()");
   // "the simulation period is fixed to the size of the VC stimuli
   //  buffers in the FPGA" (§5.3).
-  const std::size_t p = fpga_.build().stimuli_buffer_depth;
-  fpga_.write32(kRegSimCycles, static_cast<std::uint32_t>(p));
-
-  while (fpga_.cycles_simulated() < total_cycles && !overloaded_) {
-    BusStats before = fpga_.bus_stats();
-    generate_up_to(fpga_.cycles_simulated() + 2 * p);
-    BusStats after_gen = fpga_.bus_stats();
-    counts_.generate_bus_reads += after_gen.reads - before.reads;
-
-    load_phase();
-    BusStats after_load = fpga_.bus_stats();
-    counts_.load_bus_reads += after_load.reads - after_gen.reads;
-    counts_.load_bus_writes += after_load.writes - after_gen.writes;
-
-    fpga_.write32(kRegCtrl, 1);  // run one period
-    ++counts_.periods;
-
-    BusStats before_ret = fpga_.bus_stats();
-    retrieve_phase();
-    BusStats after_ret = fpga_.bus_stats();
-    counts_.retrieve_bus_reads += after_ret.reads - before_ret.reads;
+  const std::size_t p = build_.stimuli_buffer_depth;
+  try {
+    verified_write(kRegSimCycles, static_cast<std::uint32_t>(p),
+                   static_cast<std::uint32_t>(p));
+    while (cycles_ < total_cycles && !overloaded_ && !aborted()) {
+      generate_up_to(cycles_ + 2 * p);
+      load_phase();
+      if (aborted()) break;
+      simulate_phase(p);
+      if (aborted()) break;
+      retrieve_phase();
+      ++counts_.periods;
+    }
+    counts_.fpga_clock_cycles =
+        (static_cast<std::uint64_t>(rd_agreed(kRegFpgaClkHi, Bucket::kSync))
+         << 32) |
+        rd_agreed(kRegFpgaClkLo, Bucket::kSync);
+    fault_report_.hw_rejected_words = rd_agreed(kRegFaults, Bucket::kSync);
+  } catch (const core::ConvergenceError& e) {
+    convergence_report_ = e.report();
+    abort_run("core convergence failure: " + e.report().summary());
+  } catch (const ContextualError& e) {
+    // A recovery loop exhausted its budget outside the phase-level
+    // handling (e.g. reads that never agree): graceful structured abort.
+    abort_run(e.what());
+  } catch (const Error& e) {
+    // Fault rates far beyond the recoverable envelope can desynchronize
+    // the host mirror until the design itself rejects the traffic (a
+    // consistently-corrupted "agreed" read has probability ~rate²). Even
+    // then the contract holds: a structured abort, never a crash.
+    abort_run(std::string("unrecoverable design/protocol error: ") +
+              e.what());
   }
-  counts_.system_cycles = fpga_.cycles_simulated();
-  counts_.fpga_clock_cycles = fpga_.fpga_clock_cycles();
+  counts_.system_cycles = cycles_;
 }
 
 }  // namespace tmsim::fpga

@@ -1,0 +1,33 @@
+// BusInterface: the ARM-side view of the 17-bit-address / 32-bit-data
+// memory interface (§5.1). `FpgaDesign` implements it directly; fault
+// layers (FaultyBus) wrap another BusInterface and perturb the traffic.
+// The hardened ArmHost talks only to this interface, so the same host
+// code drives a clean design, a faulty one, or any test double.
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/address_map.h"
+
+namespace tmsim::fpga {
+
+/// Bus traffic counters (for the interface-time model). A decorator
+/// keeps its own counters, so the host always sees the traffic it
+/// actually attempted — including writes a fault layer swallowed.
+struct BusStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+class BusInterface {
+ public:
+  virtual ~BusInterface() = default;
+
+  virtual std::uint32_t read32(Addr addr) = 0;
+  virtual void write32(Addr addr, std::uint32_t value) = 0;
+
+  /// Traffic as seen at this layer of the bus stack.
+  virtual const BusStats& bus_stats() const = 0;
+};
+
+}  // namespace tmsim::fpga

@@ -1,0 +1,62 @@
+// FaultReport: the host-side ledger of everything the hardened ArmHost
+// detected and did about it — retries, replays, watchdog activity, and
+// whether the run ultimately aborted. Mirrors FaultCounts (what a
+// FaultyBus injected) from the recovery side, so a test or bench can
+// check that injected ≈ detected+recovered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tmsim::fpga {
+
+struct FaultReport {
+  // Detection / recovery counters.
+  std::uint64_t rng_mirror_fixes = 0;     ///< RNG reads healed by the mirror
+  std::uint64_t config_retries = 0;       ///< verified-write retry rounds
+  std::uint64_t ctrl_retries = 0;         ///< re-issued run-period commands
+  std::uint64_t load_replays = 0;         ///< load-phase checkpoint replays
+  std::uint64_t load_words_resynced = 0;  ///< words re-credited via commits
+  std::uint64_t hw_rejected_words = 0;    ///< kRegFaults at end of run
+  std::uint64_t retrieve_retries = 0;     ///< re-read rounds in retrieve
+  std::uint64_t reacks = 0;               ///< lost acks re-acknowledged
+  std::uint64_t read_disagreements = 0;   ///< agreed-read extra rounds
+  std::uint64_t spurious_overruns_ignored = 0;
+  std::uint64_t status_clears = 0;        ///< W1C writes to sticky bits
+  std::uint64_t busy_polls = 0;           ///< status polls that read busy
+  std::uint64_t watchdog_trips = 0;
+
+  // Outcome.
+  bool aborted = false;
+  std::string abort_reason;
+
+  /// Total recovery actions (any nonzero means faults were observed).
+  std::uint64_t total_recovered() const {
+    return rng_mirror_fixes + config_retries + ctrl_retries + load_replays +
+           retrieve_retries + reacks + read_disagreements +
+           spurious_overruns_ignored + busy_polls;
+  }
+
+  std::string to_string() const {
+    std::string s;
+    s += "faults handled: rng_fixes=" + std::to_string(rng_mirror_fixes);
+    s += " config_retries=" + std::to_string(config_retries);
+    s += " ctrl_retries=" + std::to_string(ctrl_retries);
+    s += " load_replays=" + std::to_string(load_replays);
+    s += " words_resynced=" + std::to_string(load_words_resynced);
+    s += " hw_rejected=" + std::to_string(hw_rejected_words);
+    s += " retrieve_retries=" + std::to_string(retrieve_retries);
+    s += " reacks=" + std::to_string(reacks);
+    s += " read_disagreements=" + std::to_string(read_disagreements);
+    s += " spurious_overruns=" + std::to_string(spurious_overruns_ignored);
+    s += " status_clears=" + std::to_string(status_clears);
+    s += " busy_polls=" + std::to_string(busy_polls);
+    s += " watchdog_trips=" + std::to_string(watchdog_trips);
+    if (aborted) {
+      s += " ABORTED: " + abort_reason;
+    }
+    return s;
+  }
+};
+
+}  // namespace tmsim::fpga

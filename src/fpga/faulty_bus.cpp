@@ -1,0 +1,56 @@
+#include "fpga/faulty_bus.h"
+
+namespace tmsim::fpga {
+
+FaultyBus::FaultyBus(BusInterface& inner, FaultRates rates,
+                     std::uint64_t seed)
+    : inner_(inner), rates_(rates), rng_(seed) {}
+
+bool FaultyBus::roll(double rate) {
+  if (rate <= 0.0) {
+    return false;
+  }
+  return rng_.next_double() < rate;
+}
+
+std::uint32_t FaultyBus::read32(Addr addr) {
+  ++stats_.reads;
+  std::uint32_t value = inner_.read32(addr);
+  if (addr == kRegStatus) {
+    if (busy_reads_left_ > 0) {
+      --busy_reads_left_;
+      ++counts_.stuck_busy_reads;
+      value |= kStatusBusy;
+    } else if (roll(rates_.stuck_busy)) {
+      ++counts_.stuck_busy_bursts;
+      ++counts_.stuck_busy_reads;
+      busy_reads_left_ =
+          rates_.stuck_busy_reads > 0 ? rates_.stuck_busy_reads - 1 : 0;
+      value |= kStatusBusy;
+    }
+    if (roll(rates_.spurious_overrun)) {
+      ++counts_.spurious_overruns;
+      value |= kStatusOverrun;
+    }
+  }
+  if (roll(rates_.read_flip)) {
+    ++counts_.read_flips;
+    value ^= 1u << rng_.next_below(32);
+  }
+  return value;
+}
+
+void FaultyBus::write32(Addr addr, std::uint32_t value) {
+  ++stats_.writes;
+  if (roll(rates_.dropped_write)) {
+    ++counts_.dropped_writes;
+    return;
+  }
+  if (roll(rates_.write_flip)) {
+    ++counts_.write_flips;
+    value ^= 1u << rng_.next_below(32);
+  }
+  inner_.write32(addr, value);
+}
+
+}  // namespace tmsim::fpga

@@ -1,0 +1,85 @@
+// FaultyBus: deterministic fault injection on the ARM↔FPGA memory
+// interface. Wraps any BusInterface and perturbs traffic according to
+// per-fault-class rates, driven by a seeded generator so every run is
+// reproducible. The fault classes model the transport errors a real
+// external memory interface can exhibit:
+//
+//   - read bit-flips:       a returned word with one bit inverted,
+//   - write bit-flips:      a stored word with one bit inverted,
+//   - dropped writes:       the write never reaches the design,
+//   - transient stuck-busy: the status register reads busy for a burst
+//                           of consecutive polls,
+//   - spurious overrun:     the status overrun bit reads set once.
+//
+// The decorator keeps its own BusStats (attempted traffic, including
+// dropped writes) and per-class injection counters, so tests and the
+// fault-sweep bench can correlate injected faults with the host's
+// recovery actions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "fpga/bus_interface.h"
+
+namespace tmsim::fpga {
+
+/// Per-access probabilities for each fault class.
+struct FaultRates {
+  double read_flip = 0.0;        ///< per read: flip one bit of the result
+  double write_flip = 0.0;       ///< per write: flip one bit of the value
+  double dropped_write = 0.0;    ///< per write: swallow it entirely
+  double stuck_busy = 0.0;       ///< per status read: start a busy burst
+  double spurious_overrun = 0.0; ///< per status read: overrun bit reads set
+  /// Length of a stuck-busy burst (consecutive status reads forced busy).
+  std::size_t stuck_busy_reads = 3;
+
+  /// All five classes at the same per-access rate.
+  static FaultRates uniform(double rate) {
+    FaultRates r;
+    r.read_flip = r.write_flip = r.dropped_write = r.stuck_busy =
+        r.spurious_overrun = rate;
+    return r;
+  }
+};
+
+/// How many faults of each class this bus actually injected.
+struct FaultCounts {
+  std::uint64_t read_flips = 0;
+  std::uint64_t write_flips = 0;
+  std::uint64_t dropped_writes = 0;
+  std::uint64_t stuck_busy_bursts = 0;
+  std::uint64_t stuck_busy_reads = 0;  ///< total polls forced busy
+  std::uint64_t spurious_overruns = 0;
+
+  std::uint64_t total() const {
+    return read_flips + write_flips + dropped_writes + stuck_busy_bursts +
+           spurious_overruns;
+  }
+};
+
+class FaultyBus final : public BusInterface {
+ public:
+  FaultyBus(BusInterface& inner, FaultRates rates, std::uint64_t seed);
+
+  std::uint32_t read32(Addr addr) override;
+  void write32(Addr addr, std::uint32_t value) override;
+
+  /// Attempted traffic at this layer (dropped writes included).
+  const BusStats& bus_stats() const override { return stats_; }
+
+  const FaultCounts& injected() const { return counts_; }
+  const FaultRates& rates() const { return rates_; }
+
+ private:
+  bool roll(double rate);
+
+  BusInterface& inner_;
+  FaultRates rates_;
+  SplitMix64 rng_;
+  BusStats stats_;
+  FaultCounts counts_;
+  std::size_t busy_reads_left_ = 0;
+};
+
+}  // namespace tmsim::fpga

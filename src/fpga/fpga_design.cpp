@@ -7,6 +7,9 @@ namespace tmsim::fpga {
 using noc::LinkForward;
 using noc::Port;
 
+static_assert(kStimuliPayloadBits == noc::kForwardBits,
+              "guarded-push tag bits must sit above the flit encoding");
+
 FpgaDesign::FpgaDesign(const FpgaBuildConfig& build) : build_(build) {
   build_.router.validate();
   TMSIM_CHECK_MSG(build_.max_routers >= 2 && build_.max_routers <= 256,
@@ -54,11 +57,19 @@ void FpgaDesign::configure() {
                          static_cast<std::uint8_t>(net_.router.queue_depth));
   inject_rr_.assign(n, 0);
   staged_ts_.assign(n * vcs, 0);
+  staged_valid_.assign(n * vcs, 0);
+  stimuli_commits_.assign(n * vcs, 0);
+  output_pops_.assign(n, 0);
+  link_monitor_pops_ = 0;
+  access_monitor_pops_ = 0;
   cycles_simulated_ = 0;
   delta_cycles_ = 0;
   fpga_clock_cycles_ = 0;
   monitor_drops_ = 0;
   output_overrun_ = false;
+  load_fault_ = false;
+  stimuli_rejects_ = 0;
+  ++config_generation_;
 }
 
 void FpgaDesign::step_one_cycle() {
@@ -150,14 +161,73 @@ void FpgaDesign::run_period(std::size_t cycles) {
   }
 }
 
+std::uint32_t FpgaDesign::consumer_read(CyclicBuffer& buf,
+                                        std::uint32_t& pops, Addr sub) {
+  switch (sub) {
+    case kPortFill:
+      return static_cast<std::uint32_t>(buf.fill());
+    case kPortPopTs:
+      return static_cast<std::uint32_t>(buf.front().timestamp);
+    case kPortPopData: {
+      const std::uint32_t data = buf.pop().data;
+      ++pops;  // legacy destructive pop advances the sequence too
+      return data;
+    }
+    case kPortPeekData:
+      return buf.empty() ? 0u : buf.front().data;
+    case kPortTag:
+      // Never throws: an empty buffer reads as the (invalid) zero tag, so
+      // the host can probe without risking a bus exception mid-recovery.
+      if (buf.empty()) {
+        return 0;
+      }
+      return entry_tag(buf.front().data,
+                       static_cast<std::uint32_t>(buf.front().timestamp),
+                       pops);
+    default:
+      throw Error("bad consumer port sub-register");
+  }
+}
+
+void FpgaDesign::consumer_ack(CyclicBuffer& buf, std::uint32_t& pops,
+                              std::uint32_t value) {
+  // Pop only when the ack names the current front entry; a stale or
+  // corrupted ack is ignored, which makes re-acking idempotent.
+  if (!buf.empty() && (value & 63u) == (pops & 63u)) {
+    buf.pop();
+    ++pops;
+  }
+}
+
 std::uint32_t FpgaDesign::read32(Addr addr) {
   ++bus_.reads;
   TMSIM_CHECK_MSG(addr < kAddrSpaceWords, "address beyond the 17-bit bus");
   switch (addr) {
     case kRegStatus:
-      return (output_overrun_ ? 2u : 0u);  // never busy: run is synchronous
+      // Never busy: run is synchronous in this functional model. The
+      // sticky fault bits persist until a W1C status write.
+      return (output_overrun_ ? kStatusOverrun : 0u) |
+             (load_fault_ ? kStatusLoadFault : 0u);
     case kRegRandom:
       return rng_.next();
+    case kRegSimCycles:
+      return reg_sim_cycles_;
+    case kRegNetWidth:
+      return reg_width_;
+    case kRegNetHeight:
+      return reg_height_;
+    case kRegTopology:
+      return reg_topology_;
+    case kRegLinkProbe:
+      return reg_link_probe_;
+    case kRegRngSeed:
+      return rng_.state();
+    case kRegConfigGen:
+      return config_generation_;
+    case kRegGuard:
+      return reg_guard_;
+    case kRegFaults:
+      return static_cast<std::uint32_t>(stimuli_rejects_);
     case kRegCycleLo:
       return static_cast<std::uint32_t>(cycles_simulated_);
     case kRegCycleHi:
@@ -180,45 +250,29 @@ std::uint32_t FpgaDesign::read32(Addr addr) {
     const std::size_t r = off / 16;
     const std::size_t vc = (off % 16) / 4;
     const Addr sub = off % 4;
-    TMSIM_CHECK_MSG(r < net_.num_routers() && vc < vcs && sub == kPortFree,
+    TMSIM_CHECK_MSG(r < net_.num_routers() && vc < vcs &&
+                        (sub == kPortFree || sub == kPortCommits),
                     "bad stimuli port read");
-    return static_cast<std::uint32_t>(stimuli_[r * vcs + vc].free_space());
+    const std::size_t port = r * vcs + vc;
+    if (sub == kPortCommits) {
+      return stimuli_commits_[port];
+    }
+    return static_cast<std::uint32_t>(stimuli_[port].free_space());
   }
   if (addr >= kOutputBase && addr < kLinkMonitorBase) {
     const Addr off = addr - kOutputBase;
-    const std::size_t r = off / 4;
-    const Addr sub = off % 4;
+    const std::size_t r = off / 8;
+    const Addr sub = off % 8;
     TMSIM_CHECK_MSG(r < net_.num_routers(), "bad output port read");
-    CyclicBuffer& buf = output_[r];
-    switch (sub) {
-      case kPortFill:
-        return static_cast<std::uint32_t>(buf.fill());
-      case kPortPopTs:
-        return static_cast<std::uint32_t>(buf.front().timestamp);
-      case kPortPopData:
-        return buf.pop().data;
-      default:
-        break;
-    }
-    throw Error("bad output port sub-register");
+    return consumer_read(output_[r], output_pops_[r], sub);
   }
-  auto monitor_read = [](CyclicBuffer& buf, Addr sub) -> std::uint32_t {
-    switch (sub) {
-      case kPortFill:
-        return static_cast<std::uint32_t>(buf.fill());
-      case kPortPopTs:
-        return static_cast<std::uint32_t>(buf.front().timestamp);
-      case kPortPopData:
-        return buf.pop().data;
-      default:
-        throw Error("bad monitor port sub-register");
-    }
-  };
   if (addr >= kLinkMonitorBase && addr < kAccessMonitorBase) {
-    return monitor_read(*link_monitor_, addr - kLinkMonitorBase);
+    return consumer_read(*link_monitor_, link_monitor_pops_,
+                         addr - kLinkMonitorBase);
   }
-  if (addr >= kAccessMonitorBase && addr < kAccessMonitorBase + 4) {
-    return monitor_read(*access_monitor_, addr - kAccessMonitorBase);
+  if (addr >= kAccessMonitorBase && addr < kAccessMonitorBase + kPortAck) {
+    return consumer_read(*access_monitor_, access_monitor_pops_,
+                         addr - kAccessMonitorBase);
   }
   throw Error("unmapped read at address " + std::to_string(addr));
 }
@@ -231,6 +285,19 @@ void FpgaDesign::write32(Addr addr, std::uint32_t value) {
       if (value & 1u) {
         run_period(reg_sim_cycles_);
       }
+      return;
+    case kRegStatus:
+      // Write-one-to-clear for the sticky fault bits, so a recovered
+      // fault cannot poison later periods' status polling.
+      if (value & kStatusOverrun) {
+        output_overrun_ = false;
+      }
+      if (value & kStatusLoadFault) {
+        load_fault_ = false;
+      }
+      return;
+    case kRegGuard:
+      reg_guard_ = value & 1u;
       return;
     case kRegSimCycles:
       reg_sim_cycles_ = value;
@@ -267,16 +334,62 @@ void FpgaDesign::write32(Addr addr, std::uint32_t value) {
     const std::size_t port = r * vcs + vc;
     if (sub == kPortPushTs) {
       staged_ts_[port] = value;
+      staged_valid_[port] = 1;
       return;
     }
     if (sub == kPortPushData) {
-      // The stimuli entry register is kForwardBits wide; higher bus bits
-      // are simply not connected in hardware.
+      if (reg_guard_ & 1u) {
+        // Guarded push: the high bits carry a sequence + checksum tag
+        // (guard_stimulus()). A word whose tag does not match the port's
+        // commit count, whose checksum fails, whose timestamp write was
+        // lost, or that would overrun the buffer is rejected: counted,
+        // flagged sticky in kRegStatus, and *not* committed — so the
+        // commit count exposes exactly the accepted prefix for replay.
+        const bool ts_present = staged_valid_[port] != 0;
+        staged_valid_[port] = 0;
+        const std::uint32_t payload = value & kStimuliPayloadMask;
+        const std::uint32_t seq = (value >> kStimuliPayloadBits) & 63u;
+        const std::uint32_t cks = (value >> 27) & 3u;
+        const std::uint32_t ts32 =
+            static_cast<std::uint32_t>(staged_ts_[port]);
+        const bool ok = ts_present && seq == (stimuli_commits_[port] & 63u) &&
+                        cks == word_checksum(payload, ts32) &&
+                        !stimuli_[port].full();
+        if (!ok) {
+          ++stimuli_rejects_;
+          load_fault_ = true;
+          return;
+        }
+        stimuli_[port].push(TimedWord{staged_ts_[port], payload});
+        ++stimuli_commits_[port];
+        return;
+      }
+      // Unguarded: the stimuli entry register is kForwardBits wide;
+      // higher bus bits are simply not connected in hardware.
+      staged_valid_[port] = 0;
       stimuli_[port].push(TimedWord{
           staged_ts_[port], value & ((1u << noc::kForwardBits) - 1)});
+      ++stimuli_commits_[port];
       return;
     }
     throw Error("bad stimuli port sub-register");
+  }
+  if (addr >= kOutputBase && addr < kLinkMonitorBase) {
+    const Addr off = addr - kOutputBase;
+    const std::size_t r = off / 8;
+    const Addr sub = off % 8;
+    TMSIM_CHECK_MSG(r < net_.num_routers() && sub == kPortAck,
+                    "bad output port write");
+    consumer_ack(output_[r], output_pops_[r], value);
+    return;
+  }
+  if (addr == kLinkMonitorBase + kPortAck) {
+    consumer_ack(*link_monitor_, link_monitor_pops_, value);
+    return;
+  }
+  if (addr == kAccessMonitorBase + kPortAck) {
+    consumer_ack(*access_monitor_, access_monitor_pops_, value);
+    return;
   }
   throw Error("unmapped write at address " + std::to_string(addr));
 }

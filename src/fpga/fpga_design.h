@@ -27,15 +27,10 @@
 #include "common/rng.h"
 #include "core/noc_block.h"
 #include "fpga/address_map.h"
+#include "fpga/bus_interface.h"
 #include "fpga/cyclic_buffer.h"
 
 namespace tmsim::fpga {
-
-/// Bus traffic counters (for the interface-time model).
-struct BusStats {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-};
 
 /// Synthesis-time parameters of the FPGA design.
 struct FpgaBuildConfig {
@@ -55,16 +50,16 @@ struct FpgaBuildConfig {
   std::size_t max_routers = 256;
 };
 
-class FpgaDesign {
+class FpgaDesign : public BusInterface {
  public:
   explicit FpgaDesign(const FpgaBuildConfig& build);
-  ~FpgaDesign();
+  ~FpgaDesign() override;
 
   /// Memory-mapped interface (the only way the ARM talks to the design).
-  std::uint32_t read32(Addr addr);
-  void write32(Addr addr, std::uint32_t value);
+  std::uint32_t read32(Addr addr) override;
+  void write32(Addr addr, std::uint32_t value) override;
 
-  const BusStats& bus_stats() const { return bus_; }
+  const BusStats& bus_stats() const override { return bus_; }
 
   /// Convenience accessors used by tests and the timing model (these do
   /// not count as bus traffic).
@@ -78,10 +73,16 @@ class FpgaDesign {
   bool output_overrun() const { return output_overrun_; }
   const core::SeqNocSimulation& simulation() const { return *sim_; }
 
+  std::uint64_t stimuli_rejects() const { return stimuli_rejects_; }
+
  private:
   void configure();
   void run_period(std::size_t cycles);
   void step_one_cycle();
+  std::uint32_t consumer_read(CyclicBuffer& buf, std::uint32_t& pops,
+                              Addr sub);
+  void consumer_ack(CyclicBuffer& buf, std::uint32_t& pops,
+                    std::uint32_t value);
 
   FpgaBuildConfig build_;
   // Configuration registers (staged until kRegConfigure).
@@ -90,6 +91,8 @@ class FpgaDesign {
   std::uint32_t reg_topology_ = 0;
   std::uint32_t reg_sim_cycles_ = 0;
   std::uint32_t reg_link_probe_ = 0;
+  std::uint32_t reg_guard_ = 0;
+  std::uint32_t config_generation_ = 0;
 
   noc::NetworkConfig net_;
   std::unique_ptr<core::SeqNocSimulation> sim_;
@@ -109,10 +112,19 @@ class FpgaDesign {
   DeltaCycle delta_cycles_ = 0;
   std::uint64_t fpga_clock_cycles_ = 0;
   std::uint64_t monitor_drops_ = 0;
-  bool output_overrun_ = false;
+  bool output_overrun_ = false;   // sticky; cleared by a W1C status write
+  bool load_fault_ = false;       // sticky; set on a rejected guarded push
+  std::uint64_t stimuli_rejects_ = 0;
 
   // Staged push: PUSH_TS latches, PUSH_DATA commits.
-  std::vector<SystemCycle> staged_ts_;  // per stimuli port
+  std::vector<SystemCycle> staged_ts_;       // per stimuli port
+  std::vector<std::uint8_t> staged_valid_;   // TS written since last DATA
+  std::vector<std::uint32_t> stimuli_commits_;  // accepted words, cumulative
+
+  // Consumer-side pop counters drive the TAG sequence numbers.
+  std::vector<std::uint32_t> output_pops_;   // per router
+  std::uint32_t link_monitor_pops_ = 0;
+  std::uint32_t access_monitor_pops_ = 0;
 };
 
 }  // namespace tmsim::fpga

@@ -58,6 +58,14 @@ struct PhaseCounts {
   std::uint64_t load_bus_reads = 0;       ///< free-space polls
   std::uint64_t load_bus_writes = 0;      ///< stimuli words
   std::uint64_t retrieve_bus_reads = 0;   ///< fill polls + output words
+  // Hardening overhead (see DESIGN.md, "Robustness"), kept out of the
+  // paper's phase buckets so Table 3/4 reproduction stays comparable:
+  // read-backs, tag reads, acks and commit-count checks bill to verify;
+  // run commands, status polls and clock read-outs bill to sync.
+  std::uint64_t verify_bus_reads = 0;
+  std::uint64_t verify_bus_writes = 0;
+  std::uint64_t sync_bus_reads = 0;
+  std::uint64_t sync_bus_writes = 0;
   std::uint64_t flits_analyzed = 0;
   std::uint64_t packets_analyzed = 0;
   std::uint64_t periods = 0;
@@ -72,6 +80,7 @@ struct PhaseTimes {
   double simulate_raw = 0;      ///< FPGA busy time (before overlap)
   double retrieve = 0;
   double analyze = 0;
+  double verify = 0;            ///< hardening overhead (verify + sync ops)
   double arm_total = 0;         ///< generate + load + retrieve + analyze
   double wall = 0;              ///< max(arm_total, simulate_raw) + overhead
   double simulate_visible = 0;  ///< non-overlapped FPGA remainder
@@ -83,6 +92,7 @@ struct PhaseTimes {
   double share_simulate() const { return simulate_visible / wall; }
   double share_retrieve() const { return retrieve / wall; }
   double share_analyze() const { return analyze / wall; }
+  double share_verify() const { return verify / wall; }
 };
 
 class TimingModel {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "core/example_blocks.h"
@@ -239,6 +241,54 @@ TEST(DynamicSchedule, DetectsOscillatingRingOfThreeInverters) {
   m.finalize();
   SequentialSimulator sim(m, SchedulePolicy::kDynamic, /*max_evals=*/16);
   EXPECT_THROW(sim.step(), Error);
+}
+
+TEST(DynamicSchedule, ConvergenceErrorCarriesAStructuredReport) {
+  // The abort is not just a message: the thrown error exposes which
+  // blocks were still unstable and which links changed last, so a host
+  // can surface a diagnostic instead of an opaque limit trip.
+  SystemModel m;
+  std::vector<BlockId> blocks;
+  std::vector<LinkId> links;
+  for (int i = 0; i < 3; ++i) {
+    blocks.push_back(
+        m.add_block(std::make_shared<NotBlock>(), "n" + std::to_string(i)));
+    links.push_back(m.add_link("l" + std::to_string(i), 1,
+                               LinkKind::kCombinational));
+  }
+  for (int i = 0; i < 3; ++i) {
+    m.bind_output(blocks[i], 0, links[i]);
+    m.bind_input(blocks[(i + 1) % 3], 0, links[i]);
+  }
+  m.finalize();
+  SequentialSimulator sim(m, SchedulePolicy::kDynamic, /*max_evals=*/16);
+  try {
+    sim.step();
+    FAIL() << "oscillating ring must not settle";
+  } catch (const ConvergenceError& e) {
+    const ConvergenceReport& r = e.report();
+    EXPECT_EQ(r.limit, 16u * 3u);
+    EXPECT_GT(r.delta_cycles, r.limit);
+    EXPECT_EQ(r.num_blocks, 3u);
+    // In a ring the instability travels, so at the moment the budget ran
+    // out at least one ring block is pending — and nothing else exists.
+    ASSERT_FALSE(r.oscillating_blocks.empty());
+    for (const BlockId b : r.oscillating_blocks) {
+      EXPECT_TRUE(std::find(blocks.begin(), blocks.end(), b) !=
+                  blocks.end());
+    }
+    // The recent-change ring saw the ring's links, newest first.
+    ASSERT_FALSE(r.last_changed_links.empty());
+    for (const LinkId l : r.last_changed_links) {
+      EXPECT_TRUE(std::find(links.begin(), links.end(), l) != links.end());
+    }
+    // Key/value context and summary mention the essentials.
+    EXPECT_FALSE(e.context_value("delta_cycles").empty());
+    EXPECT_NE(r.summary().find("blocks"), std::string::npos);
+    // Still a tmsim::Error for callers that catch coarsely.
+    const Error& base = e;
+    EXPECT_NE(std::string(base.what()).find("settle"), std::string::npos);
+  }
 }
 
 TEST(DynamicSchedule, DetectsOscillatingSelfLoop) {

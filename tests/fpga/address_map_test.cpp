@@ -25,11 +25,13 @@ TEST(AddressMap, PortHelpers) {
   EXPECT_EQ(stimuli_port(0, 1, kPortPushTs), kStimuliBase + 5u);
   EXPECT_EQ(stimuli_port(2, 3, kPortPushData), kStimuliBase + 2 * 16 + 12 + 2);
   EXPECT_EQ(output_port(0, kPortFill), kOutputBase);
-  EXPECT_EQ(output_port(255, kPortPopData), kOutputBase + 255 * 4 + 2);
+  EXPECT_EQ(output_port(255, kPortPopData), kOutputBase + 255 * 8 + 2);
+  EXPECT_EQ(output_port(7, kPortTag), kOutputBase + 7 * 8 + 4);
   // Regions must not overlap.
   EXPECT_LT(stimuli_port(255, 3, 3), kOutputBase);
-  EXPECT_LT(output_port(255, 3), kLinkMonitorBase);
-  EXPECT_LT(kAccessMonitorBase + 3, kAddrSpaceWords);
+  EXPECT_LT(output_port(255, kPortAck), kLinkMonitorBase);
+  EXPECT_LT(kLinkMonitorBase + kPortAck, kAccessMonitorBase);
+  EXPECT_LT(kAccessMonitorBase + kPortAck, kAddrSpaceWords);
 }
 
 TEST(AddressMap, RandomAccessesNeverCrash) {

@@ -94,6 +94,79 @@ TEST(ArmHost, OverloadDetectedAndStopped) {
   EXPECT_LT(fpga.cycles_simulated(), 60000u);
 }
 
+// Forwards to a real design but forces one stimuli port's free-space
+// register to read 0 during chosen periods — a congested VC from the
+// host's point of view, without faults.
+class PortBlockerBus final : public BusInterface {
+ public:
+  PortBlockerBus(FpgaDesign& inner, Addr blocked_free_addr)
+      : inner_(inner), blocked_(blocked_free_addr) {}
+
+  std::uint32_t read32(Addr addr) override {
+    ++stats_.reads;
+    if (addr == blocked_ && blocked_now()) {
+      return 0;
+    }
+    return inner_.read32(addr);
+  }
+  void write32(Addr addr, std::uint32_t value) override {
+    ++stats_.writes;
+    if (addr == kRegCtrl) {
+      ++periods_;  // one run command per period
+    }
+    inner_.write32(addr, value);
+  }
+  const BusStats& bus_stats() const override { return stats_; }
+
+  /// When true, every period is blocked; otherwise 4-blocked/1-open
+  /// bursts, always below a 5-period overload threshold.
+  void set_always_blocked(bool v) { always_ = v; }
+
+ private:
+  bool blocked_now() const { return always_ || periods_ % 5 != 4; }
+
+  FpgaDesign& inner_;
+  Addr blocked_;
+  BusStats stats_;
+  std::uint64_t periods_ = 0;
+  bool always_ = false;
+};
+
+TEST(ArmHost, BriefCongestionBurstsDoNotFlagOverload) {
+  // Regression for the overload accounting: the stall counter must reset
+  // whenever the port accepts *any* pending word, so repeated
+  // sub-threshold congestion bursts never accumulate into a false
+  // overload stop.
+  auto run = [](bool always_blocked) {
+    FpgaDesign fpga{FpgaBuildConfig{}};
+    PortBlockerBus bus(fpga, stimuli_port(0, 0, kPortFree));
+    bus.set_always_blocked(always_blocked);
+    ArmHost::Workload wl;
+    traffic::GtStream s;  // keeps port (0, 0) backlogged every period
+    s.src = 0;
+    s.dst = 5;
+    s.vc = 0;
+    s.period = 40;
+    wl.gt_streams.push_back(s);
+    wl.overload_periods = 5;
+    ArmHost host(bus, fpga.build(), wl);
+    host.configure_network(3, 3, noc::Topology::kMesh);
+    host.run(always_blocked ? 60000 : 1600);
+    return std::tuple(host.overloaded(), host.aborted(),
+                      host.cycles_simulated());
+  };
+  // 4-blocked/1-open bursts stay below the 5-period threshold forever.
+  const auto [overloaded, aborted, cycles] = run(false);
+  EXPECT_FALSE(overloaded);
+  EXPECT_FALSE(aborted);
+  EXPECT_EQ(cycles, 1600u);
+  // Control: permanently blocked must still trip the overload stop.
+  const auto [overloaded2, aborted2, cycles2] = run(true);
+  EXPECT_TRUE(overloaded2);
+  EXPECT_FALSE(aborted2);
+  EXPECT_LT(cycles2, 60000u);
+}
+
 TEST(TimingModel, RepresentativeWorkloadLandsInPaperRanges) {
   FpgaDesign fpga{FpgaBuildConfig{}};
   ArmHost::Workload wl;

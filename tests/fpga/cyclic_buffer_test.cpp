@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "fpga/arm_host.h"
+#include "fpga/fpga_design.h"
+#include "traffic/harness.h"
+
 namespace tmsim::fpga {
 namespace {
 
@@ -52,6 +56,81 @@ TEST(CyclicBuffer, DiscardAllEmptiesViaReadPointer) {
 TEST(CyclicBuffer, StorageBitsAccountTimestamps) {
   CyclicBuffer buf(16);
   EXPECT_EQ(buf.storage_bits(), 16u * (32 + CyclicBuffer::kTimestampBits));
+}
+
+TEST(CyclicBuffer, WrapsAtExactlyDepth) {
+  // Fill to exactly the depth, drain to empty, and repeat: the pointers
+  // must wrap modulo the depth without losing order or capacity.
+  CyclicBuffer buf(4);
+  std::uint32_t next = 0;
+  std::uint32_t expect = 0;
+  for (int round = 0; round < 3; ++round) {
+    while (!buf.full()) {
+      buf.push(TimedWord{next, next});
+      ++next;
+    }
+    EXPECT_EQ(buf.fill(), 4u);
+    EXPECT_EQ(buf.free_space(), 0u);
+    while (!buf.empty()) {
+      EXPECT_EQ(buf.pop().data, expect);
+      ++expect;
+    }
+    EXPECT_EQ(buf.free_space(), 4u);
+  }
+  EXPECT_EQ(next, 12u);
+}
+
+TEST(CyclicBuffer, InterleavedWrapKeepsOrderAroundTheSeam) {
+  // Walk the read pointer to every possible offset, then cross the
+  // depth boundary with the write pointer while entries are in flight.
+  CyclicBuffer buf(3);
+  std::uint32_t next = 0;
+  std::uint32_t expect = 0;
+  for (int step = 0; step < 9; ++step) {
+    buf.push(TimedWord{next, next});
+    ++next;
+    buf.push(TimedWord{next, next});
+    ++next;
+    EXPECT_EQ(buf.pop().data, expect++);
+    EXPECT_EQ(buf.pop().data, expect++);
+  }
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(CyclicBuffer, FullToEmptyTransitionRestoresCapacity) {
+  CyclicBuffer buf(2);
+  buf.push(TimedWord{0, 1});
+  buf.push(TimedWord{0, 2});
+  EXPECT_TRUE(buf.full());
+  EXPECT_THROW(buf.push(TimedWord{0, 3}), Error);
+  buf.pop();
+  buf.pop();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_THROW(buf.pop(), Error);
+  // The failed push/pop above must not have corrupted the pointers.
+  buf.push(TimedWord{7, 9});
+  EXPECT_EQ(buf.fill(), 1u);
+  EXPECT_EQ(buf.front().timestamp, 7u);
+  EXPECT_EQ(buf.pop().data, 9u);
+}
+
+TEST(CyclicBuffer, MonitorBuffersDropWhenFullInsteadOfStalling) {
+  // "These two buffers cannot influence the traffic in the NoC" (§5.2):
+  // with a tiny monitor buffer and much more traffic than it can hold,
+  // the run must complete normally and count the dropped samples.
+  FpgaBuildConfig build;
+  build.monitor_buffer_depth = 2;
+  FpgaDesign fpga(build);
+  ArmHost::Workload wl;
+  wl.be_load = 0.30;
+  ArmHost host(fpga, wl);
+  host.configure_network(3, 3, noc::Topology::kTorus);
+  host.run(400);
+  EXPECT_FALSE(host.aborted());
+  EXPECT_GT(host.counts().packets_analyzed, 0u);
+  EXPECT_GT(fpga.monitor_drops(), 0u);
+  // Samples that did fit were still delivered.
+  EXPECT_GT(host.access_delay().count(), 0u);
 }
 
 }  // namespace
