@@ -1,0 +1,114 @@
+// Engine: the contract every host-side simulation engine fulfils.
+//
+// The paper's engine is the sequential time-multiplexed simulator of §4
+// (SequentialSimulator). The sharded bulk-synchronous engine
+// (ShardedSimulator) recovers the parallelism §4 traded away while
+// keeping the same observable semantics. Everything above the engines —
+// the NoC facade, the FPGA design model, the differential test harness —
+// talks to this interface, so swapping engines can never change what a
+// workload observes, only how fast it runs.
+//
+// Shared vocabulary (§4): a *system cycle* is one clock cycle of the
+// simulated parallel design; a *delta cycle* is one block evaluation and
+// does not advance simulated time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/error.h"
+#include "common/types.h"
+#include "core/system_model.h"
+
+namespace tmsim::core {
+
+enum class SchedulePolicy : std::uint8_t {
+  kStatic = 0,
+  kDynamic = 1,
+  kTwoPhaseOracle = 2,
+};
+
+/// Diagnostic snapshot taken when a schedule gives up on a system cycle:
+/// which blocks were still unstable, which links changed most recently,
+/// and how far past the budget the settling ran. A host can turn this
+/// into a graceful run-abort with a useful report instead of an opaque
+/// crash deep inside a multi-hour simulation.
+struct ConvergenceReport {
+  SystemCycle cycle = 0;          ///< system cycle that failed to settle
+  DeltaCycle delta_cycles = 0;    ///< delta cycles spent in that cycle
+  DeltaCycle limit = 0;           ///< the configured budget that was hit
+  std::size_t num_blocks = 0;
+  std::size_t link_changes = 0;   ///< changed link writes in that cycle
+  /// Blocks still marked unstable when the budget ran out — the
+  /// oscillating set (or its downstream cone).
+  std::vector<BlockId> oscillating_blocks;
+  /// Most recently changed links, newest first (bounded history).
+  std::vector<LinkId> last_changed_links;
+
+  std::string summary() const;
+};
+
+/// Thrown by the dynamic schedule instead of a bare Error; carries the
+/// ConvergenceReport for the host to query.
+class ConvergenceError : public ContextualError {
+ public:
+  explicit ConvergenceError(ConvergenceReport report);
+
+  const ConvergenceReport& report() const { return report_; }
+
+ private:
+  ConvergenceReport report_;
+};
+
+/// Per-system-cycle accounting (the data behind §6's delta-cycle numbers).
+struct StepStats {
+  /// Block evaluations performed (== delta cycles).
+  DeltaCycle delta_cycles = 0;
+  /// delta_cycles - num_blocks: the §4.2 re-evaluation overhead.
+  DeltaCycle re_evaluations = 0;
+  /// Combinational link writes whose value differed from memory.
+  std::size_t link_changes = 0;
+};
+
+/// Abstract engine over a finalized SystemModel. All engines must agree
+/// bit-for-bit on block state and link values after every step(); only
+/// StepStats (how much work the schedule did) may differ.
+class Engine {
+ public:
+  virtual ~Engine();
+
+  /// Drives an external-input link (takes effect for the next step()).
+  /// Throws ContextualError when the link is block-driven or when no
+  /// block reads it (a silently ignored stimulus is always a test bug).
+  virtual void set_external_input(LinkId link, const BitVector& value) = 0;
+
+  /// Current reader-visible value of any link. For combinational links
+  /// this is the value driven during the last step(); for registered
+  /// links, the value committed at its clock edge.
+  virtual const BitVector& link_value(LinkId link) const = 0;
+
+  /// Old-bank (committed) state of a block.
+  virtual const BitVector& block_state(BlockId block) const = 0;
+
+  /// Overwrites a block's committed state (reset preloading, testing).
+  virtual void load_block_state(BlockId block, const BitVector& value) = 0;
+
+  /// Simulates one system cycle.
+  virtual StepStats step() = 0;
+
+  virtual SystemCycle cycle() const = 0;
+  virtual DeltaCycle total_delta_cycles() const = 0;
+  virtual SchedulePolicy policy() const = 0;
+  virtual const SystemModel& model() const = 0;
+};
+
+/// Builds the widths vector StateMemory needs from a model.
+std::vector<std::size_t> block_state_widths(const SystemModel& model);
+
+/// Shared validation for Engine::set_external_input (the engines must
+/// reject exactly the same misuses to stay substitutable).
+void check_external_input(const SystemModel& model, LinkId link);
+
+}  // namespace tmsim::core

@@ -2,18 +2,27 @@
 
 namespace tmsim::core {
 
-LinkMemory::LinkMemory(const SystemModel& model) {
+LinkMemory::LinkMemory(const SystemModel& model)
+    : LinkMemory(model, std::vector<char>(model.num_links(), 1)) {}
+
+LinkMemory::LinkMemory(const SystemModel& model,
+                       const std::vector<char>& materialize) {
   TMSIM_CHECK_MSG(model.finalized(), "model must be finalized");
+  TMSIM_CHECK_MSG(materialize.size() == model.num_links(),
+                  "materialize flags must cover every link");
+  materialized_ = materialize;
   slots_.reserve(model.num_links());
   for (LinkId l = 0; l < model.num_links(); ++l) {
     const LinkInfo& info = model.link(l);
     Slot s{info.kind, false, BitVector(0), {BitVector(0), BitVector(0)}};
-    if (info.kind == LinkKind::kCombinational) {
-      s.value = BitVector(info.width);
-      comb_links_.push_back(l);
-    } else {
-      s.banks[0] = BitVector(info.width);
-      s.banks[1] = BitVector(info.width);
+    if (materialized_[l]) {
+      if (info.kind == LinkKind::kCombinational) {
+        s.value = BitVector(info.width);
+        comb_links_.push_back(l);
+      } else {
+        s.banks[0] = BitVector(info.width);
+        s.banks[1] = BitVector(info.width);
+      }
     }
     slots_.push_back(std::move(s));
   }
@@ -71,7 +80,9 @@ void LinkMemory::swap_registered_banks() { old_bank_ = 1 - old_bank_; }
 
 std::size_t LinkMemory::total_bits() const {
   std::size_t bits = 0;
-  for (const Slot& s : slots_) {
+  for (LinkId l = 0; l < slots_.size(); ++l) {
+    if (!materialized_[l]) continue;
+    const Slot& s = slots_[l];
     if (s.kind == LinkKind::kCombinational) {
       bits += s.value.width() + 1;  // value + HBR bit
     } else {

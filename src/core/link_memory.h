@@ -23,6 +23,13 @@ class LinkMemory {
  public:
   explicit LinkMemory(const SystemModel& model);
 
+  /// Shard-local variant: materializes storage only for the links in
+  /// `materialize` (flag per LinkId). Accessing a link outside the
+  /// subset is an Error — a shard touching a link it neither writes nor
+  /// reads is always an engine bug, and catching it here is what keeps
+  /// the shards' memories provably disjoint.
+  LinkMemory(const SystemModel& model, const std::vector<char>& materialize);
+
   /// Value a *reader* of link l sees right now: the single stored value
   /// for combinational links, the old bank for registered links.
   const BitVector& read(LinkId l) const;
@@ -58,14 +65,17 @@ class LinkMemory {
 
   const Slot& slot(LinkId l) const {
     TMSIM_CHECK_MSG(l < slots_.size(), "link index out of range");
+    TMSIM_CHECK_MSG(materialized_[l], "link not materialized in this shard");
     return slots_[l];
   }
   Slot& slot(LinkId l) {
     TMSIM_CHECK_MSG(l < slots_.size(), "link index out of range");
+    TMSIM_CHECK_MSG(materialized_[l], "link not materialized in this shard");
     return slots_[l];
   }
 
   std::vector<Slot> slots_;
+  std::vector<char> materialized_;
   std::vector<LinkId> comb_links_;  // for fast HBR reset
   std::size_t old_bank_ = 0;
 };

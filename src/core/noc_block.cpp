@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "core/sharded_simulator.h"
+
 namespace tmsim::core {
 
 using noc::kForwardBits;
@@ -177,44 +179,66 @@ NocModel build_noc_model(const noc::NetworkConfig& net) {
   return nm;
 }
 
+namespace {
+
+std::unique_ptr<Engine> make_engine(const SystemModel& model,
+                                    const EngineOptions& opts) {
+  if (opts.num_shards <= 1) {
+    return std::make_unique<SequentialSimulator>(model, opts.policy);
+  }
+  ShardedConfig cfg;
+  cfg.num_shards = opts.num_shards;
+  cfg.partition = opts.partition;
+  cfg.schedule = opts.policy;
+  return std::make_unique<ShardedSimulator>(model, cfg);
+}
+
+}  // namespace
+
 SeqNocSimulation::SeqNocSimulation(const noc::NetworkConfig& net,
                                    SchedulePolicy policy)
-    : net_(net), noc_(build_noc_model(net_)), sim_(noc_.model, policy) {}
+    : SeqNocSimulation(net, EngineOptions{policy}) {}
+
+SeqNocSimulation::SeqNocSimulation(const noc::NetworkConfig& net,
+                                   const EngineOptions& opts)
+    : net_(net),
+      noc_(build_noc_model(net_)),
+      sim_(make_engine(noc_.model, opts)) {}
 
 void SeqNocSimulation::set_local_input(std::size_t r,
                                        const noc::LinkForward& f) {
   BitVector v(noc::kForwardBits);
   v.set_field(0, noc::kForwardBits, noc::encode_forward(f));
-  sim_.set_external_input(noc_.local_fwd_in.at(r), v);
+  sim_->set_external_input(noc_.local_fwd_in.at(r), v);
   dirty_inputs_.push_back(r);
 }
 
 void SeqNocSimulation::step() {
-  last_stats_ = sim_.step();
+  last_stats_ = sim_->step();
   // Inputs are per-cycle: reset everything that was driven back to idle.
   const BitVector idle(noc::kForwardBits);
   for (std::size_t r : dirty_inputs_) {
-    sim_.set_external_input(noc_.local_fwd_in[r], idle);
+    sim_->set_external_input(noc_.local_fwd_in[r], idle);
   }
   dirty_inputs_.clear();
 }
 
 noc::LinkForward SeqNocSimulation::local_output(std::size_t r) const {
   return noc::decode_forward(static_cast<std::uint32_t>(
-      sim_.link_value(noc_.local_fwd_out.at(r)).get_field(0,
-                                                          noc::kForwardBits)));
+      sim_->link_value(noc_.local_fwd_out.at(r))
+          .get_field(0, noc::kForwardBits)));
 }
 
 noc::CreditWires SeqNocSimulation::local_input_credits(std::size_t r) const {
   return noc::decode_credit(
       static_cast<std::uint32_t>(
-          sim_.link_value(noc_.local_credit_out.at(r))
+          sim_->link_value(noc_.local_credit_out.at(r))
               .get_field(0, net_.router.num_vcs)),
       net_.router.num_vcs);
 }
 
 BitVector SeqNocSimulation::router_state_word(std::size_t r) const {
-  return sim_.block_state(r);
+  return sim_->block_state(r);
 }
 
 }  // namespace tmsim::core

@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/partition.h"
 #include "core/sequential_simulator.h"
 #include "core/sim_block.h"
 #include "core/system_model.h"
@@ -83,11 +84,22 @@ struct NocModel {
 /// `net` must outlive the returned model (RouterBlocks keep a pointer).
 NocModel build_noc_model(const noc::NetworkConfig& net);
 
-/// NocSimulation facade over the sequential engine (the paper's method).
+/// Engine selection for the NoC facade. num_shards == 1 runs the
+/// sequential engine (the paper's method); > 1 runs the sharded
+/// bulk-synchronous engine over the same model — bit-identical results,
+/// enforced by tests/integration/sharded_equivalence_test.cpp.
+struct EngineOptions {
+  SchedulePolicy policy = SchedulePolicy::kDynamic;
+  std::size_t num_shards = 1;
+  PartitionPolicy partition = PartitionPolicy::kMinCutGreedy;
+};
+
+/// NocSimulation facade over a core engine (sequential by default).
 class SeqNocSimulation : public noc::NocSimulation {
  public:
   explicit SeqNocSimulation(const noc::NetworkConfig& net,
                             SchedulePolicy policy = SchedulePolicy::kDynamic);
+  SeqNocSimulation(const noc::NetworkConfig& net, const EngineOptions& opts);
 
   const noc::NetworkConfig& config() const override { return net_; }
   void set_local_input(std::size_t r, const noc::LinkForward& f) override;
@@ -95,16 +107,16 @@ class SeqNocSimulation : public noc::NocSimulation {
   noc::LinkForward local_output(std::size_t r) const override;
   noc::CreditWires local_input_credits(std::size_t r) const override;
   BitVector router_state_word(std::size_t r) const override;
-  SystemCycle cycle() const override { return sim_.cycle(); }
+  SystemCycle cycle() const override { return sim_->cycle(); }
 
   /// Engine access for delta-cycle statistics (§6) and white-box tests.
-  const SequentialSimulator& engine() const { return sim_; }
+  const Engine& engine() const { return *sim_; }
   const StepStats& last_step_stats() const { return last_stats_; }
 
  private:
   noc::NetworkConfig net_;
   NocModel noc_;
-  SequentialSimulator sim_;
+  std::unique_ptr<Engine> sim_;
   StepStats last_stats_;
   std::vector<std::size_t> dirty_inputs_;
 };

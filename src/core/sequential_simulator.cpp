@@ -5,64 +5,6 @@
 
 namespace tmsim::core {
 
-std::string ConvergenceReport::summary() const {
-  std::string s = "system cycle " + std::to_string(cycle) +
-                  " did not settle after " + std::to_string(delta_cycles) +
-                  " delta cycles (limit " + std::to_string(limit) + "); " +
-                  std::to_string(oscillating_blocks.size()) + "/" +
-                  std::to_string(num_blocks) + " blocks unstable";
-  if (!oscillating_blocks.empty()) {
-    s += " {";
-    const std::size_t shown = std::min<std::size_t>(8, oscillating_blocks.size());
-    for (std::size_t i = 0; i < shown; ++i) {
-      if (i) s += ',';
-      s += std::to_string(oscillating_blocks[i]);
-    }
-    if (shown < oscillating_blocks.size()) s += ",...";
-    s += '}';
-  }
-  if (!last_changed_links.empty()) {
-    s += "; last changed links {";
-    for (std::size_t i = 0; i < last_changed_links.size(); ++i) {
-      if (i) s += ',';
-      s += std::to_string(last_changed_links[i]);
-    }
-    s += '}';
-  }
-  return s;
-}
-
-namespace {
-
-ContextualError::Context convergence_context(const ConvergenceReport& r) {
-  ContextualError::Context ctx;
-  ctx.emplace_back("cycle", std::to_string(r.cycle));
-  ctx.emplace_back("delta_cycles", std::to_string(r.delta_cycles));
-  ctx.emplace_back("limit", std::to_string(r.limit));
-  ctx.emplace_back("unstable_blocks",
-                   std::to_string(r.oscillating_blocks.size()));
-  ctx.emplace_back("link_changes", std::to_string(r.link_changes));
-  return ctx;
-}
-
-}  // namespace
-
-ConvergenceError::ConvergenceError(ConvergenceReport report)
-    : ContextualError(
-          "combinational dependencies do not settle (oscillating loop?): " +
-              report.summary(),
-          convergence_context(report)),
-      report_(std::move(report)) {}
-
-std::vector<std::size_t> block_state_widths(const SystemModel& model) {
-  std::vector<std::size_t> widths;
-  widths.reserve(model.num_blocks());
-  for (BlockId b = 0; b < model.num_blocks(); ++b) {
-    widths.push_back(model.block(b).logic->state_width());
-  }
-  return widths;
-}
-
 SequentialSimulator::SequentialSimulator(const SystemModel& model,
                                          SchedulePolicy policy,
                                          std::size_t max_evals_per_block)
@@ -87,9 +29,7 @@ SequentialSimulator::SequentialSimulator(const SystemModel& model,
 
 void SequentialSimulator::set_external_input(LinkId link,
                                              const BitVector& value) {
-  TMSIM_CHECK_MSG(model_.is_external_input(link),
-                  "link '" + model_.link(link).name +
-                      "' is driven by a block, not the testbench");
+  check_external_input(model_, link);
   links_.write(link, value);
 }
 

@@ -37,61 +37,14 @@
 #include "common/bit_vector.h"
 #include "common/error.h"
 #include "common/types.h"
+#include "core/engine.h"
 #include "core/link_memory.h"
 #include "core/state_memory.h"
 #include "core/system_model.h"
 
 namespace tmsim::core {
 
-enum class SchedulePolicy : std::uint8_t {
-  kStatic = 0,
-  kDynamic = 1,
-  kTwoPhaseOracle = 2,
-};
-
-/// Diagnostic snapshot taken when the dynamic schedule gives up on a
-/// system cycle: which blocks were still unstable, which links changed
-/// most recently, and how far past the budget the settling ran. A host
-/// can turn this into a graceful run-abort with a useful report instead
-/// of an opaque crash deep inside a multi-hour simulation.
-struct ConvergenceReport {
-  SystemCycle cycle = 0;          ///< system cycle that failed to settle
-  DeltaCycle delta_cycles = 0;    ///< delta cycles spent in that cycle
-  DeltaCycle limit = 0;           ///< the configured budget that was hit
-  std::size_t num_blocks = 0;
-  std::size_t link_changes = 0;   ///< changed link writes in that cycle
-  /// Blocks still marked unstable when the budget ran out — the
-  /// oscillating set (or its downstream cone).
-  std::vector<BlockId> oscillating_blocks;
-  /// Most recently changed links, newest first (bounded history).
-  std::vector<LinkId> last_changed_links;
-
-  std::string summary() const;
-};
-
-/// Thrown by the dynamic schedule instead of a bare Error; carries the
-/// ConvergenceReport for the host to query.
-class ConvergenceError : public ContextualError {
- public:
-  explicit ConvergenceError(ConvergenceReport report);
-
-  const ConvergenceReport& report() const { return report_; }
-
- private:
-  ConvergenceReport report_;
-};
-
-/// Per-system-cycle accounting (the data behind §6's delta-cycle numbers).
-struct StepStats {
-  /// Block evaluations performed (== delta cycles).
-  DeltaCycle delta_cycles = 0;
-  /// delta_cycles - num_blocks: the §4.2 re-evaluation overhead.
-  DeltaCycle re_evaluations = 0;
-  /// Combinational link writes whose value differed from memory.
-  std::size_t link_changes = 0;
-};
-
-class SequentialSimulator {
+class SequentialSimulator : public Engine {
  public:
   /// `max_evals_per_block` bounds re-evaluation; exceeding it means the
   /// netlist contains a combinational cycle that does not settle, which
@@ -100,27 +53,29 @@ class SequentialSimulator {
                       std::size_t max_evals_per_block = 64);
 
   /// Drives an external-input link (takes effect for the next step()).
-  void set_external_input(LinkId link, const BitVector& value);
+  void set_external_input(LinkId link, const BitVector& value) override;
 
   /// Current reader-visible value of any link. For combinational links
   /// this is the value driven during the last step(); for registered
   /// links, the value committed at its clock edge.
-  const BitVector& link_value(LinkId link) const;
+  const BitVector& link_value(LinkId link) const override;
 
   /// Old-bank (committed) state of a block.
-  const BitVector& block_state(BlockId block) const;
+  const BitVector& block_state(BlockId block) const override;
 
   /// Overwrites a block's committed state (reset preloading, testing).
-  void load_block_state(BlockId block, const BitVector& value);
+  void load_block_state(BlockId block, const BitVector& value) override;
 
   /// Simulates one system cycle.
-  StepStats step();
+  StepStats step() override;
 
-  SystemCycle cycle() const { return cycle_; }
-  DeltaCycle total_delta_cycles() const { return total_delta_cycles_; }
-  SchedulePolicy policy() const { return policy_; }
+  SystemCycle cycle() const override { return cycle_; }
+  DeltaCycle total_delta_cycles() const override {
+    return total_delta_cycles_;
+  }
+  SchedulePolicy policy() const override { return policy_; }
 
-  const SystemModel& model() const { return model_; }
+  const SystemModel& model() const override { return model_; }
   const StateMemory& state_memory() const { return state_; }
   const LinkMemory& link_memory() const { return links_; }
 
@@ -165,8 +120,5 @@ class SequentialSimulator {
   std::vector<BitVector> out_scratch_;
   BitVector state_scratch_;
 };
-
-/// Builds the widths vector StateMemory needs from a model.
-std::vector<std::size_t> block_state_widths(const SystemModel& model);
 
 }  // namespace tmsim::core

@@ -1,0 +1,531 @@
+#include "core/sharded_simulator.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+namespace tmsim::core {
+namespace {
+
+constexpr std::size_t kNoSlot = ~std::size_t{0};
+// Barrier-2 contribution encoding an exception during the exchange
+// phase; far above any possible sum of unstable-block counts.
+constexpr std::uint64_t kErrorSentinel = std::uint64_t{1} << 62;
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(const SystemModel& model,
+                                   const ShardedConfig& cfg)
+    : model_(model), cfg_(cfg) {
+  TMSIM_CHECK_MSG(model.finalized(), "model must be finalized");
+  TMSIM_CHECK_MSG(model.num_blocks() >= 1,
+                  "sharded engine needs at least one block");
+  TMSIM_CHECK_MSG(cfg.num_shards >= 1, "num_shards must be >= 1");
+  TMSIM_CHECK_MSG(cfg.max_evals_per_block >= 1, "eval limit must be positive");
+  if (cfg_.schedule == SchedulePolicy::kStatic) {
+    TMSIM_CHECK_MSG(model.all_boundaries_registered(),
+                    "static schedule requires registered boundaries (§4.1); "
+                    "use kDynamic for combinational boundaries");
+  }
+
+  const std::size_t n = model.num_blocks();
+  cfg_.num_shards = std::min(cfg_.num_shards, n);
+  part_ = partition_blocks(model, cfg_.num_shards, cfg_.partition);
+  const std::size_t k = part_.num_shards();
+
+  local_of_.assign(n, 0);
+  for (std::size_t s = 0; s < k; ++s) {
+    for (std::size_t i = 0; i < part_.shards[s].size(); ++i) {
+      local_of_[part_.shards[s][i]] = i;
+    }
+  }
+
+  // Classify every link: which shards materialize it, who owns the
+  // authoritative copy, and whether it crosses the cut (gets a mailbox
+  // slot). A cut link is materialized on both sides: the writer's copy
+  // does change detection, each reading shard's replica carries that
+  // shard's HBR bit.
+  slot_of_link_.assign(model.num_links(), kNoSlot);
+  link_home_.assign(model.num_links(), 0);
+  link_shards_.assign(model.num_links(), {});
+  std::vector<std::size_t> slot_widths;
+  std::vector<std::vector<char>> materialize(
+      k, std::vector<char>(model.num_links(), 0));
+  for (LinkId l = 0; l < model.num_links(); ++l) {
+    const LinkInfo& info = model.link(l);
+    std::vector<std::size_t>& owners = link_shards_[l];
+    auto add_shard = [&owners](std::size_t s) {
+      if (std::find(owners.begin(), owners.end(), s) == owners.end()) {
+        owners.push_back(s);
+      }
+    };
+    std::size_t writer_shard = kNoSlot;
+    if (info.writer) {
+      writer_shard = part_.shard_of[info.writer->block];
+      add_shard(writer_shard);
+    }
+    bool crosses = false;
+    for (const Endpoint& r : info.readers) {
+      const std::size_t rs = part_.shard_of[r.block];
+      add_shard(rs);
+      crosses = crosses || (writer_shard != kNoSlot && rs != writer_shard);
+    }
+    if (owners.empty()) {
+      add_shard(0);  // orphan link (no writer, no readers): park in shard 0
+    }
+    link_home_[l] = owners.front();
+    for (const std::size_t s : owners) {
+      materialize[s][l] = 1;
+    }
+    if (crosses) {
+      slot_of_link_[l] = slot_widths.size();
+      slot_widths.push_back(info.width);
+    }
+  }
+  boundary_links_ = slot_widths.size();
+  mailbox_ = std::make_unique<ShardMailbox>(slot_widths);
+  barrier_ = std::make_unique<ShardBarrier>(k);
+
+  shards_.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::vector<BlockId>& blocks = part_.shards[s];
+    std::vector<std::size_t> widths;
+    widths.reserve(blocks.size());
+    for (const BlockId b : blocks) {
+      widths.push_back(model.block(b).logic->state_width());
+    }
+    auto sh = std::make_unique<Shard>(s, blocks, std::move(widths), model,
+                                      materialize[s]);
+    sh->unstable.assign(blocks.size(), 0);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      sh->state.load_old(i, model.block(blocks[i]).logic->reset_state());
+    }
+    shards_.push_back(std::move(sh));
+  }
+
+  // Subscribe each reading shard to its incoming cut links.
+  for (LinkId l = 0; l < model.num_links(); ++l) {
+    const std::size_t slot = slot_of_link_[l];
+    if (slot == kNoSlot) {
+      continue;
+    }
+    const LinkInfo& info = model.link(l);
+    const std::size_t writer_shard = part_.shard_of[info.writer->block];
+    std::vector<char> subscribed(k, 0);
+    for (const Endpoint& r : info.readers) {
+      const std::size_t rs = part_.shard_of[r.block];
+      if (rs == writer_shard || subscribed[rs]) {
+        continue;
+      }
+      subscribed[rs] = 1;
+      shards_[rs]->incoming.push_back(InSlot{l, slot, 0, info.kind});
+    }
+  }
+
+  threads_.reserve(k - 1);
+  for (std::size_t s = 1; s < k; ++s) {
+    threads_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!threads_.empty()) {
+    stop_ = true;            // workers read this after the release barrier
+    barrier_->sync(0);
+    for (std::thread& t : threads_) {
+      t.join();
+    }
+  }
+}
+
+void ShardedSimulator::worker_main(std::size_t s) {
+  while (true) {
+    barrier_->sync(0);  // wait for the coordinator's next command
+    if (stop_) {
+      return;
+    }
+    run_cycle(s);
+  }
+}
+
+void ShardedSimulator::set_external_input(LinkId link, const BitVector& value) {
+  check_external_input(model_, link);
+  // Workers are parked at the command barrier between steps, so writing
+  // every replica directly is race-free; the barrier's release/acquire
+  // pair publishes the values to them.
+  for (const std::size_t s : link_shards_[link]) {
+    shards_[s]->links.write(link, value);
+  }
+}
+
+const BitVector& ShardedSimulator::link_value(LinkId link) const {
+  TMSIM_CHECK_MSG(link < model_.num_links(), "link index out of range");
+  return shards_[link_home_[link]]->links.read(link);
+}
+
+const BitVector& ShardedSimulator::block_state(BlockId block) const {
+  TMSIM_CHECK_MSG(block < model_.num_blocks(), "block index out of range");
+  return shards_[part_.shard_of[block]]->state.read_old(local_of_[block]);
+}
+
+void ShardedSimulator::load_block_state(BlockId block, const BitVector& value) {
+  TMSIM_CHECK_MSG(block < model_.num_blocks(), "block index out of range");
+  shards_[part_.shard_of[block]]->state.load_old(local_of_[block], value);
+}
+
+StepStats ShardedSimulator::step() {
+  barrier_->sync(0);  // release the workers into this cycle
+  run_cycle(0);
+  // run_cycle ends with a barrier, so every shard is quiescent and its
+  // outcome fields are visible here.
+  for (const std::unique_ptr<Shard>& sh : shards_) {
+    if (sh->error) {
+      std::rethrow_exception(sh->error);
+    }
+  }
+  bool failed = false;
+  for (const std::unique_ptr<Shard>& sh : shards_) {
+    failed = failed || sh->cycle_failed;
+  }
+  if (failed) {
+    ConvergenceReport r;
+    r.cycle = cycle_;
+    r.num_blocks = model_.num_blocks();
+    for (const std::unique_ptr<Shard>& sh : shards_) {
+      r.delta_cycles += sh->report.delta_cycles;
+      r.limit += sh->report.limit;
+      r.link_changes += sh->report.link_changes;
+      r.oscillating_blocks.insert(r.oscillating_blocks.end(),
+                                  sh->report.oscillating_blocks.begin(),
+                                  sh->report.oscillating_blocks.end());
+      r.last_changed_links.insert(r.last_changed_links.end(),
+                                  sh->report.last_changed_links.begin(),
+                                  sh->report.last_changed_links.end());
+    }
+    std::sort(r.oscillating_blocks.begin(), r.oscillating_blocks.end());
+    r.oscillating_blocks.erase(
+        std::unique(r.oscillating_blocks.begin(), r.oscillating_blocks.end()),
+        r.oscillating_blocks.end());
+    if (r.last_changed_links.size() > Shard::kChangedLinkHistory) {
+      r.last_changed_links.resize(Shard::kChangedLinkHistory);
+    }
+    throw ConvergenceError(r);
+  }
+
+  StepStats total;
+  for (const std::unique_ptr<Shard>& sh : shards_) {
+    total.delta_cycles += sh->stats.delta_cycles;
+    total.link_changes += sh->stats.link_changes;
+  }
+  if (cfg_.schedule != SchedulePolicy::kStatic) {
+    total.re_evaluations = total.delta_cycles - model_.num_blocks();
+  }
+  total_delta_cycles_ += total.delta_cycles;
+  total_supersteps_ += shards_[0]->supersteps;
+  ++cycle_;
+  return total;
+}
+
+void ShardedSimulator::run_cycle(std::size_t s) {
+  Shard& sh = *shards_[s];
+  sh.stats = StepStats{};
+  sh.diverged = false;
+  sh.cycle_failed = false;
+  sh.supersteps = 0;
+  sh.error = nullptr;
+  sh.report = ConvergenceReport{};
+  sh.recent_changed_count = 0;
+  switch (cfg_.schedule) {
+    case SchedulePolicy::kStatic:
+      cycle_static(sh);
+      break;
+    case SchedulePolicy::kDynamic:
+      cycle_dynamic(sh);
+      break;
+    case SchedulePolicy::kTwoPhaseOracle:
+      cycle_two_phase(sh);
+      break;
+  }
+  if (!sh.cycle_failed) {
+    // End of system cycle, shard-locally: pointer-flip the state banks
+    // and registered link banks (§4.1). On a failed cycle the engine is
+    // left un-flipped, matching the sequential engine's throw path.
+    sh.state.swap_banks();
+    sh.links.swap_registered_banks();
+  } else {
+    fill_report(sh);
+  }
+  barrier_->sync(0);  // cycle complete; the coordinator aggregates next
+}
+
+void ShardedSimulator::cycle_static(Shard& sh) {
+  guarded(sh, [&] {
+    std::fill(sh.unstable.begin(), sh.unstable.end(), 0);
+    sh.unstable_count = 0;
+    evaluate_all_local(sh);
+  });
+  exchange_round(sh);
+}
+
+void ShardedSimulator::cycle_dynamic(Shard& sh) {
+  guarded(sh, [&] {
+    sh.links.reset_all_hbr();
+    std::fill(sh.unstable.begin(), sh.unstable.end(), 1);
+    sh.unstable_count = sh.blocks.size();
+  });
+  // Belt-and-braces superstep cap: the per-shard evaluation budget in
+  // settle_local() already guarantees termination (an oscillation keeps
+  // at least one shard evaluating every round), this bounds rounds too.
+  const std::size_t superstep_cap =
+      cfg_.max_evals_per_block * model_.num_blocks();
+  while (true) {
+    guarded(sh, [&] { settle_local(sh); });
+    if (sh.supersteps >= superstep_cap) {
+      sh.diverged = true;
+    }
+    const bool more = exchange_round(sh);
+    if (sh.cycle_failed || !more) {
+      return;
+    }
+  }
+}
+
+void ShardedSimulator::cycle_two_phase(Shard& sh) {
+  // Ablation schedule, same contract as the sequential engine: correct
+  // only for designs whose outputs depend on registered state alone.
+  // Pass 1 publishes every output (final, under that contract); the
+  // exchange delivers cut-link values; pass 2 recomputes every next
+  // state from final link values.
+  guarded(sh, [&] {
+    sh.links.reset_all_hbr();
+    std::fill(sh.unstable.begin(), sh.unstable.end(), 0);
+    sh.unstable_count = 0;
+  });
+  for (int pass = 0; pass < 2; ++pass) {
+    guarded(sh, [&] { evaluate_all_local(sh); });
+    exchange_round(sh);
+    if (sh.cycle_failed) {
+      return;
+    }
+  }
+}
+
+bool ShardedSimulator::exchange_round(Shard& sh) {
+  ++sh.supersteps;
+  // Barrier 1: agree whether any shard diverged or threw during the
+  // evaluation phase. Every shard sees the same sum, so every shard
+  // abandons the cycle at the same point — no worker is left behind at
+  // a barrier the others will never reach.
+  const std::uint64_t failures =
+      barrier_->sync((sh.diverged || sh.error) ? 1 : 0);
+  if (failures > 0) {
+    sh.cycle_failed = true;
+    return false;
+  }
+  guarded(sh, [&] { apply_incoming(sh); });
+  // Barrier 2: agree on the number of unstable blocks anywhere (with a
+  // sentinel for exchange-phase errors). Zero means the system-wide
+  // link fixed point is reached.
+  const std::uint64_t unstable =
+      barrier_->sync(sh.error ? kErrorSentinel : sh.unstable_count);
+  if (unstable >= kErrorSentinel) {
+    sh.cycle_failed = true;
+    return false;
+  }
+  return unstable != 0;
+}
+
+void ShardedSimulator::settle_local(Shard& sh) {
+  const std::size_t ln = sh.blocks.size();
+  const DeltaCycle budget = cfg_.max_evals_per_block * ln;
+  while (sh.unstable_count > 0) {
+    // Local §4.2 round-robin over this shard's non-stable blocks.
+    while (sh.unstable[sh.rr_next] == 0) {
+      sh.rr_next = (sh.rr_next + 1) % ln;
+    }
+    const std::size_t i = sh.rr_next;
+    sh.rr_next = (sh.rr_next + 1) % ln;
+    sh.unstable[i] = 0;
+    --sh.unstable_count;
+
+    evaluate_block(sh, i);
+
+    // Self-loop safety, as in the sequential engine: re-check the HBR
+    // bits directly so a bookkeeping bug cannot end a cycle early.
+    if (sh.unstable[i] == 0 && !inputs_all_read(sh, sh.blocks[i])) {
+      destabilize_local(sh, sh.blocks[i]);
+    }
+    if (sh.stats.delta_cycles > budget) {
+      sh.diverged = true;
+      return;
+    }
+  }
+}
+
+void ShardedSimulator::evaluate_all_local(Shard& sh) {
+  for (std::size_t i = 0; i < sh.blocks.size(); ++i) {
+    evaluate_block(sh, i);
+  }
+}
+
+void ShardedSimulator::evaluate_block(Shard& sh, std::size_t local) {
+  const BlockId b = sh.blocks[local];
+  const BlockInstance& blk = model_.block(b);
+  const SimBlock& logic = *blk.logic;
+  const std::size_t n_in = logic.num_inputs();
+  const std::size_t n_out = logic.num_outputs();
+
+  if (sh.in_scratch.size() < n_in) {
+    sh.in_scratch.resize(n_in, BitVector(0));
+  }
+  if (sh.out_scratch.size() < n_out) {
+    sh.out_scratch.resize(n_out, BitVector(0));
+  }
+
+  // Latch inputs from the shard-local LinkMemory (cut links read the
+  // local replica) and set their HBR bits.
+  for (std::size_t p = 0; p < n_in; ++p) {
+    const LinkId l = blk.input_links[p];
+    sh.in_scratch[p] = sh.links.read(l);
+    if (model_.link(l).kind == LinkKind::kCombinational) {
+      sh.links.mark_read(l);
+    }
+  }
+
+  if (sh.state_scratch.width() != logic.state_width()) {
+    sh.state_scratch = BitVector(logic.state_width());
+  }
+  for (std::size_t p = 0; p < n_out; ++p) {
+    if (sh.out_scratch[p].width() != logic.output_width(p)) {
+      sh.out_scratch[p] = BitVector(logic.output_width(p));
+    }
+  }
+
+  logic.evaluate(sh.state.read_old(local),
+                 std::span<const BitVector>(sh.in_scratch.data(), n_in),
+                 sh.state_scratch,
+                 std::span<BitVector>(sh.out_scratch.data(), n_out));
+
+  sh.state.write_new(local, sh.state_scratch);
+
+  for (std::size_t p = 0; p < n_out; ++p) {
+    const LinkId l = blk.output_links[p];
+    const bool changed = sh.links.write(l, sh.out_scratch[p]);
+    const std::size_t slot = slot_of_link_[l];
+    if (model_.link(l).kind == LinkKind::kCombinational) {
+      if (changed) {
+        ++sh.stats.link_changes;
+        sh.recent_changed_links[sh.recent_changed_count++ %
+                                Shard::kChangedLinkHistory] = l;
+        sh.links.clear_hbr(l);
+        // Same-shard readers destabilize immediately; cross-shard
+        // readers at their next exchange phase, via the mailbox.
+        for (const Endpoint& reader : model_.link(l).readers) {
+          if (part_.shard_of[reader.block] == sh.index) {
+            destabilize_local(sh, reader.block);
+          }
+        }
+        if (slot != kNoSlot) {
+          mailbox_->publish(slot, sh.out_scratch[p]);
+        }
+      }
+    } else if (slot != kNoSlot) {
+      // Registered cut link: publish every write — re-evaluation may
+      // rewrite the new bank, and the reader's replica must converge to
+      // the final value. Registered links never destabilize (§4.1).
+      mailbox_->publish(slot, sh.out_scratch[p]);
+    }
+  }
+
+  ++sh.stats.delta_cycles;
+}
+
+void ShardedSimulator::apply_incoming(Shard& sh) {
+  for (InSlot& in : sh.incoming) {
+    if (!mailbox_->poll(in.slot, in.last_seen, sh.poll_scratch)) {
+      continue;
+    }
+    const bool changed = sh.links.write(in.link, sh.poll_scratch);
+    if (in.kind == LinkKind::kCombinational && changed) {
+      // The replica changed under this shard's readers: the §4.2 rule,
+      // one superstep late. link_changes was already counted by the
+      // writing shard — don't double count here.
+      sh.links.clear_hbr(in.link);
+      for (const Endpoint& reader : model_.link(in.link).readers) {
+        if (part_.shard_of[reader.block] == sh.index) {
+          destabilize_local(sh, reader.block);
+        }
+      }
+    }
+  }
+}
+
+void ShardedSimulator::destabilize_local(Shard& sh, BlockId global) {
+  const std::size_t i = local_of_[global];
+  if (sh.unstable[i] == 0) {
+    sh.unstable[i] = 1;
+    ++sh.unstable_count;
+  }
+}
+
+bool ShardedSimulator::inputs_all_read(const Shard& sh, BlockId global) const {
+  const BlockInstance& blk = model_.block(global);
+  for (const LinkId l : blk.input_links) {
+    if (model_.link(l).kind == LinkKind::kCombinational &&
+        !sh.links.has_been_read(l)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ShardedSimulator::fill_report(Shard& sh) {
+  sh.report.delta_cycles = sh.stats.delta_cycles;
+  sh.report.limit = cfg_.max_evals_per_block * sh.blocks.size();
+  sh.report.num_blocks = sh.blocks.size();
+  sh.report.link_changes = sh.stats.link_changes;
+  for (std::size_t i = 0; i < sh.blocks.size(); ++i) {
+    if (sh.unstable[i]) {
+      sh.report.oscillating_blocks.push_back(sh.blocks[i]);
+    }
+  }
+  // A cycle can fail at the divergence barrier before the exchange
+  // applies pending cut-link changes. The local readers of those links
+  // are the cross-shard half of the oscillation — the sequential engine
+  // would already have them marked unstable at trip time. Every
+  // producer is quiescent past that barrier, so the versions are final.
+  for (const InSlot& in : sh.incoming) {
+    if (in.kind != LinkKind::kCombinational ||
+        mailbox_->version(in.slot) == in.last_seen) {
+      continue;
+    }
+    for (const Endpoint& r : model_.link(in.link).readers) {
+      if (part_.shard_of[r.block] == sh.index &&
+          !sh.unstable[local_of_[r.block]]) {
+        sh.unstable[local_of_[r.block]] = 1;
+        sh.report.oscillating_blocks.push_back(r.block);
+      }
+    }
+  }
+  const std::size_t have =
+      std::min(sh.recent_changed_count, Shard::kChangedLinkHistory);
+  for (std::size_t i = 0; i < have; ++i) {
+    sh.report.last_changed_links.push_back(
+        sh.recent_changed_links[(sh.recent_changed_count - 1 - i) %
+                                Shard::kChangedLinkHistory]);
+  }
+}
+
+template <typename F>
+void ShardedSimulator::guarded(Shard& sh, F&& f) {
+  if (sh.error) {
+    return;  // already broken; only keep the barrier protocol aligned
+  }
+  try {
+    std::forward<F>(f)();
+  } catch (...) {
+    sh.error = std::current_exception();
+  }
+}
+
+}  // namespace tmsim::core

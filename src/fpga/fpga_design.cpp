@@ -37,8 +37,11 @@ void FpgaDesign::configure() {
   TMSIM_CHECK_MSG(net_.num_routers() <= build_.max_routers,
                   "network larger than the BRAM provisioning");
 
-  sim_ = std::make_unique<core::SeqNocSimulation>(
-      net_, core::SchedulePolicy::kDynamic);
+  core::EngineOptions engine_opts;
+  engine_opts.policy = core::SchedulePolicy::kDynamic;
+  engine_opts.num_shards = build_.num_shards;
+  engine_opts.partition = build_.partition;
+  sim_ = std::make_unique<core::SeqNocSimulation>(net_, engine_opts);
 
   const std::size_t n = net_.num_routers();
   const std::size_t vcs = net_.router.num_vcs;

@@ -48,6 +48,12 @@ struct FpgaBuildConfig {
   std::size_t monitor_buffer_depth = 64;
   /// Largest network the BRAM budget was provisioned for.
   std::size_t max_routers = 256;
+  /// Simulation-engine shard count: 1 = the paper's sequential engine,
+  /// > 1 = the sharded bulk-synchronous engine (bit-identical results;
+  /// clamped to the router count).
+  std::size_t num_shards = 1;
+  /// Block-to-shard assignment policy when num_shards > 1.
+  core::PartitionPolicy partition = core::PartitionPolicy::kMinCutGreedy;
 };
 
 class FpgaDesign : public BusInterface {

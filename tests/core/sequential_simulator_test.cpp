@@ -345,6 +345,33 @@ TEST(Engine, ExternalInputValidation) {
   EXPECT_THROW(sim.set_external_input(ring.links[0], val(16, 1)), Error);
 }
 
+TEST(Engine, ExternalInputWithNoReadersIsRejected) {
+  // Driving a link no block reads used to be accepted and silently
+  // dropped — the stimulus influenced nothing and no one noticed. It is
+  // now a ContextualError naming the link.
+  SystemModel m;
+  const BlockId b = m.add_block(std::make_shared<CombAdderBlock>(8, 1), "a");
+  const LinkId in = m.add_link("in", 8, LinkKind::kCombinational);
+  const LinkId dangling =
+      m.add_link("dangling", 8, LinkKind::kCombinational);
+  const LinkId out = m.add_link("out", 8, LinkKind::kCombinational);
+  m.bind_input(b, 0, in);
+  m.bind_output(b, 0, out);
+  m.finalize();
+  SequentialSimulator sim(m, SchedulePolicy::kDynamic);
+  sim.set_external_input(in, val(8, 3));  // has a reader: accepted
+  try {
+    sim.set_external_input(dangling, val(8, 1));
+    FAIL() << "dangling external input accepted";
+  } catch (const ContextualError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no readers"), std::string::npos) << what;
+    EXPECT_NE(what.find("dangling"), std::string::npos) << what;
+  }
+  // Block-driven links are still rejected as before.
+  EXPECT_THROW(sim.set_external_input(out, val(8, 1)), ContextualError);
+}
+
 TEST(Engine, TraceHookSeesFigFiveStyleSchedule) {
   PipeRing ring({1, 0, 0});
   SequentialSimulator sim(ring.model, SchedulePolicy::kDynamic);
