@@ -22,6 +22,7 @@ int main() {
   analysis::TablePrinter table({"BE load", "CPS (FPGA RNG)",
                                 "CPS (sw rand)", "speedup", "randoms"});
   double typical_speedup = 0;
+  std::vector<bench::BenchMetric> metrics;
   for (double load : {0.05, 0.10, 0.15}) {
     fpga::PhaseCounts c[2];
     std::uint64_t delivered[2];
@@ -50,6 +51,8 @@ int main() {
                    analysis::fmt("%.1f kHz", cps_sw / 1e3),
                    analysis::fmt("%.2fx", speedup),
                    std::to_string(c[0].randoms_drawn)});
+    metrics.push_back(
+        {"speedup." + analysis::fmt("be=%.2f", load), speedup, "ratio"});
   }
   table.print();
 
@@ -62,5 +65,11 @@ int main() {
                                                                : "OUTSIDE");
   std::printf("  both modes simulated identical traffic (verified per "
               "load point)\n");
+
+  metrics.push_back({"typical_speedup", typical_speedup, "ratio"});
+  bench::emit_bench_json("ablation_rng",
+                         {{"cycles", std::to_string(cycles)},
+                          {"network", "6x6 mesh"}},
+                         metrics);
   return 0;
 }

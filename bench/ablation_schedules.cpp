@@ -26,6 +26,7 @@ int main() {
   analysis::TablePrinter table({"load", "dynamic delta/cyc",
                                 "oracle delta/cyc", "saved", "dyn host cps",
                                 "oracle host cps"});
+  std::vector<bench::BenchMetric> metrics;
   for (double load : {0.0, 0.05, 0.10, 0.20, 0.40}) {
     double dpc[2], cps[2];
     for (int mode = 0; mode < 2; ++mode) {
@@ -48,6 +49,11 @@ int main() {
                    analysis::fmt("%.0f%%", 100 * (1 - dpc[0] / dpc[1])),
                    analysis::fmt("%.0f", cps[0]),
                    analysis::fmt("%.0f", cps[1])});
+    const std::string tag = analysis::fmt("load=%.2f", load);
+    metrics.push_back({"dynamic.delta_per_cycle." + tag, dpc[0],
+                       "delta_cycles/cycle"});
+    metrics.push_back({"oracle.delta_per_cycle." + tag, dpc[1],
+                       "delta_cycles/cycle"});
   }
   table.print();
 
@@ -60,5 +66,10 @@ int main() {
               "  registered state alone; the HBR schedule needs no such "
               "proof\n  and works for any partitioning (§4.2) — that is "
               "the paper's point.\n");
+
+  bench::emit_bench_json("ablation_schedules",
+                         {{"cycles", std::to_string(cycles)},
+                          {"network", "6x6 mesh, queue depth 4"}},
+                         metrics);
   return 0;
 }

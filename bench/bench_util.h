@@ -3,13 +3,21 @@
 // Every bench prints (a) the paper's reported numbers, (b) ours, and (c)
 // the derived comparison the paper's claim rests on — so the output of
 // `for b in build/bench/*; do $b; done` is the whole evaluation section.
+// Besides the human-readable tables, every bench also drops a
+// machine-readable BENCH_<name>.json record (emit_bench_json) so CI can
+// track the reproduced numbers over time.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "noc/config.h"
+#include "obs/metrics.h"
 
 namespace tmsim::bench {
 
@@ -49,6 +57,74 @@ inline void print_header(const char* id, const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id, title);
   std::printf("================================================================\n");
+}
+
+/// One measured number in a BENCH_<name>.json record.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;  // "seconds", "cycles/s", "ratio", "count", ...
+};
+
+/// Commit the numbers were measured at: TMSIM_GIT_SHA if CI exported it,
+/// else `git rev-parse`, else "unknown".
+inline std::string git_sha() {
+  if (const char* env = std::getenv("TMSIM_GIT_SHA")) {
+    return env;
+  }
+#if !defined(_WIN32)
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, p);
+    const int rc = ::pclose(p);
+    std::string sha(buf, n);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    if (rc == 0 && !sha.empty()) {
+      return sha;
+    }
+  }
+#endif
+  return "unknown";
+}
+
+/// Writes BENCH_<name>.json in the working directory: {bench, git_sha,
+/// config{...}, metrics[{name, value, unit}]}. CI greps these instead of
+/// parsing the human tables.
+inline void emit_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& config,
+    const std::vector<BenchMetric>& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "{\n  \"bench\": \"" << obs::json_escape(name) << "\",\n";
+  os << "  \"git_sha\": \"" << obs::json_escape(git_sha()) << "\",\n";
+  os << "  \"config\": {";
+  bool first = true;
+  for (const auto& [k, v] : config) {
+    os << (first ? "\n" : ",\n") << "    \"" << obs::json_escape(k)
+       << "\": \"" << obs::json_escape(v) << "\"";
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+  os << "  \"metrics\": [";
+  first = true;
+  char num[40];
+  for (const BenchMetric& m : metrics) {
+    std::snprintf(num, sizeof num, "%.17g", m.value);
+    os << (first ? "\n" : ",\n") << "    {\"name\": \""
+       << obs::json_escape(m.name) << "\", \"value\": " << num
+       << ", \"unit\": \"" << obs::json_escape(m.unit) << "\"}";
+    first = false;
+  }
+  os << (first ? "]\n}\n" : "\n  ]\n}\n");
+  std::printf("[bench] wrote %s (%zu metrics)\n", path.c_str(),
+              metrics.size());
 }
 
 }  // namespace tmsim::bench

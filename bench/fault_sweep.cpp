@@ -17,7 +17,9 @@
 // the host.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "fpga/arm_host.h"
 #include "fpga/faulty_bus.h"
 
@@ -81,11 +83,20 @@ int main() {
               "outcome");
   const SweepResult clean = run_one(0.0, 1);
   bool envelope_holds = true;
+  std::vector<tmsim::bench::BenchMetric> metrics;
   for (const double rate : rates) {
     const SweepResult r = run_one(rate, 12345);
     const bool identical = !r.aborted && r.packets == clean.packets &&
                            r.lat_sum == clean.lat_sum &&
                            r.access_sum == clean.access_sum;
+    char tag[32];
+    std::snprintf(tag, sizeof tag, "rate=%.0e", rate);
+    metrics.push_back({std::string("recovered.") + tag,
+                       static_cast<double>(r.recovered), "count"});
+    metrics.push_back({std::string("identical.") + tag, identical ? 1.0 : 0.0,
+                       "bool"});
+    metrics.push_back({std::string("verify_share.") + tag, r.verify_share,
+                       "ratio"});
     const std::string outcome = r.aborted  ? "abort: " + r.reason
                                 : identical ? "completed"
                                             : "completed but DIVERGED";
@@ -104,5 +115,11 @@ int main() {
       "bit-exactly: %s. Beyond it the 2-bit guards can be forged by\n"
       "colluding faults, so rows diverge or abort — but never hang.\n",
       envelope_holds ? "PASS" : "FAIL");
+
+  metrics.push_back({"envelope_holds", envelope_holds ? 1.0 : 0.0, "bool"});
+  tmsim::bench::emit_bench_json(
+      "fault_sweep",
+      {{"cycles", "4000"}, {"be_load", "0.10"}, {"network", "6x6 mesh"}},
+      metrics);
   return envelope_holds ? 0 : 1;
 }

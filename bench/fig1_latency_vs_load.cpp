@@ -55,6 +55,7 @@ int main() {
                                 "GT pkts", "delta/cyc"});
   bool guarantee_held = true;
   double gt_mean_low = 0, gt_mean_high = 0, be_mean_low = 0;
+  std::vector<bench::BenchMetric> metrics;
 
   const std::vector<double> loads = {0.0,  0.02, 0.04, 0.06,
                                      0.08, 0.10, 0.12, 0.14};
@@ -96,6 +97,10 @@ int main() {
                    std::to_string(guarantee), ok ? "yes" : "NO",
                    std::to_string(be.delivered), std::to_string(gt.delivered),
                    analysis::fmt("%.2f", dpc)});
+    const std::string tag = analysis::fmt("be=%.2f", load);
+    metrics.push_back({"be_mean_latency." + tag, be.network.mean(), "cycles"});
+    metrics.push_back({"gt_mean_latency." + tag, gt.network.mean(), "cycles"});
+    metrics.push_back({"gt_max_latency." + tag, gt.network.max(), "cycles"});
   }
   table.print();
 
@@ -108,5 +113,15 @@ int main() {
   std::printf("  GT mean rises with BE load (%.1f -> %.1f): %s\n",
               gt_mean_low, gt_mean_high,
               gt_mean_high > gt_mean_low ? "HOLDS" : "VIOLATED");
+
+  metrics.push_back({"gt_guarantee", static_cast<double>(guarantee),
+                     "cycles"});
+  metrics.push_back({"gt_guarantee_held", guarantee_held ? 1.0 : 0.0,
+                     "bool"});
+  bench::emit_bench_json("fig1_latency_vs_load",
+                         {{"cycles", std::to_string(cycles)},
+                          {"warmup", std::to_string(warmup)},
+                          {"network", "6x6 torus, queue depth 2"}},
+                         metrics);
   return guarantee_held ? 0 : 1;
 }

@@ -22,7 +22,12 @@ namespace {
 using namespace tmsim;
 using namespace tmsim::core;
 
-void trace_run(SequentialSimulator& sim, std::size_t cycles) {
+struct TraceTotals {
+  std::uint64_t delta_cycles = 0;
+  std::uint64_t re_evaluations = 0;
+};
+
+TraceTotals trace_run(SequentialSimulator& sim, std::size_t cycles) {
   struct Event {
     SystemCycle c;
     DeltaCycle d;
@@ -48,11 +53,18 @@ void trace_run(SequentialSimulator& sim, std::size_t cycles) {
                 static_cast<unsigned long long>(stats[c].delta_cycles),
                 static_cast<unsigned long long>(stats[c].re_evaluations));
   }
+  TraceTotals totals;
+  for (const StepStats& s : stats) {
+    totals.delta_cycles += s.delta_cycles;
+    totals.re_evaluations += s.re_evaluations;
+  }
+  return totals;
 }
 
 }  // namespace
 
 int main() {
+  TraceTotals static_totals, dynamic_totals;
   bench::print_header("Figure 3", "static schedule on a registered ring");
   {
     // Fig. 2a: three circuits F1..F3 separated by registers R1..R3.
@@ -76,7 +88,7 @@ int main() {
     SequentialSimulator sim(m, SchedulePolicy::kStatic);
     std::printf("each (cycle,delta)=block entry is one evaluation; the\n"
                 "static method needs exactly num_blocks deltas per cycle:\n");
-    trace_run(sim, 3);
+    static_totals = trace_run(sim, 3);
     std::printf("  register values after 3 cycles: R1=%llu R2=%llu R3=%llu\n",
                 (unsigned long long)sim.link_value(regs[0]).get_field(0, 16),
                 (unsigned long long)sim.link_value(regs[1]).get_field(0, 16),
@@ -108,12 +120,23 @@ int main() {
     std::printf("every cycle starts with all HBR bits cleared (all blocks\n"
                 "evaluated at least once); a changed link value clears its\n"
                 "HBR bit and re-destabilizes the reader:\n");
-    trace_run(sim, 3);
+    dynamic_totals = trace_run(sim, 3);
   }
 
   std::printf("\nclaims:\n");
   std::printf("  static schedule: exactly N delta cycles per system cycle\n");
   std::printf("  dynamic schedule: N..2N delta cycles, re-evaluations only\n"
               "  where link values actually changed (§4.2)\n");
+
+  bench::emit_bench_json(
+      "fig3_fig5_schedules", {{"cycles", "3"}, {"blocks", "3"}},
+      {{"static.delta_cycles", static_cast<double>(static_totals.delta_cycles),
+        "count"},
+       {"static.re_evaluations",
+        static_cast<double>(static_totals.re_evaluations), "count"},
+       {"dynamic.delta_cycles",
+        static_cast<double>(dynamic_totals.delta_cycles), "count"},
+       {"dynamic.re_evaluations",
+        static_cast<double>(dynamic_totals.re_evaluations), "count"}});
   return 0;
 }

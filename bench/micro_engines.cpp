@@ -1,8 +1,11 @@
 // Micro-benchmarks (google-benchmark) of the primitives whose costs drive
 // every number in Tables 3/4: one router evaluation, the state-word
 // codec, the memory banks, and whole-engine steps across network sizes.
+// Besides the console table, the run drops BENCH_micro_engines.json with
+// one metric per benchmark (adjusted real time).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "core/noc_block.h"
 #include "core/sequential_simulator.h"
 #include "noc/network.h"
@@ -116,6 +119,29 @@ BENCHMARK_TEMPLATE(BM_EngineLoadedStep, core::SeqNocSimulation);
 BENCHMARK_TEMPLATE(BM_EngineLoadedStep, sysc::SyscNocSimulation);
 BENCHMARK_TEMPLATE(BM_EngineLoadedStep, rtlsim::RtlNocSimulation);
 
+/// Console output as usual, plus one BenchMetric per finished run.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      collected.push_back({r.benchmark_name(), r.GetAdjustedRealTime(), "ns"});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<tmsim::bench::BenchMetric> collected;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  tmsim::bench::emit_bench_json("micro_engines", {}, reporter.collected);
+  return 0;
+}

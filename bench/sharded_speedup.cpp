@@ -75,6 +75,7 @@ double imbalance_of(const core::SystemModel& model, std::size_t shards,
 
 int main() {
   bench::print_header("Sharded engine", "measured host scaling + modeled FPGA scaling");
+  std::vector<bench::BenchMetric> metrics;
   const std::size_t scale = bench::quick_mode() ? 4 : 1;
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("host hardware threads: %u%s\n", hw,
@@ -96,6 +97,9 @@ int main() {
     const std::size_t cycles = (side == 4 ? 2000 : 600) / scale;
 
     const Measured seq = measure(net, core::EngineOptions{}, cycles);
+    metrics.push_back({"seq.cps." + std::to_string(side) + "x" +
+                           std::to_string(side),
+                       seq.cps, "cycles/s"});
     std::printf("\n%zux%zu mesh, %zu cycles — sequential: %.0f cycles/s\n",
                 side, side, cycles, seq.cps);
     std::printf("  %-14s %6s %10s %9s %8s %11s\n", "partition", "shards",
@@ -106,6 +110,12 @@ int main() {
         opts.num_shards = k;
         opts.partition = pol;
         const Measured m = measure(net, opts, cycles);
+        metrics.push_back({std::string("speedup.") +
+                               core::partition_policy_name(pol) + "." +
+                               std::to_string(side) + "x" +
+                               std::to_string(side) + ".shards=" +
+                               std::to_string(k),
+                           m.cps / seq.cps, "ratio"});
         std::printf("  %-14s %6zu %10.0f %8.2fx %8zu %11.2f\n",
                     core::partition_policy_name(pol), k, m.cps, m.cps / seq.cps,
                     m.cut_links, m.supersteps);
@@ -149,7 +159,15 @@ int main() {
         host.counts(), k, imb, 4.0, std::max(m.supersteps, 1.0));
     std::printf("  %6zu %12.3f %8.2fx %12.0f\n", k, est.simulate_raw,
                 est.speedup, est.cycles_per_second);
+    metrics.push_back({"modeled.speedup.shards=" + std::to_string(k),
+                       est.speedup, "ratio"});
   }
   std::printf("\n");
+
+  bench::emit_bench_json(
+      "sharded_speedup",
+      {{"quick", bench::quick_mode() ? "1" : "0"},
+       {"hw_threads", std::to_string(std::thread::hardware_concurrency())}},
+      metrics);
   return 0;
 }

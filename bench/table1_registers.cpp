@@ -73,5 +73,15 @@ int main() {
               "routers need\n    ~%zu kbit of state memory (double-banked) "
               "— BRAM-bound, not\n    logic-bound\n",
               2 * 256 * total / 1024);
+
+  bench::emit_bench_json(
+      "table1_registers",
+      {{"num_vcs", std::to_string(cfg.num_vcs)},
+       {"queue_depth", std::to_string(cfg.queue_depth)}},
+      {{"bits.input_queues", static_cast<double>(queues), "bits"},
+       {"bits.control", static_cast<double>(control), "bits"},
+       {"bits.links", static_cast<double>(links), "bits"},
+       {"bits.stimuli", static_cast<double>(stimuli), "bits"},
+       {"bits.total", static_cast<double>(total), "bits"}});
   return 0;
 }

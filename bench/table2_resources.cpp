@@ -67,5 +67,14 @@ int main() {
               "interfaces);\nthe time-multiplexed simulator handles 256 — "
               "a %.0fx capacity gain.\n",
               256.0 / static_cast<double>(model.max_parallel_routers(rc, 6)));
+
+  bench::emit_bench_json(
+      "table2_resources", {{"routers", "256"}, {"device", "XC2V8000"}},
+      {{"slices.total", static_cast<double>(rep.total_slices), "slices"},
+       {"brams.total", static_cast<double>(rep.total_brams), "brams"},
+       {"slice_fraction", rep.slice_fraction, "ratio"},
+       {"bram_fraction", rep.bram_fraction, "ratio"},
+       {"max_parallel_routers_6bit",
+        static_cast<double>(model.max_parallel_routers(rc, 6)), "count"}});
   return 0;
 }

@@ -122,5 +122,17 @@ int main() {
               "  faster than a 2007 Pentium 4 while the modeled FPGA rate\n"
               "  is pinned at the paper's 6.6 MHz — the modeled FPGA rows\n"
               "  themselves land on the paper's 22 / 61.6 kHz.\n");
+
+  bench::emit_bench_json(
+      "table3_cps",
+      {{"network", "6x6, queue depth 4"},
+       {"quick", bench::quick_mode() ? "1" : "0"}},
+      {{"vhdl_cps", vhdl_cps, "cycles/s"},
+       {"systemc_cps", sysc_cps, "cycles/s"},
+       {"sequential_cps", seq_cps, "cycles/s"},
+       {"direct_cps", direct_cps, "cycles/s"},
+       {"fpga_avg_cps", fpga_avg, "cycles/s"},
+       {"fpga_fastest_cps", fpga_fast, "cycles/s"},
+       {"fpga_ceiling_cps", max_hz, "cycles/s"}});
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "analysis/table.h"
 #include "bench/bench_util.h"
 #include "fpga/arm_host.h"
+#include "obs/metrics.h"
 
 int main() {
   using namespace tmsim;
@@ -49,9 +50,16 @@ int main() {
     host.run(cycles);
     fpga::TimingModel model;
     model.costs().analysis_complexity = c.analysis;
-    const fpga::PhaseTimes t = model.evaluate(host.counts());
-    results.push_back({t.share_generate(), t.share_load(), t.share_simulate(),
-                       t.share_retrieve(), t.share_analyze()});
+    // The shares come from the metrics registry (DESIGN.md §10), not
+    // from a private PhaseTimes evaluation — the bench reads exactly
+    // what any other observability consumer would.
+    obs::MetricsRegistry reg;
+    host.export_metrics(reg, model);
+    results.push_back({reg.gauge_value("host.share.generate"),
+                       reg.gauge_value("host.share.load"),
+                       reg.gauge_value("host.share.simulate"),
+                       reg.gauge_value("host.share.retrieve"),
+                       reg.gauge_value("host.share.analyze")});
   }
 
   analysis::TablePrinter table({"Simulation step", "paper", "ours (range)",
@@ -89,5 +97,27 @@ int main() {
   std::printf("  \"Those two functions [generation, analysis] could be "
               "optimized in\n  software and there is no reason to increase "
               "the FPGAs delta cycle\n  frequency.\" (§6)\n");
+
+  std::vector<bench::BenchMetric> metrics;
+  auto minmax = [&](auto get, const char* name) {
+    double lo = 1e9, hi = -1e9;
+    for (const Shares& s : results) {
+      lo = std::min(lo, get(s));
+      hi = std::max(hi, get(s));
+    }
+    metrics.push_back({std::string("share.") + name + ".min", lo, "ratio"});
+    metrics.push_back({std::string("share.") + name + ".max", hi, "ratio"});
+  };
+  minmax([](const Shares& s) { return s.gen; }, "generate");
+  minmax([](const Shares& s) { return s.load; }, "load");
+  minmax([](const Shares& s) { return s.sim; }, "simulate");
+  minmax([](const Shares& s) { return s.ret; }, "retrieve");
+  minmax([](const Shares& s) { return s.ana; }, "analyze");
+  bench::emit_bench_json(
+      "table4_profile",
+      {{"cycles", std::to_string(cycles)},
+       {"network", "6x6 mesh"},
+       {"workloads", std::to_string(cases.size())}},
+      metrics);
   return 0;
 }

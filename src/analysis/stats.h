@@ -37,8 +37,11 @@ class StatAccumulator {
 /// the last bin. Used for latency distributions.
 class Histogram {
  public:
+  /// Degenerate shapes are clamped (0 bins → 1 bin, non-positive width →
+  /// 1.0) so add()/quantile() stay well-defined for any constructor args.
   Histogram(double bin_width, std::size_t num_bins)
-      : bin_width_(bin_width), bins_(num_bins, 0) {}
+      : bin_width_(bin_width > 0.0 ? bin_width : 1.0),
+        bins_(num_bins == 0 ? 1 : num_bins, 0) {}
 
   void add(double x) {
     std::size_t b = x < 0 ? 0 : static_cast<std::size_t>(x / bin_width_);
@@ -53,17 +56,24 @@ class Histogram {
 
   /// Value below which `q` (0..1) of the samples fall, estimated from the
   /// bin boundaries (upper edge of the bin containing the quantile).
+  /// Edge cases: an empty histogram reports 0, `q` is clamped to [0, 1],
+  /// and the rank is at least 1 so a single sample (or any all-equal
+  /// sample set) reports the upper edge of its own bin for every q.
   double quantile(double q) const {
     if (count_ == 0) return 0.0;
-    const auto target = static_cast<std::uint64_t>(q * count_);
+    q = std::clamp(q, 0.0, 1.0);
+    const double want = q * static_cast<double>(count_);
+    auto rank = static_cast<std::uint64_t>(want);
+    if (static_cast<double>(rank) < want) ++rank;  // ceil
+    rank = std::max<std::uint64_t>(rank, 1);
     std::uint64_t seen = 0;
     for (std::size_t b = 0; b < bins_.size(); ++b) {
       seen += bins_[b];
-      if (seen > target) {
-        return (b + 1) * bin_width_;
+      if (seen >= rank) {
+        return static_cast<double>(b + 1) * bin_width_;
       }
     }
-    return bins_.size() * bin_width_;
+    return static_cast<double>(bins_.size()) * bin_width_;
   }
 
  private:

@@ -6,6 +6,8 @@ namespace tmsim::core {
 
 Engine::~Engine() = default;
 
+SimObserver::~SimObserver() = default;
+
 std::string ConvergenceReport::summary() const {
   std::string s = "system cycle " + std::to_string(cycle) +
                   " did not settle after " + std::to_string(delta_cycles) +

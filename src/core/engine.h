@@ -70,6 +70,59 @@ struct StepStats {
   DeltaCycle re_evaluations = 0;
   /// Combinational link writes whose value differed from memory.
   std::size_t link_changes = 0;
+  /// Settle/exchange rounds the cycle took: 1 for the sequential
+  /// schedules (one fixed-point search), the superstep count for the
+  /// sharded engine.
+  std::uint64_t settle_rounds = 1;
+  /// Cut-link mailbox publishes (sharded engine only).
+  std::uint64_t cut_publishes = 0;
+  /// Barrier spin-loop iterations summed over shards (sharded only) —
+  /// the wait-skew signal Manticore-style instrumentation watches.
+  std::uint64_t barrier_spins = 0;
+};
+
+class Engine;
+
+/// Engine-side observability hooks (DESIGN.md §10). The default
+/// implementation of every callback is a no-op, and engines guard each
+/// notification behind a null pointer check, so an unobserved run does
+/// no extra work and is bit-identical to one on a build without the obs
+/// subsystem (tests/obs/obs_off_test.cpp).
+///
+/// Threading: on_cycle_commit / on_convergence_failure arrive on the
+/// thread that called Engine::step(); on_superstep arrives on sharded
+/// worker threads *concurrently* — implementations must synchronize.
+class SimObserver {
+ public:
+  virtual ~SimObserver();
+
+  /// A system cycle committed (bank swap done); `eng.link_value()` /
+  /// `eng.block_state()` see the newly committed values.
+  virtual void on_cycle_commit(const Engine& eng, const StepStats& stats) {
+    (void)eng;
+    (void)stats;
+  }
+
+  /// One sharded superstep (settle + exchange) finished on `shard`.
+  /// `settle_ns` / `barrier_ns` split the superstep's wall time into
+  /// useful evaluation and barrier wait.
+  virtual void on_superstep(std::size_t shard, std::uint64_t superstep,
+                            std::uint64_t settle_ns,
+                            std::uint64_t barrier_ns) {
+    (void)shard;
+    (void)superstep;
+    (void)settle_ns;
+    (void)barrier_ns;
+  }
+
+  /// The dynamic schedule is about to abandon the run; fires before the
+  /// engine throws ConvergenceError, while link/state memories still
+  /// hold the unsettled values (so a waveform ring can be flushed).
+  virtual void on_convergence_failure(const Engine& eng,
+                                      const ConvergenceReport& report) {
+    (void)eng;
+    (void)report;
+  }
 };
 
 /// Abstract engine over a finalized SystemModel. All engines must agree
@@ -102,6 +155,15 @@ class Engine {
   virtual DeltaCycle total_delta_cycles() const = 0;
   virtual SchedulePolicy policy() const = 0;
   virtual const SystemModel& model() const = 0;
+
+  /// Attaches an observer (nullptr detaches). Not owned; must outlive
+  /// the engine or be detached first. Engines only touch it between
+  /// steps, so attaching between step() calls is always safe.
+  void set_observer(SimObserver* obs) { observer_ = obs; }
+  SimObserver* observer() const { return observer_; }
+
+ protected:
+  SimObserver* observer_ = nullptr;
 };
 
 /// Builds the widths vector StateMemory needs from a model.

@@ -113,6 +113,10 @@ class SeqNocSimulation : public noc::NocSimulation {
   const Engine& engine() const { return *sim_; }
   const StepStats& last_step_stats() const { return last_stats_; }
 
+  /// Observability (DESIGN.md §10): attaches a SimObserver to the
+  /// underlying engine. nullptr detaches; only call between step()s.
+  void set_observer(SimObserver* obs) { sim_->set_observer(obs); }
+
  private:
   noc::NetworkConfig net_;
   NocModel noc_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 namespace tmsim::core {
 
@@ -60,6 +61,9 @@ StepStats SequentialSimulator::step() {
       break;
   }
   end_of_cycle();
+  if (observer_) {
+    observer_->on_cycle_commit(*this, stats);
+  }
   return stats;
 }
 
@@ -106,7 +110,11 @@ StepStats SequentialSimulator::step_dynamic() {
     }
 
     if (stats.delta_cycles > limit) {
-      throw ConvergenceError(make_convergence_report(stats, limit));
+      ConvergenceReport report = make_convergence_report(stats, limit);
+      if (observer_) {
+        observer_->on_convergence_failure(*this, report);
+      }
+      throw ConvergenceError(std::move(report));
     }
   }
   stats.re_evaluations = stats.delta_cycles - n;

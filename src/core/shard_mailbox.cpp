@@ -11,7 +11,8 @@ ShardBarrier::ShardBarrier(std::size_t participants)
   TMSIM_CHECK_MSG(participants >= 1, "barrier needs a participant");
 }
 
-std::uint64_t ShardBarrier::sync(std::uint64_t contribution) {
+std::uint64_t ShardBarrier::sync(std::uint64_t contribution,
+                                 std::uint64_t* spins) {
   const std::uint64_t gen = generation_.load(std::memory_order_acquire);
   sum_.fetch_add(contribution, std::memory_order_acq_rel);
   if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
@@ -27,8 +28,14 @@ std::uint64_t ShardBarrier::sync(std::uint64_t contribution) {
   // parked between cycles (or on an oversubscribed host) costs no CPU.
   for (int i = 0; i < 128; ++i) {
     if (generation_.load(std::memory_order_acquire) != gen) {
+      if (spins) {
+        *spins += static_cast<std::uint64_t>(i) + 1;
+      }
       return result_;
     }
+  }
+  if (spins) {
+    *spins += 128;
   }
   std::this_thread::yield();
   while (generation_.load(std::memory_order_acquire) == gen) {

@@ -37,8 +37,11 @@ class ShardBarrier {
 
   /// Blocks until all participants have called sync() for this round;
   /// returns the sum of every participant's `contribution`. All callers
-  /// of one round receive the same sum.
-  std::uint64_t sync(std::uint64_t contribution);
+  /// of one round receive the same sum. When `spins` is non-null the
+  /// caller's spin-loop iteration count is added to it (barrier-wait
+  /// accounting for the observability layer; 0 for the last arriver).
+  std::uint64_t sync(std::uint64_t contribution,
+                     std::uint64_t* spins = nullptr);
 
   std::size_t participants() const { return participants_; }
 

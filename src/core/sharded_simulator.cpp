@@ -1,6 +1,7 @@
 #include "core/sharded_simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <span>
 #include <utility>
 
@@ -11,6 +12,13 @@ constexpr std::size_t kNoSlot = ~std::size_t{0};
 // Barrier-2 contribution encoding an exception during the exchange
 // phase; far above any possible sum of unstable-block counts.
 constexpr std::uint64_t kErrorSentinel = std::uint64_t{1} << 62;
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -209,6 +217,9 @@ StepStats ShardedSimulator::step() {
     if (r.last_changed_links.size() > Shard::kChangedLinkHistory) {
       r.last_changed_links.resize(Shard::kChangedLinkHistory);
     }
+    if (observer_) {
+      observer_->on_convergence_failure(*this, r);
+    }
     throw ConvergenceError(r);
   }
 
@@ -216,13 +227,20 @@ StepStats ShardedSimulator::step() {
   for (const std::unique_ptr<Shard>& sh : shards_) {
     total.delta_cycles += sh->stats.delta_cycles;
     total.link_changes += sh->stats.link_changes;
+    total.cut_publishes += sh->stats.cut_publishes;
+    total.barrier_spins += sh->stats.barrier_spins;
   }
   if (cfg_.schedule != SchedulePolicy::kStatic) {
     total.re_evaluations = total.delta_cycles - model_.num_blocks();
   }
+  // Every shard executes the same number of barrier-aligned supersteps.
+  total.settle_rounds = shards_[0]->supersteps;
   total_delta_cycles_ += total.delta_cycles;
   total_supersteps_ += shards_[0]->supersteps;
   ++cycle_;
+  if (observer_) {
+    observer_->on_cycle_commit(*this, total);
+  }
   return total;
 }
 
@@ -235,6 +253,9 @@ void ShardedSimulator::run_cycle(std::size_t s) {
   sh.error = nullptr;
   sh.report = ConvergenceReport{};
   sh.recent_changed_count = 0;
+  if (observer_) {
+    sh.mark_ns = steady_ns();
+  }
   switch (cfg_.schedule) {
     case SchedulePolicy::kStatic:
       cycle_static(sh);
@@ -312,12 +333,15 @@ void ShardedSimulator::cycle_two_phase(Shard& sh) {
 
 bool ShardedSimulator::exchange_round(Shard& sh) {
   ++sh.supersteps;
+  // Observer timing: the settle/evaluation phase ran since mark_ns; the
+  // two barriers plus the exchange form the synchronization tail.
+  const std::uint64_t settle_end_ns = observer_ ? steady_ns() : 0;
   // Barrier 1: agree whether any shard diverged or threw during the
   // evaluation phase. Every shard sees the same sum, so every shard
   // abandons the cycle at the same point — no worker is left behind at
   // a barrier the others will never reach.
   const std::uint64_t failures =
-      barrier_->sync((sh.diverged || sh.error) ? 1 : 0);
+      barrier_->sync((sh.diverged || sh.error) ? 1 : 0, &sh.stats.barrier_spins);
   if (failures > 0) {
     sh.cycle_failed = true;
     return false;
@@ -326,8 +350,17 @@ bool ShardedSimulator::exchange_round(Shard& sh) {
   // Barrier 2: agree on the number of unstable blocks anywhere (with a
   // sentinel for exchange-phase errors). Zero means the system-wide
   // link fixed point is reached.
-  const std::uint64_t unstable =
-      barrier_->sync(sh.error ? kErrorSentinel : sh.unstable_count);
+  const std::uint64_t unstable = barrier_->sync(
+      sh.error ? kErrorSentinel : sh.unstable_count, &sh.stats.barrier_spins);
+  if (observer_) {
+    // Called from every worker thread concurrently; SimObserver
+    // implementations synchronize internally.
+    const std::uint64_t end_ns = steady_ns();
+    observer_->on_superstep(sh.index, total_supersteps_ + sh.supersteps - 1,
+                            settle_end_ns - sh.mark_ns,
+                            end_ns - settle_end_ns);
+    sh.mark_ns = end_ns;
+  }
   if (unstable >= kErrorSentinel) {
     sh.cycle_failed = true;
     return false;
@@ -427,6 +460,7 @@ void ShardedSimulator::evaluate_block(Shard& sh, std::size_t local) {
         }
         if (slot != kNoSlot) {
           mailbox_->publish(slot, sh.out_scratch[p]);
+          ++sh.stats.cut_publishes;
         }
       }
     } else if (slot != kNoSlot) {
@@ -434,6 +468,7 @@ void ShardedSimulator::evaluate_block(Shard& sh, std::size_t local) {
       // rewrite the new bank, and the reader's replica must converge to
       // the final value. Registered links never destabilize (§4.1).
       mailbox_->publish(slot, sh.out_scratch[p]);
+      ++sh.stats.cut_publishes;
     }
   }
 

@@ -126,6 +126,8 @@ class ShardedSimulator : public Engine {
     std::size_t supersteps = 0;
     std::exception_ptr error;
     ConvergenceReport report;
+    // Wall-clock mark for observer superstep timing (worker-local).
+    std::uint64_t mark_ns = 0;
 
     // Scratch reused across evaluations (hot path).
     std::vector<BitVector> in_scratch;

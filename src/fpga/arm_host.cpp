@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
 #include "traffic/packet.h"
 
 namespace tmsim::fpga {
@@ -337,6 +339,11 @@ bool ArmHost::load_port(std::size_t r, std::size_t vc) {
     // queue, re-credit the words the hardware did commit, clear the
     // sticky reject flag, and go around again.
     ++fault_report_.load_replays;
+    if (timeline_) {
+      timeline_->instant("fault.load_replay", timeline_->now_us(), 0,
+                         {{"router", std::to_string(r)},
+                          {"vc", std::to_string(vc)}});
+    }
     for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
       stream.pending.push_front(*it);
     }
@@ -410,6 +417,9 @@ void ArmHost::simulate_phase(std::size_t period) {
       ++fault_report_.busy_polls;
       if (++polls >= wl_.watchdog_polls) {
         ++fault_report_.watchdog_trips;
+        if (timeline_) {
+          timeline_->instant("fault.watchdog_trip", timeline_->now_us(), 0);
+        }
         abort_run("watchdog: simulate phase still busy after " +
                   std::to_string(wl_.watchdog_polls) + " status polls");
         return;
@@ -421,6 +431,9 @@ void ArmHost::simulate_phase(std::size_t period) {
         return;
       }
       ++fault_report_.spurious_overruns_ignored;
+      if (timeline_) {
+        timeline_->instant("fault.spurious_overrun", timeline_->now_us(), 0);
+      }
     }
     if (status & kStatusLoadFault) {
       // Leftover (or spuriously read) sticky bit; clear it so later
@@ -437,6 +450,9 @@ void ArmHost::simulate_phase(std::size_t period) {
     }
     if (lo == start) {
       ++fault_report_.ctrl_retries;
+      if (timeline_) {
+        timeline_->instant("fault.ctrl_retry", timeline_->now_us(), 0);
+      }
       continue;  // safe to re-issue: the period never started
     }
     abort_run("cycle counter in unexpected state after period: read " +
@@ -450,6 +466,7 @@ void ArmHost::simulate_phase(std::size_t period) {
 
 void ArmHost::deliver_output(std::size_t router, std::uint32_t ts,
                              std::uint32_t data) {
+  const double t0_us = timeline_ ? timeline_->now_us() : 0.0;
   const LinkForward f = noc::decode_forward(data);
   TMSIM_CHECK_MSG(f.valid, "output buffer holds an idle entry");
   VcStream& stream = streams_[router * net_.router.num_vcs + f.vc];
@@ -476,6 +493,9 @@ void ArmHost::deliver_output(std::size_t router, std::uint32_t ts,
     }
   }
   ++counts_.flits_analyzed;
+  if (timeline_) {
+    analyze_us_accum_ += timeline_->now_us() - t0_us;
+  }
 }
 
 bool ArmHost::drain_port(
@@ -564,16 +584,44 @@ void ArmHost::run(std::size_t total_cycles) {
   // "the simulation period is fixed to the size of the VC stimuli
   //  buffers in the FPGA" (§5.3).
   const std::size_t p = build_.stimuli_buffer_depth;
+  // Emits a phase span covering the wall time since the previous mark
+  // when a timeline is attached; a no-op (one branch) otherwise.
+  double mark_us = timeline_ ? timeline_->now_us() : 0.0;
+  auto phase_span = [&](const char* name) {
+    if (!timeline_) {
+      return;
+    }
+    const double now = timeline_->now_us();
+    timeline_->span(name, mark_us, now - mark_us, 0,
+                    {{"period", std::to_string(counts_.periods)}});
+    mark_us = now;
+  };
   try {
     verified_write(kRegSimCycles, static_cast<std::uint32_t>(p),
                    static_cast<std::uint32_t>(p));
     while (cycles_ < total_cycles && !overloaded_ && !aborted()) {
+      if (timeline_) {
+        mark_us = timeline_->now_us();
+      }
       generate_up_to(cycles_ + 2 * p);
+      phase_span("host.generate");
       load_phase();
+      phase_span("host.load");
       if (aborted()) break;
       simulate_phase(p);
+      phase_span("host.simulate");
       if (aborted()) break;
+      analyze_us_accum_ = 0.0;
       retrieve_phase();
+      phase_span("host.retrieve");
+      if (timeline_) {
+        // Analysis runs inline during the drain (deliver_output); its
+        // accumulated time is re-emitted as a synthetic span so the five
+        // Table 4 phases all appear on the timeline.
+        timeline_->span("host.analyze", mark_us, analyze_us_accum_, 0,
+                        {{"period", std::to_string(counts_.periods)},
+                         {"synthetic", "rebinned from host.retrieve"}});
+      }
       ++counts_.periods;
     }
     counts_.fpga_clock_cycles =
@@ -597,6 +645,73 @@ void ArmHost::run(std::size_t total_cycles) {
               e.what());
   }
   counts_.system_cycles = cycles_;
+}
+
+// --- Observability export ---------------------------------------------------
+
+void ArmHost::export_metrics(obs::MetricsRegistry& registry,
+                             const TimingModel& timing) const {
+  // PhaseCounts — the raw events the timing model consumes.
+  registry.counter("host.flits_generated").set(counts_.flits_generated);
+  registry.counter("host.packets_generated").set(counts_.packets_generated);
+  registry.counter("host.randoms_drawn").set(counts_.randoms_drawn);
+  registry.counter("host.bus.generate_reads").set(counts_.generate_bus_reads);
+  registry.counter("host.bus.load_reads").set(counts_.load_bus_reads);
+  registry.counter("host.bus.load_writes").set(counts_.load_bus_writes);
+  registry.counter("host.bus.retrieve_reads").set(counts_.retrieve_bus_reads);
+  registry.counter("host.bus.verify_reads").set(counts_.verify_bus_reads);
+  registry.counter("host.bus.verify_writes").set(counts_.verify_bus_writes);
+  registry.counter("host.bus.sync_reads").set(counts_.sync_bus_reads);
+  registry.counter("host.bus.sync_writes").set(counts_.sync_bus_writes);
+  registry.counter("host.flits_analyzed").set(counts_.flits_analyzed);
+  registry.counter("host.packets_analyzed").set(counts_.packets_analyzed);
+  registry.counter("host.periods").set(counts_.periods);
+  registry.counter("host.system_cycles").set(counts_.system_cycles);
+  registry.counter("host.fpga_clock_cycles").set(counts_.fpga_clock_cycles);
+
+  // FaultReport — the PR-1 robustness layer's recovery ledger.
+  registry.counter("host.fault.rng_mirror_fixes")
+      .set(fault_report_.rng_mirror_fixes);
+  registry.counter("host.fault.config_retries")
+      .set(fault_report_.config_retries);
+  registry.counter("host.fault.ctrl_retries").set(fault_report_.ctrl_retries);
+  registry.counter("host.fault.load_replays").set(fault_report_.load_replays);
+  registry.counter("host.fault.load_words_resynced")
+      .set(fault_report_.load_words_resynced);
+  registry.counter("host.fault.hw_rejected_words")
+      .set(fault_report_.hw_rejected_words);
+  registry.counter("host.fault.retrieve_retries")
+      .set(fault_report_.retrieve_retries);
+  registry.counter("host.fault.reacks").set(fault_report_.reacks);
+  registry.counter("host.fault.read_disagreements")
+      .set(fault_report_.read_disagreements);
+  registry.counter("host.fault.spurious_overruns_ignored")
+      .set(fault_report_.spurious_overruns_ignored);
+  registry.counter("host.fault.status_clears")
+      .set(fault_report_.status_clears);
+  registry.counter("host.fault.busy_polls").set(fault_report_.busy_polls);
+  registry.counter("host.fault.watchdog_trips")
+      .set(fault_report_.watchdog_trips);
+
+  // Table 3/4 — seconds, the headline rate and the phase shares, as the
+  // timing model evaluates them from the counts above.
+  const PhaseTimes t = timing.evaluate(counts_);
+  registry.gauge("host.phase.generate_seconds").set(t.generate);
+  registry.gauge("host.phase.load_seconds").set(t.load);
+  registry.gauge("host.phase.simulate_raw_seconds").set(t.simulate_raw);
+  registry.gauge("host.phase.simulate_visible_seconds")
+      .set(t.simulate_visible);
+  registry.gauge("host.phase.retrieve_seconds").set(t.retrieve);
+  registry.gauge("host.phase.analyze_seconds").set(t.analyze);
+  registry.gauge("host.phase.verify_seconds").set(t.verify);
+  registry.gauge("host.phase.wall_seconds").set(t.wall);
+  registry.gauge("host.cycles_per_second").set(t.cycles_per_second);
+  registry.gauge("host.share.generate").set(t.share_generate());
+  registry.gauge("host.share.load").set(t.share_load());
+  registry.gauge("host.share.simulate").set(t.share_simulate());
+  registry.gauge("host.share.retrieve").set(t.share_retrieve());
+  registry.gauge("host.share.analyze").set(t.share_analyze());
+  registry.gauge("host.share.verify").set(t.share_verify());
 }
 
 }  // namespace tmsim::fpga

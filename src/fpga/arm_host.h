@@ -47,6 +47,11 @@
 #include "fpga/timing_model.h"
 #include "traffic/harness.h"
 
+namespace tmsim::obs {
+class ChromeTrace;
+class MetricsRegistry;
+}  // namespace tmsim::obs
+
 namespace tmsim::fpga {
 
 class ArmHost {
@@ -113,6 +118,22 @@ class ArmHost {
     return counts_.packets_analyzed;
   }
 
+  /// Observability (DESIGN.md §10). set_timeline() attaches a
+  /// Chrome-trace sink: run() then emits host.generate / host.load /
+  /// host.simulate / host.retrieve wall-clock spans per period on tid 0,
+  /// a synthetic host.analyze span (analysis runs inline during the
+  /// drain; its time is accumulated and re-binned after retrieve), and
+  /// instant events for fault episodes (load replays, ctrl retries,
+  /// watchdog trips, spurious overruns). nullptr detaches.
+  void set_timeline(obs::ChromeTrace* timeline) { timeline_ = timeline; }
+
+  /// Publishes this run's PhaseCounts and FaultReport as `host.*`
+  /// counters plus, via `timing`, the Table 3/4 phase seconds and
+  /// shares as `host.phase.*_seconds` / `host.share.*` gauges — the
+  /// registry-backed source bench/table4_profile reads.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const TimingModel& timing) const;
+
  private:
   struct SentRecord {
     traffic::PacketClass cls;
@@ -178,6 +199,10 @@ class ArmHost {
   std::optional<core::ConvergenceReport> convergence_report_;
   analysis::StatAccumulator latency_[2];
   analysis::StatAccumulator access_delay_;
+
+  // Observability (null = detached, zero overhead).
+  obs::ChromeTrace* timeline_ = nullptr;
+  double analyze_us_accum_ = 0.0;  ///< inline analyze time this period
 };
 
 }  // namespace tmsim::fpga

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace tmsim::fpga {
 
 using noc::LinkForward;
@@ -20,6 +22,30 @@ FpgaDesign::FpgaDesign(const FpgaBuildConfig& build) : build_(build) {
 }
 
 FpgaDesign::~FpgaDesign() = default;
+
+void FpgaDesign::attach_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (!registry) {
+    m_link_samples_ = m_link_drops_ = m_access_samples_ = m_access_drops_ =
+        m_rejects_ = m_cycles_ = m_deltas_ = m_clk_ = nullptr;
+    return;
+  }
+  m_link_samples_ = &registry->counter("fpga.monitor.link_probe.samples");
+  m_link_drops_ = &registry->counter("fpga.monitor.link_probe.drops");
+  m_access_samples_ = &registry->counter("fpga.monitor.access_delay.samples");
+  m_access_drops_ = &registry->counter("fpga.monitor.access_delay.drops");
+  m_rejects_ = &registry->counter("fpga.stimuli.rejects");
+  m_cycles_ = &registry->counter("fpga.system_cycles");
+  m_deltas_ = &registry->counter("fpga.delta_cycles");
+  m_clk_ = &registry->counter("fpga.clock_cycles");
+}
+
+void FpgaDesign::set_engine_observer(core::SimObserver* observer) {
+  engine_observer_ = observer;
+  if (sim_) {
+    sim_->set_observer(observer);
+  }
+}
 
 const noc::NetworkConfig& FpgaDesign::network() const {
   TMSIM_CHECK_MSG(sim_ != nullptr, "design not configured");
@@ -42,6 +68,9 @@ void FpgaDesign::configure() {
   engine_opts.num_shards = build_.num_shards;
   engine_opts.partition = build_.partition;
   sim_ = std::make_unique<core::SeqNocSimulation>(net_, engine_opts);
+  if (engine_observer_) {
+    sim_->set_observer(engine_observer_);
+  }
 
   const std::size_t n = net_.num_routers();
   const std::size_t vcs = net_.router.num_vcs;
@@ -101,10 +130,16 @@ void FpgaDesign::step_one_cycle() {
       if (f.flit.type == noc::FlitType::kHead) {
         if (access_monitor_->full()) {
           ++monitor_drops_;
+          if (metrics_) {
+            m_access_drops_->add(1);
+          }
         } else {
           access_monitor_->push(TimedWord{
               cycles_simulated_,
               static_cast<std::uint32_t>(cycles_simulated_ - w.timestamp)});
+          if (metrics_) {
+            m_access_samples_->add(1);
+          }
         }
       }
       break;
@@ -143,14 +178,25 @@ void FpgaDesign::step_one_cycle() {
                                    static_cast<std::uint32_t>(Port::kLocal)) {
         if (link_monitor_->full()) {
           ++monitor_drops_;
+          if (metrics_) {
+            m_link_drops_->add(1);
+          }
         } else {
           link_monitor_->push(TimedWord{cycles_simulated_,
                                         encode_forward(out)});
+          if (metrics_) {
+            m_link_samples_->add(1);
+          }
         }
       }
     }
   }
   ++cycles_simulated_;
+  if (metrics_) {
+    m_cycles_->add(1);
+    m_deltas_->add(sim_->last_step_stats().delta_cycles);
+    m_clk_->add(2 * sim_->last_step_stats().delta_cycles + 1);
+  }
 }
 
 void FpgaDesign::run_period(std::size_t cycles) {
@@ -361,6 +407,9 @@ void FpgaDesign::write32(Addr addr, std::uint32_t value) {
         if (!ok) {
           ++stimuli_rejects_;
           load_fault_ = true;
+          if (metrics_) {
+            m_rejects_->add(1);
+          }
           return;
         }
         stimuli_[port].push(TimedWord{staged_ts_[port], payload});

@@ -30,6 +30,11 @@
 #include "fpga/bus_interface.h"
 #include "fpga/cyclic_buffer.h"
 
+namespace tmsim::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace tmsim::obs
+
 namespace tmsim::fpga {
 
 /// Synthesis-time parameters of the FPGA design.
@@ -81,6 +86,16 @@ class FpgaDesign : public BusInterface {
 
   std::uint64_t stimuli_rejects() const { return stimuli_rejects_; }
 
+  /// Observability (DESIGN.md §10). attach_metrics() registers the
+  /// `fpga.*` counters (monitor-buffer samples/drops, stimuli rejects,
+  /// cycle totals) and keeps them updated from step_one_cycle();
+  /// nullptr detaches and restores the zero-overhead path.
+  /// set_engine_observer() forwards a SimObserver to the underlying
+  /// engine — effective immediately if configured, and re-applied on
+  /// every (re)configure since kRegConfigure rebuilds the engine.
+  void attach_metrics(obs::MetricsRegistry* registry);
+  void set_engine_observer(core::SimObserver* observer);
+
  private:
   void configure();
   void run_period(std::size_t cycles);
@@ -131,6 +146,18 @@ class FpgaDesign : public BusInterface {
   std::vector<std::uint32_t> output_pops_;   // per router
   std::uint32_t link_monitor_pops_ = 0;
   std::uint32_t access_monitor_pops_ = 0;
+
+  // Observability (null = detached; the hot path pays one branch).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_link_samples_ = nullptr;
+  obs::Counter* m_link_drops_ = nullptr;
+  obs::Counter* m_access_samples_ = nullptr;
+  obs::Counter* m_access_drops_ = nullptr;
+  obs::Counter* m_rejects_ = nullptr;
+  obs::Counter* m_cycles_ = nullptr;
+  obs::Counter* m_deltas_ = nullptr;
+  obs::Counter* m_clk_ = nullptr;
+  core::SimObserver* engine_observer_ = nullptr;
 };
 
 }  // namespace tmsim::fpga

@@ -1,0 +1,109 @@
+#include "obs/chrome_trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.h"  // json_escape
+
+namespace tmsim::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string fmt_us(double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+ChromeTrace::ChromeTrace() : epoch_ns_(steady_ns()) {}
+
+double ChromeTrace::now_us() const {
+  return static_cast<double>(steady_ns() - epoch_ns_) / 1000.0;
+}
+
+std::string ChromeTrace::render_args(
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  if (args.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : args) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += '"';
+    out += json_escape(k);
+    out += "\": \"";
+    out += json_escape(v);
+    out += '"';
+  }
+  out += "}";
+  return out;
+}
+
+void ChromeTrace::span(
+    const std::string& name, double ts_us, double dur_us, std::uint32_t tid,
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, 'X', ts_us, dur_us, tid, render_args(args)});
+}
+
+void ChromeTrace::instant(
+    const std::string& name, double ts_us, std::uint32_t tid,
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, 'i', ts_us, 0.0, tid, render_args(args)});
+}
+
+void ChromeTrace::name_thread(std::uint32_t tid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, 'M', 0.0, 0.0, tid, ""});
+}
+
+std::size_t ChromeTrace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void ChromeTrace::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : events_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    if (e.phase == 'M') {
+      os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+            "\"tid\": "
+         << e.tid << ", \"args\": {\"name\": \"" << json_escape(e.name)
+         << "\"}}";
+      continue;
+    }
+    os << "  {\"name\": \"" << json_escape(e.name) << "\", \"ph\": \""
+       << e.phase << "\", \"ts\": " << fmt_us(e.ts_us);
+    if (e.phase == 'X') {
+      os << ", \"dur\": " << fmt_us(e.dur_us);
+    } else {
+      os << ", \"s\": \"t\"";
+    }
+    os << ", \"pid\": 0, \"tid\": " << e.tid;
+    if (!e.args_json.empty()) {
+      os << ", \"args\": " << e.args_json;
+    }
+    os << "}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace tmsim::obs

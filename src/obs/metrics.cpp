@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+#include "analysis/table.h"
+
+namespace tmsim::obs {
+
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative matcher with star backtracking (greedy `*`, O(n*m) worst
+  // case — patterns and names here are short).
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name,
+                                                    const std::string& labels,
+                                                    Kind kind) const {
+  for (const Entry& e : entries_) {
+    if (e.kind == kind && e.name == name && e.labels == labels) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Entry* e = find(name, labels, Kind::kCounter)) {
+    return counters_[e->index];
+  }
+  counters_.emplace_back();
+  entries_.push_back(Entry{name, labels, Kind::kCounter, counters_.size() - 1});
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Entry* e = find(name, labels, Kind::kGauge)) {
+    return gauges_[e->index];
+  }
+  gauges_.emplace_back();
+  entries_.push_back(Entry{name, labels, Kind::kGauge, gauges_.size() - 1});
+  return gauges_.back();
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            double bin_width,
+                                            std::size_t num_bins,
+                                            const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Entry* e = find(name, labels, Kind::kHistogram)) {
+    return histograms_[e->index];
+  }
+  histograms_.emplace_back(bin_width, num_bins);
+  entries_.push_back(
+      Entry{name, labels, Kind::kHistogram, histograms_.size() - 1});
+  return histograms_.back();
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = find(name, labels, Kind::kCounter);
+  return e ? &counters_[e->index] : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = find(name, labels, Kind::kGauge);
+  return e ? &gauges_[e->index] : nullptr;
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(
+    const std::string& name, const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = find(name, labels, Kind::kHistogram);
+  return e ? &histograms_[e->index] : nullptr;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const std::string& labels) const {
+  const Counter* c = find_counter(name, labels);
+  return c ? c->value() : 0;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    const std::string& labels,
+                                    double fallback) const {
+  const Gauge* g = find_gauge(name, labels);
+  return g ? g->value() : fallback;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void MetricsRegistry::write_json(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& extra) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n";
+  for (const auto& [k, v] : extra) {
+    os << "  \"" << json_escape(k) << "\": \"" << json_escape(v) << "\",\n";
+  }
+  os << "  \"metrics\": [";
+  bool first = true;
+  char buf[32];
+  for (const Entry& e : entries_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"type\": ";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "\"counter\", \"name\": \"" << json_escape(e.name)
+           << "\", \"labels\": \"" << json_escape(e.labels)
+           << "\", \"value\": " << counters_[e.index].value() << "}";
+        break;
+      case Kind::kGauge:
+        std::snprintf(buf, sizeof buf, "%.17g", gauges_[e.index].value());
+        os << "\"gauge\", \"name\": \"" << json_escape(e.name)
+           << "\", \"labels\": \"" << json_escape(e.labels)
+           << "\", \"value\": " << buf << "}";
+        break;
+      case Kind::kHistogram: {
+        const analysis::Histogram& h = histograms_[e.index].histogram();
+        std::snprintf(buf, sizeof buf, "%.17g", h.bin_width());
+        os << "\"histogram\", \"name\": \"" << json_escape(e.name)
+           << "\", \"labels\": \"" << json_escape(e.labels)
+           << "\", \"bin_width\": " << buf << ", \"count\": " << h.count()
+           << ", \"bins\": [";
+        for (std::size_t b = 0; b < h.bins().size(); ++b) {
+          os << (b ? ", " : "") << h.bins()[b];
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+void MetricsRegistry::write_table(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  analysis::TablePrinter table({"metric", "labels", "type", "value"});
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        table.add_row({e.name, e.labels, "counter",
+                       std::to_string(counters_[e.index].value())});
+        break;
+      case Kind::kGauge:
+        table.add_row({e.name, e.labels, "gauge",
+                       analysis::fmt("%.6g", gauges_[e.index].value())});
+        break;
+      case Kind::kHistogram: {
+        const analysis::Histogram& h = histograms_[e.index].histogram();
+        table.add_row({e.name, e.labels, "histogram",
+                       "n=" + std::to_string(h.count()) +
+                           " p50=" + analysis::fmt("%.4g", h.quantile(0.5)) +
+                           " p99=" + analysis::fmt("%.4g", h.quantile(0.99))});
+        break;
+      }
+    }
+  }
+  table.print(os);
+}
+
+std::vector<std::string> MetricsRegistry::names_matching(
+    const std::string& glob) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const Entry& e : entries_) {
+    const std::string full =
+        e.labels.empty() ? e.name : e.name + "{" + e.labels + "}";
+    if (glob_match(glob, full)) {
+      out.push_back(full);
+    }
+  }
+  return out;
+}
+
+}  // namespace tmsim::obs

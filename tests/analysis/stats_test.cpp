@@ -62,6 +62,55 @@ TEST(Histogram, QuantileEstimate) {
   EXPECT_EQ(Histogram(1.0, 4).quantile(0.5), 0.0);  // empty
 }
 
+TEST(Histogram, QuantileEmptySampleSet) {
+  Histogram h(2.0, 8);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileSingleSample) {
+  Histogram h(1.0, 10);
+  h.add(3.5);  // bin 3 → upper edge 4.0
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileAllEqualSamples) {
+  Histogram h(5.0, 4);
+  for (int i = 0; i < 1000; ++i) {
+    h.add(7.0);  // all in bin 1 → upper edge 10.0
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.01), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileClampsQ) {
+  Histogram h(1.0, 4);
+  h.add(0.5);
+  h.add(2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);  // upper edge of bin 2
+}
+
+TEST(Histogram, DegenerateShapeIsClamped) {
+  Histogram zero_bins(1.0, 0);  // clamped to one bin
+  zero_bins.add(100.0);
+  EXPECT_EQ(zero_bins.count(), 1u);
+  EXPECT_EQ(zero_bins.bins().size(), 1u);
+  EXPECT_DOUBLE_EQ(zero_bins.quantile(0.5), 1.0);
+
+  Histogram bad_width(0.0, 4);  // width clamped to 1.0
+  bad_width.add(2.5);
+  EXPECT_DOUBLE_EQ(bad_width.bin_width(), 1.0);
+  EXPECT_EQ(bad_width.bins()[2], 1u);
+}
+
 TEST(TablePrinter, AlignsColumns) {
   TablePrinter t({"a", "long_header"});
   t.add_row({"xxxxxxx", "1"});

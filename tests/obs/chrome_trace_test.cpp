@@ -1,0 +1,63 @@
+#include "obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tmsim::obs {
+namespace {
+
+TEST(ChromeTrace, SpansInstantsAndMetadataRender) {
+  ChromeTrace trace;
+  trace.name_thread(0, "host");
+  trace.span("host.generate", 10.0, 5.5, 0, {{"period", "3"}});
+  trace.instant("fault.ctrl_retry", 12.0, 0);
+  EXPECT_EQ(trace.size(), 3u);
+
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  // Complete event with duration.
+  EXPECT_NE(out.find("\"host.generate\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"dur\": 5.500"), std::string::npos);
+  EXPECT_NE(out.find("\"period\": \"3\""), std::string::npos);
+  // Instant event carries a scope.
+  EXPECT_NE(out.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(out.find("\"s\": \"t\""), std::string::npos);
+  // Thread metadata names track 0.
+  EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"host\""), std::string::npos);
+}
+
+TEST(ChromeTrace, NowUsIsMonotonic) {
+  ChromeTrace trace;
+  const double a = trace.now_us();
+  const double b = trace.now_us();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(ChromeTrace, EscapesNamesAndArgs) {
+  ChromeTrace trace;
+  trace.span("weird \"name\"", 0.0, 1.0, 7, {{"k\"", "v\\"}});
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("weird \\\"name\\\""), std::string::npos);
+  EXPECT_NE(out.find("\"k\\\"\""), std::string::npos);
+  EXPECT_NE(out.find("v\\\\"), std::string::npos);
+  EXPECT_NE(out.find("\"tid\": 7"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyTraceIsStillValidJson) {
+  ChromeTrace trace;
+  std::ostringstream os;
+  trace.write_json(os);
+  EXPECT_NE(os.str().find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(os.str().find("]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmsim::obs

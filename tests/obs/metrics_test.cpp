@@ -1,0 +1,104 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tmsim::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterRegistrationReturnsStableRefs) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("engine.cycles");
+  a.add(3);
+  // Re-registering the same (name, labels) yields the same instrument.
+  Counter& b = reg.counter("engine.cycles");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  // A different label is a different instrument.
+  Counter& c = reg.counter("engine.cycles", "shard=1");
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsRegistry, GaugeAndHistogram) {
+  MetricsRegistry reg;
+  reg.gauge("host.share.generate").set(0.55);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("host.share.generate"), 0.55);
+  HistogramMetric& h = reg.histogram("engine.deltas_per_cycle", 1.0, 16);
+  h.observe(3.0);
+  h.observe(3.0);
+  EXPECT_EQ(reg.find_histogram("engine.deltas_per_cycle")
+                ->histogram()
+                .count(),
+            2u);
+  // Re-finding ignores the bucket arguments.
+  EXPECT_EQ(&reg.histogram("engine.deltas_per_cycle", 99.0, 1), &h);
+}
+
+TEST(MetricsRegistry, LookupsWithoutRegistration) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.counter_value("nope"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("nope", "", -1.0), -1.0);
+  EXPECT_EQ(reg.size(), 0u);  // find_* never registers
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsWellFormedAndOrdered) {
+  MetricsRegistry reg;
+  reg.counter("a.count").add(7);
+  reg.gauge("b.gauge").set(1.5);
+  reg.histogram("c.hist", 2.0, 4).observe(3.0);
+  std::ostringstream os;
+  reg.write_json(os, {{"git_sha", "abc\"123"}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(out.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(out.find("abc\\\"123"), std::string::npos);  // escaped extra
+  // Registration order is preserved.
+  EXPECT_LT(out.find("a.count"), out.find("b.gauge"));
+  EXPECT_LT(out.find("b.gauge"), out.find("c.hist"));
+}
+
+TEST(MetricsRegistry, TableSnapshotMentionsEveryRow) {
+  MetricsRegistry reg;
+  reg.counter("x.one").add(1);
+  reg.gauge("y.two").set(2.0);
+  std::ostringstream os;
+  reg.write_table(os);
+  EXPECT_NE(os.str().find("x.one"), std::string::npos);
+  EXPECT_NE(os.str().find("y.two"), std::string::npos);
+}
+
+TEST(MetricsRegistry, NamesMatchingGlob) {
+  MetricsRegistry reg;
+  reg.counter("engine.cycles");
+  reg.counter("engine.delta_cycles");
+  reg.counter("host.periods");
+  EXPECT_EQ(reg.names_matching("engine.*").size(), 2u);
+  EXPECT_EQ(reg.names_matching("*").size(), 3u);
+  EXPECT_EQ(reg.names_matching("fpga.*").size(), 0u);
+}
+
+TEST(GlobMatch, StarQuestionAndLiterals) {
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("r0.*", "r0.fwd.north"));
+  EXPECT_FALSE(glob_match("r0.*", "r1.fwd.north"));
+  EXPECT_TRUE(glob_match("r?.credit.*", "r3.credit.local"));
+  EXPECT_FALSE(glob_match("r?.credit.*", "r12.credit.local"));
+  EXPECT_TRUE(glob_match("*.north", "r5.fwd.north"));
+  EXPECT_FALSE(glob_match("*.north", "r5.fwd.south"));
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(glob_match("a*b*c", "aXXcYYb"));
+}
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+}
+
+}  // namespace
+}  // namespace tmsim::obs
