@@ -1,0 +1,164 @@
+// Farm throughput bench: jobs/second and job-latency quantiles of the
+// SimFarm batch service as a function of worker-pool size and admission
+// queue depth. The paper's platform simulates one SoC at a time; the
+// farm layer (DESIGN.md §11) amortizes one host across many queued
+// simulation requests, so the capacity question becomes "how many
+// Fig. 1-style sweep points per second does a pool of N workers
+// clear?" — which is what this bench measures.
+//
+// Output: a human table plus BENCH_farm_throughput.json with, per
+// (workers, queue_capacity) point: jobs/sec, p50/p99 turnaround
+// latency, and the backpressure reject count when the submitter
+// outruns admission.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "farm/farm.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using tmsim::farm::FarmOptions;
+using tmsim::farm::JobResult;
+using tmsim::farm::JobSpec;
+using tmsim::farm::JobStatus;
+using tmsim::farm::Priority;
+using tmsim::farm::SimFarm;
+using tmsim::farm::SubmitOutcome;
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+JobSpec make_job(std::size_t i, tmsim::SystemCycle cycles) {
+  JobSpec spec;
+  spec.name = "sweep-" + std::to_string(i);
+  spec.net.width = 4;
+  spec.net.height = 4;
+  spec.net.topology = tmsim::noc::Topology::kMesh;
+  // A Fig. 1-style point: GT background plus a BE load that scales with
+  // the job index, so the pool sees heterogeneous work.
+  spec.workload.fig1_gt = true;
+  spec.workload.gt_period = 600;
+  spec.workload.be_load = 0.02 * static_cast<double>(i % 10);
+  spec.priority = static_cast<Priority>(i % 3);
+  spec.seed = 0x9001 + i;
+  spec.cycles = cycles;
+  return spec;
+}
+
+struct Point {
+  std::size_t workers;
+  std::size_t queue_capacity;
+  std::size_t jobs_done = 0;
+  std::size_t rejected = 0;
+  double wall_s = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+};
+
+Point run_point(std::size_t workers, std::size_t queue_capacity,
+                std::size_t num_jobs, tmsim::SystemCycle cycles) {
+  Point pt{workers, queue_capacity};
+  tmsim::obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = workers;
+  opt.queue_capacity = queue_capacity;
+  opt.preempt_quantum = 512;
+  opt.metrics = &metrics;
+  SimFarm farm(opt);
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(num_jobs);
+  pt.wall_s = tmsim::bench::time_run([&] {
+    std::size_t waited = 0;
+    for (std::size_t i = 0; i < num_jobs; ++i) {
+      // Submit-until-accepted: on kQueueFull backpressure, service the
+      // queue by waiting for the oldest outstanding result — the
+      // structured reject means the submitter, not the farm, decides
+      // how to shed or defer load.
+      for (;;) {
+        const SubmitOutcome out = farm.submit(make_job(i, cycles));
+        if (out.accepted) {
+          ids.push_back(out.job_id);
+          break;
+        }
+        ++pt.rejected;
+        if (waited < ids.size()) {
+          farm.wait(ids[waited++]);
+        }
+      }
+    }
+    farm.drain();
+  });
+
+  std::vector<double> turnaround;
+  turnaround.reserve(ids.size());
+  for (const std::uint64_t id : ids) {
+    const JobResult r = farm.results().get(id).value();
+    if (r.status == JobStatus::kDone) {
+      ++pt.jobs_done;
+      turnaround.push_back(r.turnaround_seconds);
+    }
+  }
+  pt.p50_s = quantile(turnaround, 0.50);
+  pt.p99_s = quantile(turnaround, 0.99);
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = tmsim::bench::quick_mode();
+  const std::size_t num_jobs = quick ? 24 : 120;
+  const tmsim::SystemCycle cycles = quick ? 300 : 1500;
+
+  tmsim::bench::print_header(
+      "farm_throughput",
+      "batch-service capacity: jobs/sec vs worker pool and queue depth");
+  std::printf("%zu jobs x %llu cycles each, 4x4 mesh, mixed priorities\n\n",
+              num_jobs, static_cast<unsigned long long>(cycles));
+  std::printf("%8s %9s %10s %9s %10s %10s %9s\n", "workers", "queue",
+              "jobs/sec", "wall(s)", "p50(ms)", "p99(ms)", "rejects");
+
+  std::vector<Point> points;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    for (const std::size_t qcap : {4u, 64u}) {
+      const Point pt = run_point(workers, qcap, num_jobs, cycles);
+      std::printf("%8zu %9zu %10.1f %9.3f %10.3f %10.3f %9zu\n", pt.workers,
+                  pt.queue_capacity,
+                  static_cast<double>(pt.jobs_done) / pt.wall_s, pt.wall_s,
+                  pt.p50_s * 1e3, pt.p99_s * 1e3, pt.rejected);
+      points.push_back(pt);
+    }
+  }
+
+  std::vector<tmsim::bench::BenchMetric> metrics;
+  for (const Point& pt : points) {
+    const std::string tag = "w" + std::to_string(pt.workers) + "_q" +
+                            std::to_string(pt.queue_capacity);
+    metrics.push_back({"jobs_per_sec_" + tag,
+                       static_cast<double>(pt.jobs_done) / pt.wall_s,
+                       "jobs/s"});
+    metrics.push_back({"p50_latency_" + tag, pt.p50_s, "seconds"});
+    metrics.push_back({"p99_latency_" + tag, pt.p99_s, "seconds"});
+    metrics.push_back(
+        {"rejects_" + tag, static_cast<double>(pt.rejected), "count"});
+  }
+  tmsim::bench::emit_bench_json(
+      "farm_throughput",
+      {{"num_jobs", std::to_string(num_jobs)},
+       {"cycles_per_job", std::to_string(cycles)},
+       {"network", "4x4 mesh"},
+       {"quick", quick ? "1" : "0"}},
+      metrics);
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/rng.h"
+
 namespace tmsim::core {
 
 Engine::~Engine() = default;
@@ -64,6 +66,120 @@ std::vector<std::size_t> block_state_widths(const SystemModel& model) {
     widths.push_back(model.block(b).logic->state_width());
   }
   return widths;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t states_digest(const std::vector<BitVector>& states) {
+  std::uint64_t h = kFnvOffset;
+  for (const BitVector& s : states) {
+    fnv_mix(h, s.width());
+    for (std::uint64_t w : s.words()) {
+      fnv_mix(h, w);
+    }
+  }
+  return h;
+}
+
+/// Registered *internal* links hold committed values the block-state
+/// snapshot cannot see; combinational links (and external links, driven
+/// or observed by the testbench each cycle) carry none across cycles.
+void check_checkpointable(const SystemModel& model) {
+  for (LinkId l = 0; l < model.num_links(); ++l) {
+    const LinkInfo& info = model.link(l);
+    const bool internal =
+        info.writer.has_value() && !info.readers.empty();
+    if (internal && info.kind == LinkKind::kRegistered) {
+      throw ContextualError(
+          "model has an internal registered link; its committed value is "
+          "not part of the block-state checkpoint, so checkpoint/resume "
+          "is unsupported for this model",
+          {{"link", std::to_string(l)}, {"name", info.name}});
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t engine_state_digest(const Engine& eng) {
+  std::uint64_t h = kFnvOffset;
+  const SystemModel& model = eng.model();
+  for (BlockId b = 0; b < model.num_blocks(); ++b) {
+    const BitVector& s = eng.block_state(b);
+    fnv_mix(h, s.width());
+    for (std::uint64_t w : s.words()) {
+      fnv_mix(h, w);
+    }
+  }
+  return h;
+}
+
+EngineCheckpoint save_checkpoint(const Engine& eng) {
+  const SystemModel& model = eng.model();
+  check_checkpointable(model);
+  EngineCheckpoint ck;
+  ck.cycle = eng.cycle();
+  ck.total_delta_cycles = eng.total_delta_cycles();
+  ck.block_states.reserve(model.num_blocks());
+  for (BlockId b = 0; b < model.num_blocks(); ++b) {
+    ck.block_states.push_back(eng.block_state(b));
+  }
+  ck.digest = states_digest(ck.block_states);
+  return ck;
+}
+
+void restore_checkpoint(Engine& eng, const EngineCheckpoint& ck) {
+  const SystemModel& model = eng.model();
+  check_checkpointable(model);
+  if (ck.block_states.size() != model.num_blocks()) {
+    throw ContextualError(
+        "checkpoint shape does not match the engine's model",
+        {{"checkpoint_blocks", std::to_string(ck.block_states.size())},
+         {"model_blocks", std::to_string(model.num_blocks())}});
+  }
+  if (states_digest(ck.block_states) != ck.digest) {
+    throw ContextualError(
+        "checkpoint digest mismatch: snapshot corrupted in flight",
+        {{"cycle", std::to_string(ck.cycle)}});
+  }
+  for (BlockId b = 0; b < model.num_blocks(); ++b) {
+    eng.load_block_state(b, ck.block_states[b]);
+  }
+  // Verify the loads landed bit-for-bit — the same mirror-vs-hardware
+  // cross-check the hardened host applies to its commit counters.
+  if (engine_state_digest(eng) != ck.digest) {
+    throw ContextualError(
+        "restored engine state does not match the checkpoint digest",
+        {{"cycle", std::to_string(ck.cycle)}});
+  }
+  eng.rebase(ck.cycle, ck.total_delta_cycles);
+}
+
+std::size_t schedule_rr_offset(std::uint64_t schedule_seed,
+                               std::size_t num_blocks) {
+  if (schedule_seed == 1 || num_blocks == 0) {
+    return 0;
+  }
+  SplitMix64 rng(schedule_seed);
+  return static_cast<std::size_t>(rng.next_below(num_blocks));
+}
+
+void reset_engine(Engine& eng) {
+  const SystemModel& model = eng.model();
+  for (BlockId b = 0; b < model.num_blocks(); ++b) {
+    eng.load_block_state(b, model.block(b).logic->reset_state());
+  }
+  eng.rebase(0, 0);
 }
 
 void check_external_input(const SystemModel& model, LinkId link) {

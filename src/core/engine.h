@@ -125,6 +125,24 @@ class SimObserver {
   }
 };
 
+/// Point-in-time snapshot of an engine's committed architectural state
+/// (DESIGN.md §11). Because every inter-block value of a combinational
+/// model is recomputed from committed block state each cycle, the block
+/// states plus the cycle counters are the *complete* resume state: an
+/// engine restored from a checkpoint — any engine instance over the same
+/// model, even one that just ran a different workload — continues
+/// bit-identically. `digest` (FNV-1a over the serialized states) lets
+/// the restore side verify integrity the same way the hardened host
+/// verifies its commit-counter mirrors (§8).
+struct EngineCheckpoint {
+  SystemCycle cycle = 0;
+  DeltaCycle total_delta_cycles = 0;
+  std::vector<BitVector> block_states;  ///< one per block, model order
+  std::uint64_t digest = 0;             ///< FNV-1a over the states
+
+  bool empty() const { return block_states.empty(); }
+};
+
 /// Abstract engine over a finalized SystemModel. All engines must agree
 /// bit-for-bit on block state and link values after every step(); only
 /// StepStats (how much work the schedule did) may differ.
@@ -156,6 +174,11 @@ class Engine {
   virtual SchedulePolicy policy() const = 0;
   virtual const SystemModel& model() const = 0;
 
+  /// Overwrites the cycle/delta accounting — the resume half of the
+  /// checkpoint machinery (restore_checkpoint below). Only call between
+  /// steps. Does not touch state or link memory.
+  virtual void rebase(SystemCycle cycle, DeltaCycle total_deltas) = 0;
+
   /// Attaches an observer (nullptr detaches). Not owned; must outlive
   /// the engine or be detached first. Engines only touch it between
   /// steps, so attaching between step() calls is always safe.
@@ -169,8 +192,39 @@ class Engine {
 /// Builds the widths vector StateMemory needs from a model.
 std::vector<std::size_t> block_state_widths(const SystemModel& model);
 
+/// FNV-1a digest over every block's committed state — the cheap
+/// bit-identity witness the farm's differential tests and checkpoint
+/// verification both use.
+std::uint64_t engine_state_digest(const Engine& eng);
+
+/// Captures the committed state of `eng` between steps. Requires every
+/// *internal* link of the model to be combinational (true of all NoC
+/// models): registered internal links carry state this snapshot does not
+/// include, so checkpointing such a model throws instead of silently
+/// resuming wrong.
+EngineCheckpoint save_checkpoint(const Engine& eng);
+
+/// Loads `ck` into `eng` (same model shape required) and rebases the
+/// cycle counters. Verifies the digest after the load and throws
+/// ContextualError on mismatch. `eng` may be a different instance — or a
+/// different Engine subclass — than the one that produced `ck`; external
+/// inputs are NOT restored (drive them for the next cycle as usual).
+void restore_checkpoint(Engine& eng, const EngineCheckpoint& ck);
+
+/// Returns `eng` to its power-on state: every block reloaded with its
+/// reset state, counters rebased to zero. This is what makes engine
+/// instances reusable across farm jobs.
+void reset_engine(Engine& eng);
+
 /// Shared validation for Engine::set_external_input (the engines must
 /// reject exactly the same misuses to stay substitutable).
 void check_external_input(const SystemModel& model, LinkId link);
+
+/// Initial round-robin cursor of a dynamic schedule for `schedule_seed`.
+/// Seed 1 is canonical and maps to cursor 0 (the behaviour of every
+/// paper figure); any other seed scatters the cursor via SplitMix so a
+/// job-level seed perturbs the evaluation order — never the results.
+std::size_t schedule_rr_offset(std::uint64_t schedule_seed,
+                               std::size_t num_blocks);
 
 }  // namespace tmsim::core

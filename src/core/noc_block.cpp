@@ -184,12 +184,14 @@ namespace {
 std::unique_ptr<Engine> make_engine(const SystemModel& model,
                                     const EngineOptions& opts) {
   if (opts.num_shards <= 1) {
-    return std::make_unique<SequentialSimulator>(model, opts.policy);
+    return std::make_unique<SequentialSimulator>(
+        model, opts.policy, /*max_evals_per_block=*/64, opts.seed);
   }
   ShardedConfig cfg;
   cfg.num_shards = opts.num_shards;
   cfg.partition = opts.partition;
   cfg.schedule = opts.policy;
+  cfg.schedule_seed = opts.seed;
   return std::make_unique<ShardedSimulator>(model, cfg);
 }
 
@@ -239,6 +241,27 @@ noc::CreditWires SeqNocSimulation::local_input_credits(std::size_t r) const {
 
 BitVector SeqNocSimulation::router_state_word(std::size_t r) const {
   return sim_->block_state(r);
+}
+
+void SeqNocSimulation::idle_all_inputs() {
+  // Defensive against engine reuse: whatever the previous tenant (or an
+  // interrupted cycle) left on the local stimulus links must not bleed
+  // into the first resumed cycle.
+  const BitVector idle(noc::kForwardBits);
+  for (const LinkId l : noc_.local_fwd_in) {
+    sim_->set_external_input(l, idle);
+  }
+  dirty_inputs_.clear();
+}
+
+void SeqNocSimulation::restore(const EngineCheckpoint& ck) {
+  restore_checkpoint(*sim_, ck);
+  idle_all_inputs();
+}
+
+void SeqNocSimulation::reset() {
+  reset_engine(*sim_);
+  idle_all_inputs();
 }
 
 }  // namespace tmsim::core

@@ -92,6 +92,12 @@ struct EngineOptions {
   SchedulePolicy policy = SchedulePolicy::kDynamic;
   std::size_t num_shards = 1;
   PartitionPolicy partition = PartitionPolicy::kMinCutGreedy;
+  /// Dynamic-schedule seed (see schedule_rr_offset). Seed 1 is canonical;
+  /// other values rotate the round-robin cursor — results are identical
+  /// by the engine contract, only StepStats can move.
+  std::uint64_t seed = 1;
+
+  friend bool operator==(const EngineOptions&, const EngineOptions&) = default;
 };
 
 /// NocSimulation facade over a core engine (sequential by default).
@@ -117,7 +123,20 @@ class SeqNocSimulation : public noc::NocSimulation {
   /// underlying engine. nullptr detaches; only call between step()s.
   void set_observer(SimObserver* obs) { sim_->set_observer(obs); }
 
+  /// Session checkpointing (DESIGN.md §11). checkpoint() snapshots the
+  /// committed router states between steps; restore() loads a snapshot —
+  /// possibly taken from a *different* SeqNocSimulation over an equal
+  /// NetworkConfig, even one running the other engine — verifies its
+  /// digest, rebases the cycle counters, and idles every local input so
+  /// no stale stimulus from the previous tenant leaks into the first
+  /// resumed cycle. reset() returns the simulation to power-on state for
+  /// reuse by the next job.
+  EngineCheckpoint checkpoint() const { return save_checkpoint(*sim_); }
+  void restore(const EngineCheckpoint& ck);
+  void reset();
+
  private:
+  void idle_all_inputs();
   noc::NetworkConfig net_;
   NocModel noc_;
   std::unique_ptr<Engine> sim_;

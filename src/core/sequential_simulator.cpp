@@ -8,7 +8,8 @@ namespace tmsim::core {
 
 SequentialSimulator::SequentialSimulator(const SystemModel& model,
                                          SchedulePolicy policy,
-                                         std::size_t max_evals_per_block)
+                                         std::size_t max_evals_per_block,
+                                         std::uint64_t schedule_seed)
     : model_(model),
       policy_(policy),
       max_evals_per_block_(max_evals_per_block),
@@ -26,6 +27,12 @@ SequentialSimulator::SequentialSimulator(const SystemModel& model,
     state_.load_old(b, model.block(b).logic->reset_state());
   }
   unstable_.assign(model.num_blocks(), 0);
+  rr_next_ = schedule_rr_offset(schedule_seed, model.num_blocks());
+}
+
+void SequentialSimulator::rebase(SystemCycle cycle, DeltaCycle total_deltas) {
+  cycle_ = cycle;
+  total_delta_cycles_ = total_deltas;
 }
 
 void SequentialSimulator::set_external_input(LinkId link,

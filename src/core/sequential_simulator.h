@@ -49,8 +49,14 @@ class SequentialSimulator : public Engine {
   /// `max_evals_per_block` bounds re-evaluation; exceeding it means the
   /// netlist contains a combinational cycle that does not settle, which
   /// is reported as an Error rather than an infinite loop.
+  /// `schedule_seed` rotates the dynamic schedule's starting round-robin
+  /// cursor (seed 1 = the canonical cursor 0 used throughout the paper
+  /// reproduction). Committed results are schedule-independent by the
+  /// engine contract, so the seed can never change what a workload
+  /// observes — only the order (and count) of delta cycles.
   SequentialSimulator(const SystemModel& model, SchedulePolicy policy,
-                      std::size_t max_evals_per_block = 64);
+                      std::size_t max_evals_per_block = 64,
+                      std::uint64_t schedule_seed = 1);
 
   /// Drives an external-input link (takes effect for the next step()).
   void set_external_input(LinkId link, const BitVector& value) override;
@@ -74,6 +80,7 @@ class SequentialSimulator : public Engine {
     return total_delta_cycles_;
   }
   SchedulePolicy policy() const override { return policy_; }
+  void rebase(SystemCycle cycle, DeltaCycle total_deltas) override;
 
   const SystemModel& model() const override { return model_; }
   const StateMemory& state_memory() const { return state_; }

@@ -108,6 +108,13 @@ ShardedSimulator::ShardedSimulator(const SystemModel& model,
     for (std::size_t i = 0; i < blocks.size(); ++i) {
       sh->state.load_old(i, model.block(blocks[i]).logic->reset_state());
     }
+    if (!blocks.empty()) {
+      // Per-shard cursor rotation, domain-separated by shard index so
+      // the shards do not all start at congruent positions.
+      sh->rr_next = schedule_rr_offset(
+          cfg_.schedule_seed == 1 ? 1 : cfg_.schedule_seed + 0x9e37u * (s + 1),
+          blocks.size());
+    }
     shards_.push_back(std::move(sh));
   }
 
@@ -242,6 +249,11 @@ StepStats ShardedSimulator::step() {
     observer_->on_cycle_commit(*this, total);
   }
   return total;
+}
+
+void ShardedSimulator::rebase(SystemCycle cycle, DeltaCycle total_deltas) {
+  cycle_ = cycle;
+  total_delta_cycles_ = total_deltas;
 }
 
 void ShardedSimulator::run_cycle(std::size_t s) {

@@ -68,6 +68,10 @@ struct ShardedConfig {
   /// Per-cycle evaluation budget per block and superstep bound;
   /// exceeding either means a non-settling combinational loop.
   std::size_t max_evals_per_block = 64;
+  /// Rotates each shard's starting round-robin cursor (dynamic
+  /// schedule). Seed 1 is canonical (cursor 0 everywhere); results are
+  /// schedule-independent, so this can only change StepStats.
+  std::uint64_t schedule_seed = 1;
 };
 
 class ShardedSimulator : public Engine {
@@ -89,6 +93,7 @@ class ShardedSimulator : public Engine {
     return total_delta_cycles_;
   }
   SchedulePolicy policy() const override { return cfg_.schedule; }
+  void rebase(SystemCycle cycle, DeltaCycle total_deltas) override;
   const SystemModel& model() const override { return model_; }
 
   std::size_t num_shards() const { return part_.num_shards(); }

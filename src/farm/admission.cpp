@@ -1,0 +1,151 @@
+#include "farm/admission.h"
+
+namespace tmsim::farm {
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kStopped: return "stopped";
+    case RejectReason::kInvalidSpec: return "invalid_spec";
+    case RejectReason::kTooLarge: return "too_large";
+  }
+  return "?";
+}
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity,
+                               SystemCycle max_job_cycles)
+    : capacity_(capacity), max_job_cycles_(max_job_cycles) {
+  TMSIM_CHECK_MSG(capacity >= 1, "queue capacity must be positive");
+}
+
+SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us) {
+  SubmitOutcome out;
+  // Validate outside the lock: validation walks GT stream paths and must
+  // not serialize submitters against each other.
+  try {
+    spec.validate();
+  } catch (const std::exception& e) {
+    out.reason = RejectReason::kInvalidSpec;
+    out.detail = e.what();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_;
+    return out;
+  }
+  if (spec.cycles > max_job_cycles_) {
+    out.reason = RejectReason::kTooLarge;
+    out.detail = "cycle budget " + std::to_string(spec.cycles) +
+                 " exceeds the farm ceiling " +
+                 std::to_string(max_job_cycles_);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_;
+    return out;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) {
+    out.reason = RejectReason::kStopped;
+    out.detail = "farm is shutting down";
+    ++rejected_;
+    return out;
+  }
+  if (fresh_queued_ >= capacity_) {
+    out.reason = RejectReason::kQueueFull;
+    out.detail = "admission queue is at capacity (" +
+                 std::to_string(capacity_) + "); backpressure — retry later";
+    ++rejected_;
+    return out;
+  }
+  QueuedJob job;
+  job.job_id = next_job_id_++;
+  job.spec = std::move(spec);
+  job.submitted_us = now_us;
+  job.queued_us = now_us;
+  const auto cls = static_cast<std::size_t>(job.spec.priority);
+  classes_[cls].push_back(std::move(job));
+  ++fresh_queued_;
+  ++submitted_;
+  out.accepted = true;
+  out.job_id = classes_[cls].back().job_id;
+  cv_.notify_one();
+  return out;
+}
+
+bool AdmissionQueue::requeue(QueuedJob job, double now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Deliberately allowed after stop(): admitted work must always be able
+  // to come back (returning false would strand the session), and
+  // shutdown drains the backlog through pop_blocking() anyway.
+  job.queued_us = now_us;
+  ++job.preemptions;
+  const auto cls = static_cast<std::size_t>(job.spec.priority);
+  classes_[cls].push_front(std::move(job));
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<QueuedJob> AdmissionQueue::pop_blocking() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    for (auto& cls : classes_) {
+      if (!cls.empty()) {
+        QueuedJob job = std::move(cls.front());
+        cls.pop_front();
+        if (job.preemptions == 0) {
+          --fresh_queued_;
+        }
+        return job;
+      }
+    }
+    if (stopped_) {
+      return std::nullopt;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool AdmissionQueue::has_higher_than(Priority p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t c = 0; c < static_cast<std::size_t>(p); ++c) {
+    if (!classes_[c].empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdmissionQueue::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::stopped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopped_;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& cls : classes_) {
+    total += cls.size();
+  }
+  return total;
+}
+
+std::size_t AdmissionQueue::depth(Priority p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return classes_[static_cast<std::size_t>(p)].size();
+}
+
+std::uint64_t AdmissionQueue::jobs_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+std::uint64_t AdmissionQueue::jobs_rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+}  // namespace tmsim::farm

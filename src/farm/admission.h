@@ -1,0 +1,108 @@
+// AdmissionQueue: bounded, priority-classed job intake with backpressure.
+//
+// The farm never blocks a submitter: a submit() against a full queue (or
+// a stopped farm, or with an invalid/oversized spec) returns a structured
+// rejection immediately — reject-with-reason, the same discipline the
+// FPGA's stimuli interface applies to a full cyclic buffer (§5.3: check
+// free space, never overrun).
+//
+// Ordering: strict priority (interactive > normal > batch), FIFO within
+// a class. Preempted jobs re-enter through requeue(), which is exempt
+// from the capacity bound — admitted work must always be able to come
+// back, or preemption could deadlock against a full queue — and goes to
+// the *front* of its class so a preempted job is not overtaken by later
+// submissions of its own class.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "farm/job_spec.h"
+#include "farm/session.h"
+
+namespace tmsim::farm {
+
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kQueueFull = 1,    ///< capacity reached; resubmit later
+  kStopped = 2,      ///< farm is shutting down
+  kInvalidSpec = 3,  ///< JobSpec::validate() threw (detail has the why)
+  kTooLarge = 4,     ///< cycle budget above the farm's per-job ceiling
+};
+
+const char* reject_reason_name(RejectReason r);
+
+struct SubmitOutcome {
+  bool accepted = false;
+  std::uint64_t job_id = 0;            ///< valid when accepted
+  RejectReason reason = RejectReason::kNone;
+  std::string detail;                  ///< human-readable rejection cause
+};
+
+/// One queued unit of work. `session` is null for a fresh submission and
+/// carries the resumable execution state for a preempted one.
+struct QueuedJob {
+  std::uint64_t job_id = 0;
+  JobSpec spec;
+  std::shared_ptr<SimSession> session;
+  std::size_t preemptions = 0;
+  std::size_t slices = 0;
+  double submitted_us = 0.0;  ///< timestamp of the original submit
+  double queued_us = 0.0;     ///< timestamp of the last (re)enqueue
+  double first_us = 0.0;    ///< timestamp of first execution (0 = never ran)
+  double exec_us = 0.0;     ///< accumulated execution time
+};
+
+class AdmissionQueue {
+ public:
+  /// `capacity` bounds *fresh* submissions queued at once;
+  /// `max_job_cycles` is the per-job cycle ceiling (kTooLarge above it).
+  AdmissionQueue(std::size_t capacity, SystemCycle max_job_cycles);
+
+  /// Validates and either enqueues (assigning a job id) or rejects.
+  /// Never blocks.
+  SubmitOutcome submit(JobSpec spec, double now_us);
+
+  /// Re-enqueues preempted work at the front of its class. Exempt from
+  /// the capacity bound; only fails (returns false) after stop().
+  bool requeue(QueuedJob job, double now_us);
+
+  /// Blocks until work is available or the queue is stopped-and-empty
+  /// (then nullopt). Highest priority class first, FIFO within a class.
+  std::optional<QueuedJob> pop_blocking();
+
+  /// True when any queued job outranks `p` — the preemption predicate
+  /// workers poll between quanta. Lock-free fast path via a relaxed
+  /// depth snapshot would be overkill at quantum granularity; this takes
+  /// the mutex.
+  bool has_higher_than(Priority p) const;
+
+  /// Wakes all waiters; pop_blocking() drains the backlog then returns
+  /// nullopt. Subsequent submits are rejected with kStopped.
+  void stop();
+  bool stopped() const;
+
+  std::size_t depth() const;
+  std::size_t depth(Priority p) const;
+  std::uint64_t jobs_submitted() const;   ///< accepted fresh submissions
+  std::uint64_t jobs_rejected() const;
+
+ private:
+  const std::size_t capacity_;
+  const SystemCycle max_job_cycles_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedJob> classes_[kNumPriorities];
+  std::size_t fresh_queued_ = 0;  ///< fresh entries across classes
+  bool stopped_ = false;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace tmsim::farm

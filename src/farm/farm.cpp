@@ -1,0 +1,275 @@
+#include "farm/farm.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+
+namespace tmsim::farm {
+
+namespace {
+
+std::string engine_cache_key(const JobSpec& spec) {
+  const core::EngineOptions opts = effective_engine_options(spec, true);
+  std::ostringstream os;
+  os << spec.net.width << "x" << spec.net.height << ":"
+     << static_cast<int>(spec.net.topology) << ":" << spec.net.router.num_vcs
+     << ":" << spec.net.router.queue_depth << ":"
+     << static_cast<int>(opts.policy) << ":" << opts.num_shards << ":"
+     << static_cast<int>(opts.partition);
+  return os.str();
+}
+
+std::string worker_label(std::size_t w) {
+  return "worker=" + std::to_string(w);
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SimFarm::SimFarm(FarmOptions opt)
+    : opt_(opt),
+      queue_(opt.queue_capacity, opt.max_job_cycles),
+      results_(opt.completion_feed_depth) {
+  TMSIM_CHECK_MSG(opt_.num_workers >= 1, "farm needs at least one worker");
+  TMSIM_CHECK_MSG(opt_.preempt_quantum >= 1, "quantum must be positive");
+  for (std::size_t w = 0; w < opt_.num_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  if (opt_.timeline) {
+    for (std::size_t w = 0; w < opt_.num_workers; ++w) {
+      opt_.timeline->name_thread(static_cast<std::uint32_t>(100 + w),
+                                 "farm.worker" + std::to_string(w));
+    }
+  }
+  for (std::size_t w = 0; w < opt_.num_workers; ++w) {
+    workers_[w]->thread = std::thread([this, w] { worker_main(w); });
+  }
+}
+
+SimFarm::~SimFarm() { shutdown(); }
+
+double SimFarm::now_us() const {
+  if (opt_.timeline) {
+    return opt_.timeline->now_us();
+  }
+  return static_cast<double>(steady_now_ns()) * 1e-3;
+}
+
+void SimFarm::update_queue_gauges() {
+  // Callers hold farm_mu_, so each gauge keeps a single writer at a time.
+  if (!opt_.metrics) {
+    return;
+  }
+  for (std::size_t c = 0; c < kNumPriorities; ++c) {
+    const auto p = static_cast<Priority>(c);
+    opt_.metrics->gauge("farm.queue.depth",
+                        std::string("class=") + priority_name(p))
+        .set(static_cast<double>(queue_.depth(p)));
+  }
+}
+
+SubmitOutcome SimFarm::submit(const JobSpec& spec) {
+  SubmitOutcome out;
+  {
+    std::lock_guard<std::mutex> lock(farm_mu_);
+    if (stopping_) {
+      out.reason = RejectReason::kStopped;
+      out.detail = "farm is shutting down";
+    }
+  }
+  if (out.reason != RejectReason::kStopped) {
+    out = queue_.submit(spec, now_us());
+  }
+  std::lock_guard<std::mutex> lock(farm_mu_);
+  if (out.accepted) {
+    ++inflight_;
+  }
+  if (opt_.metrics) {
+    opt_.metrics->counter("farm.admission.submitted").add();
+    if (out.accepted) {
+      opt_.metrics->counter("farm.admission.accepted").add();
+    } else {
+      opt_.metrics->counter("farm.admission.rejected").add();
+      opt_.metrics
+          ->counter("farm.admission.rejected",
+                    std::string("reason=") + reject_reason_name(out.reason))
+          .add();
+    }
+  }
+  update_queue_gauges();
+  return out;
+}
+
+void SimFarm::drain() {
+  std::unique_lock<std::mutex> lock(farm_mu_);
+  idle_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void SimFarm::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(farm_mu_);
+    stopping_ = true;
+  }
+  queue_.stop();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+  const double end_us = now_us();
+  if (opt_.metrics && end_us > 0.0) {
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      opt_.metrics->gauge("farm.worker.utilization", worker_label(w))
+          .set(workers_[w]->busy_us / end_us);
+      opt_.metrics->counter("farm.worker.cache_hits", worker_label(w))
+          .set(workers_[w]->cache_hits);
+      opt_.metrics->counter("farm.worker.cache_misses", worker_label(w))
+          .set(workers_[w]->cache_misses);
+    }
+  }
+}
+
+void SimFarm::worker_main(std::size_t w) {
+  while (auto job = queue_.pop_blocking()) {
+    run_job(w, std::move(*job));
+  }
+}
+
+core::SeqNocSimulation& SimFarm::acquire_engine(std::size_t w,
+                                                const JobSpec& spec) {
+  Worker& worker = *workers_[w];
+  const std::string key = engine_cache_key(spec);
+  for (CachedEngine& e : worker.cache) {
+    if (e.key == key) {
+      e.last_used = ++worker.cache_clock;
+      ++worker.cache_hits;
+      return *e.sim;
+    }
+  }
+  ++worker.cache_misses;
+  if (worker.cache.size() >= opt_.engine_cache_per_worker &&
+      !worker.cache.empty()) {
+    std::size_t lru = 0;
+    for (std::size_t i = 1; i < worker.cache.size(); ++i) {
+      if (worker.cache[i].last_used < worker.cache[lru].last_used) {
+        lru = i;
+      }
+    }
+    worker.cache.erase(worker.cache.begin() + static_cast<std::ptrdiff_t>(lru));
+  }
+  CachedEngine e;
+  e.key = key;
+  e.sim = std::make_unique<core::SeqNocSimulation>(
+      spec.net, effective_engine_options(spec, /*canonical_seed=*/true));
+  e.last_used = ++worker.cache_clock;
+  worker.cache.push_back(std::move(e));
+  return *worker.cache.back().sim;
+}
+
+void SimFarm::run_job(std::size_t w, QueuedJob job) {
+  Worker& worker = *workers_[w];
+  const auto tid = static_cast<std::uint32_t>(100 + w);
+  const bool resumed = job.session != nullptr;
+  try {
+    if (!job.session) {
+      job.session = std::make_shared<SimSession>(job.spec);
+    }
+    if (job.first_us == 0.0) {
+      job.first_us = now_us();
+    }
+    if (job.session->needs_engine()) {
+      job.session->attach(acquire_engine(w, job.spec), opt_.paranoid_resume);
+    }
+    if (resumed && opt_.metrics) {
+      std::lock_guard<std::mutex> lock(farm_mu_);
+      opt_.metrics->counter("farm.resumes").add();
+    }
+    for (;;) {
+      const double t0 = now_us();
+      const SystemCycle advanced = job.session->advance(opt_.preempt_quantum);
+      const double t1 = now_us();
+      worker.busy_us += t1 - t0;
+      job.exec_us += t1 - t0;
+      ++job.slices;
+      if (opt_.metrics) {
+        opt_.metrics->counter("farm.worker.slices", worker_label(w)).add();
+      }
+      if (opt_.timeline) {
+        opt_.timeline->span(
+            "farm.slice", t0, t1 - t0, tid,
+            {{"job", job.spec.name},
+             {"cycles", std::to_string(advanced)}});
+      }
+      if (job.session->done()) {
+        break;
+      }
+      if (opt_.force_preempt || queue_.has_higher_than(job.spec.priority)) {
+        if (job.session->attached()) {
+          job.session->detach();
+        }
+        if (opt_.timeline) {
+          opt_.timeline->instant("farm.preempt", now_us(), tid,
+                                 {{"job", job.spec.name}});
+        }
+        std::lock_guard<std::mutex> lock(farm_mu_);
+        if (opt_.metrics) {
+          opt_.metrics->counter("farm.preemptions").add();
+          opt_.metrics->counter("farm.checkpoints").add();
+        }
+        queue_.requeue(std::move(job), now_us());
+        update_queue_gauges();
+        return;
+      }
+    }
+    publish(w, job, JobStatus::kDone, "");
+  } catch (const std::exception& e) {
+    publish(w, job, JobStatus::kFailed, e.what());
+  }
+}
+
+void SimFarm::publish(std::size_t w, QueuedJob& job, JobStatus status,
+                      const std::string& error) {
+  JobResult r;
+  r.job_id = job.job_id;
+  r.spec_fingerprint = job.spec.fingerprint();
+  r.name = job.spec.name;
+  r.status = status;
+  r.error = error;
+  if (job.session && status == JobStatus::kDone) {
+    job.session->finalize(r);
+  }
+  const double done_us = now_us();
+  r.preemptions = job.preemptions;
+  r.slices = job.slices;
+  r.last_worker = w;
+  r.queue_seconds =
+      job.first_us > 0.0 ? (job.first_us - job.submitted_us) * 1e-6 : 0.0;
+  r.exec_seconds = job.exec_us * 1e-6;
+  r.turnaround_seconds = (done_us - job.submitted_us) * 1e-6;
+  results_.put(std::move(r));
+
+  std::lock_guard<std::mutex> lock(farm_mu_);
+  if (opt_.metrics) {
+    opt_.metrics
+        ->counter(status == JobStatus::kDone ? "farm.jobs.completed"
+                                             : "farm.jobs.failed")
+        .add();
+    opt_.metrics->counter("farm.worker.jobs", worker_label(w)).add();
+  }
+  update_queue_gauges();
+  TMSIM_CHECK_MSG(inflight_ > 0, "result published for an untracked job");
+  --inflight_;
+  if (inflight_ == 0) {
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace tmsim::farm

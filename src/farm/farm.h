@@ -1,0 +1,138 @@
+// SimFarm: a multi-tenant batch simulation service over the engines —
+// many queued JobSpecs, a fixed pool of worker threads, each worker
+// owning a small cache of reusable engine instances, results landing in
+// a thread-safe ResultStore.
+//
+// Scheduling model (DESIGN.md §11):
+//   - admission through a bounded priority queue (AdmissionQueue) that
+//     rejects with a structured reason instead of ever blocking a
+//     submitter;
+//   - workers run a job in quanta of `preempt_quantum` system cycles;
+//     between quanta they poll for waiting higher-priority work and, if
+//     any, *preempt*: checkpoint the session (EngineCheckpoint /
+//     ArmHost slicing), requeue it at the front of its class, and pick
+//     up the urgent job — possibly on a different worker's engine;
+//   - the whole dance is invisible in the results: a job preempted N
+//     times across M workers returns bit-identical summaries, fault
+//     reports, and state digests to a standalone run
+//     (tests/farm/farm_determinism_test.cpp enforces this over
+//     randomized specs).
+//
+// Observability (all optional, null = zero overhead):
+//   farm.admission.{submitted,accepted,rejected} (+ per-reason labels),
+//   farm.queue.depth{class=...} gauges, farm.jobs.{completed,failed},
+//   farm.{preemptions,resumes,checkpoints}, per-worker
+//   farm.worker.{slices,jobs,busy_us}{worker=i} counters and a
+//   farm.worker.utilization gauge at shutdown; plus farm.slice spans on
+//   per-worker ChromeTrace tracks (tid 100+worker) with farm.preempt
+//   instants.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "farm/admission.h"
+#include "farm/result_store.h"
+#include "farm/session.h"
+
+namespace tmsim::obs {
+class ChromeTrace;
+class MetricsRegistry;
+}  // namespace tmsim::obs
+
+namespace tmsim::farm {
+
+struct FarmOptions {
+  std::size_t num_workers = 2;
+  /// Fresh submissions queued at once before kQueueFull backpressure.
+  std::size_t queue_capacity = 64;
+  /// System cycles per slice; preemption is only checked at slice
+  /// boundaries, so this is the preemption latency in simulated cycles.
+  SystemCycle preempt_quantum = 256;
+  /// Per-job cycle ceiling (admission rejects above it with kTooLarge).
+  SystemCycle max_job_cycles = 10'000'000;
+  /// Engines a worker keeps warm, LRU-evicted (keyed by topology +
+  /// engine options with the canonical schedule seed).
+  std::size_t engine_cache_per_worker = 2;
+  /// Completion-feed depth of the ResultStore.
+  std::size_t completion_feed_depth = 64;
+  /// Test knobs: force_preempt requeues after *every* quantum even with
+  /// no higher-priority work waiting (maximally exercises the
+  /// checkpoint/resume path); paranoid_resume re-verifies cycle and
+  /// state digest after every restore.
+  bool force_preempt = false;
+  bool paranoid_resume = false;
+  /// Observability sinks (borrowed; must outlive the farm).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::ChromeTrace* timeline = nullptr;
+};
+
+class SimFarm {
+ public:
+  explicit SimFarm(FarmOptions opt = {});
+  /// Shuts down (drains queued and in-flight jobs, joins workers).
+  ~SimFarm();
+
+  SimFarm(const SimFarm&) = delete;
+  SimFarm& operator=(const SimFarm&) = delete;
+
+  /// Never blocks: either the job is queued (outcome.job_id) or the
+  /// outcome says why not.
+  SubmitOutcome submit(const JobSpec& spec);
+
+  /// Blocks until the job's result is published.
+  JobResult wait(std::uint64_t job_id) { return results_.wait(job_id); }
+
+  /// Blocks until every accepted job has a published result.
+  void drain();
+
+  /// Stops intake, drains queued + in-flight work, joins the workers.
+  /// Idempotent. Publishes the end-of-life farm.worker.utilization
+  /// gauges.
+  void shutdown();
+
+  const ResultStore& results() const { return results_; }
+  ResultStore& results() { return results_; }
+  const FarmOptions& options() const { return opt_; }
+  std::size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  struct CachedEngine {
+    std::string key;
+    std::unique_ptr<core::SeqNocSimulation> sim;
+    std::uint64_t last_used = 0;
+  };
+  struct Worker {
+    std::thread thread;
+    std::vector<CachedEngine> cache;
+    std::uint64_t cache_clock = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    double busy_us = 0.0;
+  };
+
+  void worker_main(std::size_t w);
+  /// One scheduling turn: run quanta of `job` until it finishes or gets
+  /// preempted (then it is requeued internally).
+  void run_job(std::size_t w, QueuedJob job);
+  core::SeqNocSimulation& acquire_engine(std::size_t w, const JobSpec& spec);
+  void publish(std::size_t w, QueuedJob& job, JobStatus status,
+               const std::string& error);
+  double now_us() const;
+  void update_queue_gauges();
+
+  FarmOptions opt_;
+  AdmissionQueue queue_;
+  ResultStore results_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex farm_mu_;  ///< guards inflight_ and the shared farm.* counters
+  std::condition_variable idle_cv_;
+  std::size_t inflight_ = 0;  ///< accepted but not yet published
+  bool stopping_ = false;
+};
+
+}  // namespace tmsim::farm

@@ -1,0 +1,107 @@
+#include "farm/job_result.h"
+
+#include <sstream>
+
+namespace tmsim::farm {
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kPending: return "pending";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+bool acc_equal(const analysis::StatAccumulator& a,
+               const analysis::StatAccumulator& b, const char* what,
+               std::string* why) {
+  if (a.count() != b.count() || a.sum() != b.sum() || a.min() != b.min() ||
+      a.max() != b.max()) {
+    if (why) {
+      std::ostringstream os;
+      os << what << " differs: count " << a.count() << "/" << b.count()
+         << " sum " << a.sum() << "/" << b.sum() << " min " << a.min() << "/"
+         << b.min() << " max " << a.max() << "/" << b.max();
+      *why = os.str();
+    }
+    return false;
+  }
+  return true;
+}
+
+bool class_equal(const ClassResult& a, const ClassResult& b, const char* cls,
+                 std::string* why) {
+  if (a.delivered != b.delivered) {
+    if (why) {
+      *why = std::string(cls) + " delivered differs: " +
+             std::to_string(a.delivered) + " vs " + std::to_string(b.delivered);
+    }
+    return false;
+  }
+  const std::string base(cls);
+  return acc_equal(a.network, b.network, (base + ".network").c_str(), why) &&
+         acc_equal(a.access, b.access, (base + ".access").c_str(), why) &&
+         acc_equal(a.total, b.total, (base + ".total").c_str(), why);
+}
+
+}  // namespace
+
+bool results_equivalent(const JobResult& a, const JobResult& b,
+                        std::string* why) {
+  const auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (a.spec_fingerprint != b.spec_fingerprint) {
+    return fail("spec fingerprints differ (not the same job at all)");
+  }
+  if (a.status != b.status) {
+    return fail(std::string("status differs: ") + job_status_name(a.status) +
+                " vs " + job_status_name(b.status));
+  }
+  if (a.cycles_simulated != b.cycles_simulated) {
+    return fail("cycles_simulated differs: " +
+                std::to_string(a.cycles_simulated) + " vs " +
+                std::to_string(b.cycles_simulated));
+  }
+  if (!class_equal(a.gt, b.gt, "gt", why) ||
+      !class_equal(a.be, b.be, "be", why)) {
+    return false;
+  }
+  if (a.flits_injected != b.flits_injected) {
+    return fail("flits_injected differs: " + std::to_string(a.flits_injected) +
+                " vs " + std::to_string(b.flits_injected));
+  }
+  if (a.flits_delivered != b.flits_delivered) {
+    return fail("flits_delivered differs: " +
+                std::to_string(a.flits_delivered) + " vs " +
+                std::to_string(b.flits_delivered));
+  }
+  if (a.overloaded != b.overloaded) {
+    return fail("overloaded flag differs");
+  }
+  if (a.state_digest != b.state_digest) {
+    std::ostringstream os;
+    os << "final state digest differs: " << std::hex << a.state_digest
+       << " vs " << b.state_digest;
+    return fail(os.str());
+  }
+  if (!acc_equal(a.access_delay, b.access_delay, "access_delay", why)) {
+    return false;
+  }
+  const fpga::FaultReport& fa = a.fault_report;
+  const fpga::FaultReport& fb = b.fault_report;
+  if (fa.aborted != fb.aborted || fa.abort_reason != fb.abort_reason ||
+      fa.total_recovered() != fb.total_recovered() ||
+      fa.load_replays != fb.load_replays ||
+      fa.watchdog_trips != fb.watchdog_trips) {
+    return fail("fault reports differ: [" + fa.to_string() + "] vs [" +
+                fb.to_string() + "]");
+  }
+  return true;
+}
+
+}  // namespace tmsim::farm

@@ -1,0 +1,79 @@
+// JobResult: what the farm hands back for one job — the same latency
+// summaries, fault report, and state digest the job would produce run
+// standalone, plus a scheduling record (how the farm happened to place
+// and slice it) that is explicitly *excluded* from result equivalence.
+//
+// results_equivalent() is the farm's determinism oracle: two results are
+// equivalent iff every simulation-visible field matches exactly —
+// StatAccumulator sums compared as exact doubles, which is sound because
+// accumulation order is fixed by packet-record submission order, itself
+// a pure function of the spec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/stats.h"
+#include "common/types.h"
+#include "fpga/fault_report.h"
+
+namespace tmsim::farm {
+
+enum class JobStatus : std::uint8_t {
+  kPending = 0,   ///< accepted, not yet finished
+  kDone = 1,      ///< ran to its cycle budget (or clean overload stop)
+  kFailed = 2,    ///< threw (convergence failure, invariant violation, …)
+};
+
+const char* job_status_name(JobStatus s);
+
+/// Latency summary for one packet class (mirrors traffic::LatencySummary
+/// but lives here so hosted results use the same shape).
+struct ClassResult {
+  std::size_t delivered = 0;
+  analysis::StatAccumulator network;  ///< head-injection → tail-delivery
+  analysis::StatAccumulator access;   ///< creation → head-injection
+  analysis::StatAccumulator total;    ///< creation → tail-delivery
+};
+
+struct JobResult {
+  // Identity.
+  std::uint64_t job_id = 0;            ///< farm-assigned, scheduling-scoped
+  std::uint64_t spec_fingerprint = 0;  ///< JobSpec::fingerprint()
+  std::string name;
+
+  // Simulation-visible outcome (the equivalence surface).
+  JobStatus status = JobStatus::kPending;
+  std::string error;                   ///< set when status == kFailed
+  SystemCycle cycles_simulated = 0;
+  ClassResult gt;
+  ClassResult be;
+  std::size_t flits_injected = 0;
+  std::size_t flits_delivered = 0;
+  bool overloaded = false;
+  /// Hosted jobs: the hardened host's recovery ledger. Core jobs: zeros.
+  fpga::FaultReport fault_report;
+  /// Hosted jobs: access-delay samples from the FPGA monitor buffer.
+  analysis::StatAccumulator access_delay;
+  /// FNV-1a over every committed block state at the end of the run — the
+  /// bit-identity witness.
+  std::uint64_t state_digest = 0;
+
+  // Scheduling record (NOT part of equivalence).
+  std::size_t preemptions = 0;  ///< checkpoint-and-requeue events
+  std::size_t slices = 0;       ///< quanta executed (≥ 1 when done)
+  std::size_t last_worker = 0;  ///< worker that finished the job
+  double queue_seconds = 0.0;   ///< submit → first execution
+  double exec_seconds = 0.0;    ///< time actually spent simulating
+  double turnaround_seconds = 0.0;  ///< submit → completion
+};
+
+/// Exact equality of the simulation-visible surface. On mismatch returns
+/// false and, when `why` is non-null, describes the first differing
+/// field. job_id, preemptions, slices, workers, and wall-clock fields
+/// are deliberately ignored: the farm's scheduling freedom must never
+/// show up in results.
+bool results_equivalent(const JobResult& a, const JobResult& b,
+                        std::string* why = nullptr);
+
+}  // namespace tmsim::farm

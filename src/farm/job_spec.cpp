@@ -1,0 +1,337 @@
+#include "farm/job_spec.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "traffic/workloads.h"
+
+namespace tmsim::farm {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+double parse_double(const std::string& v) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  TMSIM_CHECK_MSG(end && *end == '\0', "malformed double in job spec");
+  return d;
+}
+
+std::uint64_t parse_u64(const std::string& v) {
+  char* end = nullptr;
+  const unsigned long long u = std::strtoull(v.c_str(), &end, 10);
+  TMSIM_CHECK_MSG(end && *end == '\0' && !v.empty(),
+                  "malformed integer in job spec");
+  return u;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+const char* topology_name(noc::Topology t) {
+  return t == noc::Topology::kTorus ? "torus" : "mesh";
+}
+
+const char* policy_name(core::SchedulePolicy p) {
+  switch (p) {
+    case core::SchedulePolicy::kStatic: return "static";
+    case core::SchedulePolicy::kDynamic: return "dynamic";
+    case core::SchedulePolicy::kTwoPhaseOracle: return "two_phase";
+  }
+  return "?";
+}
+
+const char* partition_name(core::PartitionPolicy p) {
+  switch (p) {
+    case core::PartitionPolicy::kRoundRobin: return "round_robin";
+    case core::PartitionPolicy::kContiguous: return "contiguous";
+    case core::PartitionPolicy::kMinCutGreedy: return "min_cut";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* job_kind_name(JobKind k) {
+  return k == JobKind::kCoreTraffic ? "core" : "hosted";
+}
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kNormal: return "normal";
+    case Priority::kBatch: return "batch";
+  }
+  return "?";
+}
+
+std::string JobSpec::serialize() const {
+  std::ostringstream os;
+  os << "name=" << name;
+  os << " kind=" << job_kind_name(kind);
+  os << " priority=" << priority_name(priority);
+  os << " width=" << net.width << " height=" << net.height;
+  os << " topology=" << topology_name(net.topology);
+  os << " vcs=" << net.router.num_vcs << " qdepth=" << net.router.queue_depth;
+  os << " policy=" << policy_name(engine.policy);
+  os << " shards=" << engine.num_shards;
+  os << " partition=" << partition_name(engine.partition);
+  os << " engine_seed=" << engine.seed;
+  os << " be_load=" << fmt_double(workload.be_load);
+  os << " be_vcs=";
+  for (std::size_t i = 0; i < workload.be_vcs.size(); ++i) {
+    os << (i ? "," : "") << workload.be_vcs[i];
+  }
+  os << " be_bytes=" << workload.be_bytes;
+  os << " fig1_gt=" << (workload.fig1_gt ? 1 : 0);
+  os << " gt_period=" << workload.gt_period;
+  os << " gt=";
+  for (std::size_t i = 0; i < workload.gt_streams.size(); ++i) {
+    const traffic::GtStream& s = workload.gt_streams[i];
+    os << (i ? ";" : "") << s.src << ":" << s.dst << ":" << s.vc << ":"
+       << s.period << ":" << s.phase << ":" << s.bytes;
+  }
+  os << " warmup=" << workload.warmup_cycles;
+  os << " verify_payload=" << (workload.verify_payload ? 1 : 0);
+  os << " stop_on_overload=" << (workload.stop_on_overload ? 1 : 0);
+  os << " overload_threshold=" << workload.overload_threshold;
+  os << " seed=" << seed;
+  os << " cycles=" << cycles;
+  os << " f_read_flip=" << fmt_double(faults.read_flip);
+  os << " f_write_flip=" << fmt_double(faults.write_flip);
+  os << " f_dropped_write=" << fmt_double(faults.dropped_write);
+  os << " f_stuck_busy=" << fmt_double(faults.stuck_busy);
+  os << " f_spurious_overrun=" << fmt_double(faults.spurious_overrun);
+  os << " f_stuck_busy_reads=" << faults.stuck_busy_reads;
+  return os.str();
+}
+
+JobSpec JobSpec::deserialize(const std::string& text) {
+  JobSpec spec;
+  // Every list-valued key starts empty; scalar keys keep their defaults
+  // only if the token is absent (serialize() always emits all keys, but
+  // hand-written specs may omit some).
+  spec.workload.be_vcs.clear();
+  std::istringstream is(text);
+  std::string tok;
+  while (is >> tok) {
+    const std::size_t eq = tok.find('=');
+    TMSIM_CHECK_MSG(eq != std::string::npos, "job spec token without '='");
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (key == "name") {
+      spec.name = val;
+    } else if (key == "kind") {
+      if (val == "core") {
+        spec.kind = JobKind::kCoreTraffic;
+      } else if (val == "hosted") {
+        spec.kind = JobKind::kHostedFpga;
+      } else {
+        throw ContextualError("unknown job kind", {{"kind", val}});
+      }
+    } else if (key == "priority") {
+      if (val == "interactive") {
+        spec.priority = Priority::kInteractive;
+      } else if (val == "normal") {
+        spec.priority = Priority::kNormal;
+      } else if (val == "batch") {
+        spec.priority = Priority::kBatch;
+      } else {
+        throw ContextualError("unknown priority", {{"priority", val}});
+      }
+    } else if (key == "width") {
+      spec.net.width = parse_u64(val);
+    } else if (key == "height") {
+      spec.net.height = parse_u64(val);
+    } else if (key == "topology") {
+      if (val == "torus") {
+        spec.net.topology = noc::Topology::kTorus;
+      } else if (val == "mesh") {
+        spec.net.topology = noc::Topology::kMesh;
+      } else {
+        throw ContextualError("unknown topology", {{"topology", val}});
+      }
+    } else if (key == "vcs") {
+      spec.net.router.num_vcs = parse_u64(val);
+    } else if (key == "qdepth") {
+      spec.net.router.queue_depth = parse_u64(val);
+    } else if (key == "policy") {
+      if (val == "static") {
+        spec.engine.policy = core::SchedulePolicy::kStatic;
+      } else if (val == "dynamic") {
+        spec.engine.policy = core::SchedulePolicy::kDynamic;
+      } else if (val == "two_phase") {
+        spec.engine.policy = core::SchedulePolicy::kTwoPhaseOracle;
+      } else {
+        throw ContextualError("unknown schedule policy", {{"policy", val}});
+      }
+    } else if (key == "shards") {
+      spec.engine.num_shards = parse_u64(val);
+    } else if (key == "partition") {
+      if (val == "round_robin") {
+        spec.engine.partition = core::PartitionPolicy::kRoundRobin;
+      } else if (val == "contiguous") {
+        spec.engine.partition = core::PartitionPolicy::kContiguous;
+      } else if (val == "min_cut") {
+        spec.engine.partition = core::PartitionPolicy::kMinCutGreedy;
+      } else {
+        throw ContextualError("unknown partition policy", {{"partition", val}});
+      }
+    } else if (key == "engine_seed") {
+      spec.engine.seed = parse_u64(val);
+    } else if (key == "be_load") {
+      spec.workload.be_load = parse_double(val);
+    } else if (key == "be_vcs") {
+      for (const std::string& v : split(val, ',')) {
+        spec.workload.be_vcs.push_back(
+            static_cast<unsigned>(parse_u64(v)));
+      }
+    } else if (key == "be_bytes") {
+      spec.workload.be_bytes = parse_u64(val);
+    } else if (key == "fig1_gt") {
+      spec.workload.fig1_gt = parse_u64(val) != 0;
+    } else if (key == "gt_period") {
+      spec.workload.gt_period = parse_u64(val);
+    } else if (key == "gt") {
+      for (const std::string& entry : split(val, ';')) {
+        const std::vector<std::string> f = split(entry, ':');
+        TMSIM_CHECK_MSG(f.size() == 6, "GT stream needs 6 fields");
+        traffic::GtStream s;
+        s.src = parse_u64(f[0]);
+        s.dst = parse_u64(f[1]);
+        s.vc = static_cast<unsigned>(parse_u64(f[2]));
+        s.period = parse_u64(f[3]);
+        s.phase = parse_u64(f[4]);
+        s.bytes = parse_u64(f[5]);
+        spec.workload.gt_streams.push_back(s);
+      }
+    } else if (key == "warmup") {
+      spec.workload.warmup_cycles = parse_u64(val);
+    } else if (key == "verify_payload") {
+      spec.workload.verify_payload = parse_u64(val) != 0;
+    } else if (key == "stop_on_overload") {
+      spec.workload.stop_on_overload = parse_u64(val) != 0;
+    } else if (key == "overload_threshold") {
+      spec.workload.overload_threshold = parse_u64(val);
+    } else if (key == "seed") {
+      spec.seed = parse_u64(val);
+    } else if (key == "cycles") {
+      spec.cycles = parse_u64(val);
+    } else if (key == "f_read_flip") {
+      spec.faults.read_flip = parse_double(val);
+    } else if (key == "f_write_flip") {
+      spec.faults.write_flip = parse_double(val);
+    } else if (key == "f_dropped_write") {
+      spec.faults.dropped_write = parse_double(val);
+    } else if (key == "f_stuck_busy") {
+      spec.faults.stuck_busy = parse_double(val);
+    } else if (key == "f_spurious_overrun") {
+      spec.faults.spurious_overrun = parse_double(val);
+    } else if (key == "f_stuck_busy_reads") {
+      spec.faults.stuck_busy_reads = parse_u64(val);
+    } else {
+      throw ContextualError("unknown job spec key", {{"key", key}});
+    }
+  }
+  return spec;
+}
+
+std::uint64_t JobSpec::fingerprint() const {
+  const std::string s = serialize();
+  return fnv1a(kFnvOffset, s.data(), s.size());
+}
+
+std::vector<traffic::GtStream> JobSpec::resolved_gt_streams() const {
+  if (workload.fig1_gt) {
+    return traffic::fig1_gt_streams(net, workload.gt_period);
+  }
+  return workload.gt_streams;
+}
+
+void JobSpec::validate() const {
+  TMSIM_CHECK_MSG(!name.empty(), "job name must not be empty");
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '_' || c == '-')) {
+      throw ContextualError("job name contains a character outside "
+                            "[A-Za-z0-9._-]",
+                            {{"name", name}});
+    }
+  }
+  net.validate();
+  TMSIM_CHECK_MSG(cycles >= 1, "job must simulate at least one cycle");
+  TMSIM_CHECK_MSG(!(workload.fig1_gt && !workload.gt_streams.empty()),
+                  "fig1_gt and explicit gt_streams are mutually exclusive");
+  if (workload.be_load > 0.0) {
+    TMSIM_CHECK_MSG(workload.be_load <= 1.0, "be_load must be in [0,1]");
+    TMSIM_CHECK_MSG(!workload.be_vcs.empty(),
+                    "BE traffic needs at least one VC");
+  }
+  const std::vector<traffic::GtStream> streams = resolved_gt_streams();
+  if (!streams.empty()) {
+    traffic::TrafficHarness::validate_gt_streams(net, streams);
+  }
+  if (kind == JobKind::kHostedFpga) {
+    // The hosted stack (ArmHost ↔ FpgaDesign) has no warmup window and
+    // verifies payloads through its own tag machinery; rejecting these
+    // here turns a silent semantic mismatch into a structured reject.
+    TMSIM_CHECK_MSG(workload.warmup_cycles == 0,
+                    "hosted jobs do not support warmup_cycles");
+    TMSIM_CHECK_MSG(!workload.verify_payload,
+                    "hosted jobs do not support verify_payload");
+  } else {
+    const double fault_sum = faults.read_flip + faults.write_flip +
+                             faults.dropped_write + faults.stuck_busy +
+                             faults.spurious_overrun;
+    TMSIM_CHECK_MSG(fault_sum == 0.0,
+                    "bus fault injection requires a hosted job (there is "
+                    "no bus on the core-traffic path)");
+  }
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::string_view domain) {
+  std::uint64_t h = kFnvOffset;
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(base >> (8 * i));
+  }
+  h = fnv1a(h, bytes, sizeof bytes);
+  h = fnv1a(h, domain.data(), domain.size());
+  return h == 0 ? kFnvOffset : h;
+}
+
+}  // namespace tmsim::farm

@@ -1,0 +1,67 @@
+#include "farm/result_store.h"
+
+namespace tmsim::farm {
+
+ResultStore::ResultStore(std::size_t completion_feed_depth)
+    : feed_(completion_feed_depth == 0 ? 1 : completion_feed_depth) {}
+
+void ResultStore::put(JobResult result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = result.job_id;
+    TMSIM_CHECK_MSG(!index_.contains(id), "duplicate result for a job id");
+    index_.emplace(id, results_.size());
+    results_.push_back(std::move(result));
+    // Completion feed: drop-oldest on overflow (the §5.2 monitor-buffer
+    // discipline — a slow consumer must not stall the producer). Job ids
+    // are sequential from 1, far below the word's 32-bit range.
+    if (feed_.full()) {
+      feed_.pop();
+      ++dropped_;
+    }
+    feed_.push(fpga::TimedWord{feed_seq_++, static_cast<std::uint32_t>(id)});
+  }
+  cv_.notify_all();
+}
+
+std::optional<JobResult> ResultStore::get(std::uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(job_id);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return results_[it->second];
+}
+
+JobResult ResultStore::wait(std::uint64_t job_id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return index_.contains(job_id); });
+  return results_[index_.at(job_id)];
+}
+
+std::vector<JobResult> ResultStore::all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_;
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.size();
+}
+
+std::vector<std::uint64_t> ResultStore::drain_completions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(feed_.fill());
+  while (!feed_.empty()) {
+    ids.push_back(feed_.pop().data);
+  }
+  return ids;
+}
+
+std::uint64_t ResultStore::completions_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace tmsim::farm

@@ -1,0 +1,56 @@
+// ResultStore: the thread-safe sink where workers publish finished
+// JobResults and submitters collect them. Two access patterns:
+//
+//   - point lookup / blocking wait by job id (get / wait), and
+//   - a bounded completion feed (drain_completions) built on the same
+//     fpga::CyclicBuffer that decouples the ARM from the FPGA (§5.2) —
+//     the consumer that falls behind loses the *oldest* notifications
+//     (drop-oldest, counted), never blocks a worker, and can always
+//     recover the dropped results through get().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "farm/job_result.h"
+#include "fpga/cyclic_buffer.h"
+
+namespace tmsim::farm {
+
+class ResultStore {
+ public:
+  explicit ResultStore(std::size_t completion_feed_depth = 64);
+
+  /// Publishes a final result (workers call this exactly once per job).
+  void put(JobResult result);
+
+  std::optional<JobResult> get(std::uint64_t job_id) const;
+
+  /// Blocks until the job's result is published, then returns it.
+  JobResult wait(std::uint64_t job_id) const;
+
+  /// All published results, in completion order.
+  std::vector<JobResult> all() const;
+  std::size_t size() const;
+
+  /// Job ids completed since the last drain, oldest first. When the feed
+  /// overflowed in between, the oldest ids were dropped (see
+  /// completions_dropped()); their results remain retrievable via get().
+  std::vector<std::uint64_t> drain_completions();
+  std::uint64_t completions_dropped() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // id → results_ pos
+  std::vector<JobResult> results_;
+  fpga::CyclicBuffer feed_;
+  std::uint64_t feed_seq_ = 0;  ///< completion sequence (feed timestamps)
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace tmsim::farm

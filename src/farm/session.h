@@ -1,0 +1,119 @@
+// SimSession: one job's resumable execution state. The farm's whole
+// preemption story reduces to this class honouring a single contract:
+//
+//     advance(a); detach(); attach(other_sim); advance(b)
+//   ≡ advance(a + b)
+//
+// bit-for-bit, where `other_sim` may be a different engine instance on a
+// different worker thread (over an equal NetworkConfig). The mechanism
+// is PR 1's commit-counter style made general (DESIGN.md §11):
+//
+//   - core-traffic jobs own a TrafficHarness (all software-side state:
+//     source queues, credits, packet records, RNG position) and borrow
+//     an engine from the worker's cache. detach() snapshots the engine
+//     into an EngineCheckpoint (committed block states + cycle counters,
+//     digest-verified); attach() restores it into the next engine and
+//     rebinds the harness. The restore is sound because every internal
+//     link of a NoC model is combinational — the fixed point is a pure
+//     function of committed states and external inputs.
+//
+//   - hosted-FPGA jobs own the whole stack (FpgaDesign, optional
+//     FaultyBus, ArmHost) and are naturally resumable: ArmHost::run() is
+//     incremental, and its PR-1 commit-counter mirrors persist across
+//     calls, so preemption is simply slicing run() into smaller targets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "farm/job_result.h"
+#include "farm/job_spec.h"
+
+namespace tmsim::fpga {
+class ArmHost;
+class FaultyBus;
+class FpgaDesign;
+}  // namespace tmsim::fpga
+
+namespace tmsim::farm {
+
+/// The engine options a job actually runs with. When `canonical_seed` is
+/// true the schedule seed is forced to 1 — what farm workers use, so
+/// cached engines are reusable across jobs regardless of job seeds. When
+/// false (standalone runs) the seed derives from the job seed, which
+/// perturbs the evaluation order; the differential tests comparing the
+/// two paths are therefore also an empirical proof that schedule seeds
+/// never leak into results.
+core::EngineOptions effective_engine_options(const JobSpec& spec,
+                                             bool canonical_seed);
+
+class SimSession {
+ public:
+  /// Validates the spec (throws ContextualError on an unsatisfiable
+  /// one). Hosted sessions build and configure their stack here; core
+  /// sessions stay engine-less until the first attach().
+  explicit SimSession(const JobSpec& spec);
+  ~SimSession();
+
+  SimSession(const SimSession&) = delete;
+  SimSession& operator=(const SimSession&) = delete;
+
+  const JobSpec& spec() const { return spec_; }
+
+  /// Core-traffic jobs borrow an engine-backed simulation; hosted jobs
+  /// carry their own stack.
+  bool needs_engine() const {
+    return spec_.kind == JobKind::kCoreTraffic;
+  }
+
+  /// Binds the session to `sim` (core jobs only; `sim` must simulate an
+  /// equal NetworkConfig). First attach resets `sim` to power-on state
+  /// and builds the harness; later attaches restore the detach-time
+  /// checkpoint (digest-verified) and rebind the harness. `paranoid`
+  /// adds a belt-and-braces recheck that the restored engine's cycle and
+  /// state digest match the checkpoint exactly.
+  void attach(core::SeqNocSimulation& sim, bool paranoid = false);
+
+  /// Snapshots the engine state and unbinds (core jobs only). The engine
+  /// is the caller's to reuse afterwards.
+  void detach();
+
+  bool attached() const { return sim_ != nullptr; }
+
+  /// Runs up to `quantum` more system cycles (never past the spec's
+  /// budget; stops early on overload/abort). Returns cycles advanced.
+  SystemCycle advance(SystemCycle quantum);
+
+  bool done() const;
+  SystemCycle cycles_done() const { return cycles_done_; }
+
+  /// Fills the simulation-visible fields of `out` (latency summaries,
+  /// fault report, state digest, flit counts). Callable attached or
+  /// detached.
+  void finalize(JobResult& out) const;
+
+ private:
+  void attach_first(core::SeqNocSimulation& sim);
+
+  JobSpec spec_;
+  SystemCycle cycles_done_ = 0;
+
+  // Core-traffic state.
+  core::SeqNocSimulation* sim_ = nullptr;  // borrowed, nullable
+  std::unique_ptr<traffic::TrafficHarness> harness_;
+  core::EngineCheckpoint checkpoint_;
+  bool started_ = false;
+
+  // Hosted-FPGA state (owned).
+  std::unique_ptr<fpga::FpgaDesign> design_;
+  std::unique_ptr<fpga::FaultyBus> faulty_bus_;
+  std::unique_ptr<fpga::ArmHost> host_;
+  bool hw_synced_ = false;  ///< end-of-job counter sync done once
+};
+
+/// Runs one job start-to-finish on this thread with no farm involved —
+/// the reference execution the differential tests compare farm results
+/// against. Exceptions become status == kFailed.
+JobResult run_job_standalone(const JobSpec& spec);
+
+}  // namespace tmsim::farm

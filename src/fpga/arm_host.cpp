@@ -143,6 +143,7 @@ void ArmHost::configure_network(std::size_t width, std::size_t height,
   sent_.clear();
   generated_horizon_ = 0;
   cycles_ = 0;
+  sim_cycles_reg_ = 0;
   overloaded_ = false;
 
   if (wl_.be_load > 0.0) {
@@ -580,6 +581,11 @@ void ArmHost::retrieve_phase() {
 // --- The five-phase loop ----------------------------------------------------
 
 void ArmHost::run(std::size_t total_cycles) {
+  run_incremental(total_cycles);
+  sync_hw_counters();
+}
+
+void ArmHost::run_incremental(std::size_t total_cycles) {
   TMSIM_CHECK_MSG(configured_, "call configure_network() before run()");
   // "the simulation period is fixed to the size of the VC stimuli
   //  buffers in the FPGA" (§5.3).
@@ -597,8 +603,11 @@ void ArmHost::run(std::size_t total_cycles) {
     mark_us = now;
   };
   try {
-    verified_write(kRegSimCycles, static_cast<std::uint32_t>(p),
-                   static_cast<std::uint32_t>(p));
+    if (sim_cycles_reg_ != static_cast<std::uint32_t>(p)) {
+      verified_write(kRegSimCycles, static_cast<std::uint32_t>(p),
+                     static_cast<std::uint32_t>(p));
+      sim_cycles_reg_ = static_cast<std::uint32_t>(p);
+    }
     while (cycles_ < total_cycles && !overloaded_ && !aborted()) {
       if (timeline_) {
         mark_us = timeline_->now_us();
@@ -624,11 +633,6 @@ void ArmHost::run(std::size_t total_cycles) {
       }
       ++counts_.periods;
     }
-    counts_.fpga_clock_cycles =
-        (static_cast<std::uint64_t>(rd_agreed(kRegFpgaClkHi, Bucket::kSync))
-         << 32) |
-        rd_agreed(kRegFpgaClkLo, Bucket::kSync);
-    fault_report_.hw_rejected_words = rd_agreed(kRegFaults, Bucket::kSync);
   } catch (const core::ConvergenceError& e) {
     convergence_report_ = e.report();
     abort_run("core convergence failure: " + e.report().summary());
@@ -645,6 +649,20 @@ void ArmHost::run(std::size_t total_cycles) {
               e.what());
   }
   counts_.system_cycles = cycles_;
+}
+
+void ArmHost::sync_hw_counters() {
+  try {
+    counts_.fpga_clock_cycles =
+        (static_cast<std::uint64_t>(rd_agreed(kRegFpgaClkHi, Bucket::kSync))
+         << 32) |
+        rd_agreed(kRegFpgaClkLo, Bucket::kSync);
+    fault_report_.hw_rejected_words = rd_agreed(kRegFaults, Bucket::kSync);
+  } catch (const ContextualError& e) {
+    // Reads that never agree within the retry budget: structured abort,
+    // same contract as run().
+    abort_run(e.what());
+  }
 }
 
 // --- Observability export ---------------------------------------------------

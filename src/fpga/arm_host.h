@@ -88,8 +88,21 @@ class ArmHost {
 
   /// Runs simulation periods until at least `total_cycles` system cycles
   /// are simulated (or the network is overloaded, or the run aborts on an
-  /// unrecoverable fault — see aborted()).
+  /// unrecoverable fault — see aborted()). Equivalent to
+  /// run_incremental() followed by sync_hw_counters().
   void run(std::size_t total_cycles);
+
+  /// run() without the trailing hardware-counter sync. Incremental
+  /// drivers (the farm slicing a budget across preemptions) use this so
+  /// the bus access sequence — and therefore any fault-injection stream
+  /// keyed to it — is bit-identical however the budget is sliced; call
+  /// sync_hw_counters() once when the whole budget is done.
+  void run_incremental(std::size_t total_cycles);
+
+  /// Reads back the hardware clock and fault counters (a handful of bus
+  /// accesses). Part of every run(); incremental drivers call it once at
+  /// end of job.
+  void sync_hw_counters();
 
   const PhaseCounts& counts() const { return counts_; }
   bool overloaded() const { return overloaded_; }
@@ -194,6 +207,11 @@ class ArmHost {
   std::uint32_t access_monitor_pops_ = 0;
   SystemCycle generated_horizon_ = 0;
   SystemCycle cycles_ = 0;                  // verified cycle-count mirror
+  /// Period-size register mirror: 0 = not yet written. The register is
+  /// written once per configuration, not once per run() call, so the bus
+  /// access sequence is identical whether a budget is simulated in one
+  /// run() or sliced into many (farm preemption relies on this).
+  std::uint32_t sim_cycles_reg_ = 0;
   bool overloaded_ = false;
   FaultReport fault_report_;
   std::optional<core::ConvergenceReport> convergence_report_;

@@ -34,6 +34,8 @@ struct FaultRates {
   /// Length of a stuck-busy burst (consecutive status reads forced busy).
   std::size_t stuck_busy_reads = 3;
 
+  friend bool operator==(const FaultRates&, const FaultRates&) = default;
+
   /// All five classes at the same per-access rate.
   static FaultRates uniform(double rate) {
     FaultRates r;

@@ -59,6 +59,9 @@ struct FpgaBuildConfig {
   std::size_t num_shards = 1;
   /// Block-to-shard assignment policy when num_shards > 1.
   core::PartitionPolicy partition = core::PartitionPolicy::kMinCutGreedy;
+  /// Dynamic-schedule seed forwarded to the engine (EngineOptions::seed).
+  /// 1 is canonical; any other value perturbs only the evaluation order.
+  std::uint64_t engine_seed = 1;
 };
 
 class FpgaDesign : public BusInterface {

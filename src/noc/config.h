@@ -60,6 +60,8 @@ struct RouterConfig {
     TMSIM_CHECK_MSG(queue_depth >= 1 && queue_depth <= 15,
                     "queue_depth must be 1..15");
   }
+
+  friend bool operator==(const RouterConfig&, const RouterConfig&) = default;
 };
 
 /// Whole-network parameters.
@@ -78,6 +80,10 @@ struct NetworkConfig {
     TMSIM_CHECK_MSG(num_routers() >= 2 && num_routers() <= 256,
                     "network must have 2..256 routers (paper's range)");
   }
+
+  /// Structural equality — what "same topology" means for the farm's
+  /// engine cache and for TrafficHarness::rebind validation.
+  friend bool operator==(const NetworkConfig&, const NetworkConfig&) = default;
 };
 
 }  // namespace tmsim::noc

@@ -1,0 +1,17 @@
+#include "obs/des_sink.h"
+
+#include "obs/metrics.h"
+
+namespace tmsim::obs {
+
+void export_kernel_stats(const des::KernelStats& stats,
+                         MetricsRegistry& registry,
+                         const std::string& labels) {
+  registry.counter("des.ticks", labels).set(stats.ticks);
+  registry.counter("des.delta_cycles", labels).set(stats.delta_cycles);
+  registry.counter("des.process_activations", labels)
+      .set(stats.process_activations);
+  registry.counter("des.signal_commits", labels).set(stats.signal_commits);
+}
+
+}  // namespace tmsim::obs

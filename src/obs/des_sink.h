@@ -1,0 +1,25 @@
+// des.* metrics export: publishes a DES kernel's KernelStats through the
+// MetricsRegistry so the baseline engines (DESIGN.md §9) report through
+// the same pipeline as the paper engines' engine.* rows — one naming
+// scheme, one JSON/table export, directly comparable counter for counter
+// (des.delta_cycles vs engine.delta_cycles is §6's overhead argument).
+#pragma once
+
+#include <string>
+
+#include "des/kernel.h"
+
+namespace tmsim::obs {
+
+class MetricsRegistry;
+
+/// Writes the four KernelStats counts as des.{ticks,delta_cycles,
+/// process_activations,signal_commits} counters under `labels`.
+/// Counter semantics: KernelStats is itself cumulative, so the counters
+/// are *set* to the current totals — call again after more ticks to
+/// refresh. Single-writer rule: one thread per (labels) instance.
+void export_kernel_stats(const des::KernelStats& stats,
+                         MetricsRegistry& registry,
+                         const std::string& labels = "");
+
+}  // namespace tmsim::obs

@@ -10,8 +10,8 @@ using noc::LinkForward;
 using noc::Port;
 
 TrafficHarness::TrafficHarness(noc::NocSimulation& sim, Options opt)
-    : sim_(sim), opt_(opt), rng_(opt.seed) {
-  const noc::NetworkConfig& net = sim_.config();
+    : sim_(&sim), net_(sim.config()), opt_(opt), rng_(opt.seed) {
+  const noc::NetworkConfig& net = net_;
   const std::size_t n = net.num_routers();
   const std::size_t vcs = net.router.num_vcs;
   nodes_.resize(n);
@@ -28,8 +28,20 @@ TrafficHarness::TrafficHarness(noc::NocSimulation& sim, Options opt)
   next_seq_.assign(n * vcs, 0);
 }
 
+void TrafficHarness::rebind(noc::NocSimulation& sim) {
+  // Validate against our own config copy — the previously bound engine
+  // must not be dereferenced here (another worker may own it by now).
+  if (!(sim.config() == net_)) {
+    throw ContextualError(
+        "rebind target simulates a different network configuration",
+        {{"have_routers", std::to_string(net_.num_routers())},
+         {"want_routers", std::to_string(sim.config().num_routers())}});
+  }
+  sim_ = &sim;
+}
+
 void TrafficHarness::add_gt_stream(const GtStream& s) {
-  const noc::NetworkConfig& net = sim_.config();
+  const noc::NetworkConfig& net = net_;
   TMSIM_CHECK_MSG(s.src < net.num_routers() && s.dst < net.num_routers(),
                   "GT stream endpoint out of range");
   TMSIM_CHECK_MSG(s.src != s.dst, "GT stream src == dst");
@@ -43,7 +55,7 @@ void TrafficHarness::set_be_load(double load, std::vector<unsigned> vcs,
   TMSIM_CHECK_MSG(load >= 0.0 && load <= 1.0, "BE load must be in [0,1]");
   TMSIM_CHECK_MSG(!vcs.empty(), "BE traffic needs at least one VC");
   for (unsigned v : vcs) {
-    TMSIM_CHECK_MSG(v < sim_.config().router.num_vcs, "BE vc out of range");
+    TMSIM_CHECK_MSG(v < net_.router.num_vcs, "BE vc out of range");
   }
   be_load_ = load;
   be_vcs_ = std::move(vcs);
@@ -58,7 +70,7 @@ std::uint32_t TrafficHarness::flight_key(std::size_t dst, unsigned vc,
 std::size_t TrafficHarness::submit_packet(PacketClass cls, std::size_t src,
                                           std::size_t dst, unsigned vc,
                                           std::size_t payload_flits) {
-  const noc::NetworkConfig& net = sim_.config();
+  const noc::NetworkConfig& net = net_;
   TMSIM_CHECK_MSG(src < net.num_routers() && dst < net.num_routers(),
                   "packet endpoint out of range");
   TMSIM_CHECK_MSG(src != dst, "local loopback packets are not modeled");
@@ -83,7 +95,7 @@ std::size_t TrafficHarness::submit_packet(PacketClass cls, std::size_t src,
 
 noc::Flit TrafficHarness::flit_of(const PendingPacket& p, unsigned seq,
                                   std::size_t i) const {
-  const Coord dc = router_coord(sim_.config(), p.dst);
+  const Coord dc = router_coord(net_, p.dst);
   return packet_flit(static_cast<unsigned>(dc.x), static_cast<unsigned>(dc.y),
                      p.vc, seq, p.payload_flits, p.fill, i);
 }
@@ -96,7 +108,7 @@ void TrafficHarness::generate(SystemCycle cycle) {
     }
   }
   if (be_load_ > 0.0) {
-    const noc::NetworkConfig& net = sim_.config();
+    const noc::NetworkConfig& net = net_;
     const std::size_t n = net.num_routers();
     // `load` is flits/cycle; a packet is HEAD + payload flits, and only
     // payload+head flits consume channel capacity — we count all flits of
@@ -118,7 +130,7 @@ void TrafficHarness::generate(SystemCycle cycle) {
 }
 
 void TrafficHarness::inject() {
-  const std::size_t vcs = sim_.config().router.num_vcs;
+  const std::size_t vcs = net_.router.num_vcs;
   for (std::size_t r = 0; r < nodes_.size(); ++r) {
     Node& node = nodes_[r];
     // Round-robin over VCs with data and a credit; one flit per cycle.
@@ -172,7 +184,7 @@ void TrafficHarness::inject() {
       }
       --node.credits[vc];
       node.rr_vc = (vc + 1) % vcs;
-      sim_.set_local_input(
+      sim_->set_local_input(
           r, LinkForward{true, static_cast<std::uint8_t>(vc), flit});
       ++flits_injected_;
       break;
@@ -181,20 +193,20 @@ void TrafficHarness::inject() {
 }
 
 void TrafficHarness::retrieve() {
-  const std::size_t vcs = sim_.config().router.num_vcs;
+  const std::size_t vcs = net_.router.num_vcs;
   for (std::size_t r = 0; r < nodes_.size(); ++r) {
     Node& node = nodes_[r];
     // Credits the router returned for its local input queues.
-    const noc::CreditWires cr = sim_.local_input_credits(r);
+    const noc::CreditWires cr = sim_->local_input_credits(r);
     for (std::size_t vc = 0; vc < vcs; ++vc) {
       if (cr.get(vc)) {
-        TMSIM_CHECK_MSG(node.credits[vc] < sim_.config().router.queue_depth,
+        TMSIM_CHECK_MSG(node.credits[vc] < net_.router.queue_depth,
                         "NI credit counter overflow");
         ++node.credits[vc];
       }
     }
     // Delivered flit, if any.
-    const LinkForward f = sim_.local_output(r);
+    const LinkForward f = sim_->local_output(r);
     if (!f.valid) {
       continue;
     }
@@ -205,7 +217,7 @@ void TrafficHarness::retrieve() {
       TMSIM_CHECK_MSG(h.vc == vc, "HEAD delivered on a different VC than "
                                   "its header says");
       const std::size_t dst =
-          router_index(sim_.config(), Coord{h.dest_x, h.dest_y});
+          router_index(net_, Coord{h.dest_x, h.dest_y});
       TMSIM_CHECK_MSG(dst == r, "flit delivered to the wrong node");
       const auto it = in_flight_.find(flight_key(r, vc, h.seq));
       TMSIM_CHECK_MSG(it != in_flight_.end(),
@@ -225,7 +237,7 @@ void TrafficHarness::retrieve() {
       const PacketRecord& rec = records_[id];
       const std::size_t pos = node.recv_pos[vc];
       TMSIM_CHECK_MSG(pos < rec.flits, "more flits delivered than sent");
-      const Coord dc = router_coord(sim_.config(), rec.dst);
+      const Coord dc = router_coord(net_, rec.dst);
       const noc::Flit exp = packet_flit(
           static_cast<unsigned>(dc.x), static_cast<unsigned>(dc.y), rec.vc,
           rec.seq, rec.flits - 1, rec.fill, pos);
@@ -251,10 +263,10 @@ void TrafficHarness::run(std::size_t cycles) {
     if (overloaded_ && opt_.stop_on_overload) {
       return;
     }
-    cycle_ = sim_.cycle();
+    cycle_ = sim_->cycle();
     generate(cycle_);
     inject();
-    sim_.step();
+    sim_->step();
     retrieve();
     if (!overloaded_ && source_backlog() > opt_.overload_threshold) {
       overloaded_ = true;

@@ -48,6 +48,8 @@ struct GtStream {
   SystemCycle period = 0;   ///< cycles between packet submissions
   SystemCycle phase = 0;    ///< first submission cycle
   std::size_t bytes = kGtPacketBytes;
+
+  friend bool operator==(const GtStream&, const GtStream&) = default;
 };
 
 class TrafficHarness {
@@ -66,6 +68,15 @@ class TrafficHarness {
   TrafficHarness(noc::NocSimulation& sim, Options opt);
   explicit TrafficHarness(noc::NocSimulation& sim)
       : TrafficHarness(sim, Options()) {}
+
+  /// Re-points the harness at a different NocSimulation over an *equal*
+  /// NetworkConfig (throws otherwise). All harness-side state — source
+  /// queues, credits, packet records, RNG position — carries over
+  /// untouched; the new simulation must hold the same committed router
+  /// state (restored from a checkpoint) for the handoff to be
+  /// bit-identical. This is how a preempted farm session resumes on a
+  /// different worker's cached engine.
+  void rebind(noc::NocSimulation& sim);
 
   /// Adds a periodic GT stream.
   void add_gt_stream(const GtStream& stream);
@@ -146,7 +157,12 @@ class TrafficHarness {
   void retrieve();
   std::uint32_t flight_key(std::size_t dst, unsigned vc, unsigned seq) const;
 
-  noc::NocSimulation& sim_;
+  noc::NocSimulation* sim_;  // never null; rebindable (see rebind())
+  // Own copy of the bound network's config: rebind() must validate the
+  // new engine without dereferencing sim_ — after a detach the old
+  // engine may live in another worker's cache (concurrently reused or
+  // already evicted and freed).
+  noc::NetworkConfig net_;
   Options opt_;
   SplitMix64 rng_;
   std::vector<Node> nodes_;

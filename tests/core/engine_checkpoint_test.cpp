@@ -1,0 +1,168 @@
+// Engine checkpoint/restore/reset — the machinery SimSession preemption
+// stands on (DESIGN.md §11): continue-vs-restore bit identity across
+// engine *instances*, digest verification, the registered-internal-link
+// restriction, power-on reset for engine reuse, and the canonical
+// schedule_rr_offset behaviour the farm's engine cache relies on.
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/example_blocks.h"
+#include "core/sequential_simulator.h"
+#include "core/system_model.h"
+
+namespace tmsim::core {
+namespace {
+
+using examples::PipeBlock;
+using examples::RegAdderBlock;
+
+BitVector val(std::size_t width, std::uint64_t v) {
+  BitVector b(width);
+  b.set_field(0, width, v);
+  return b;
+}
+
+/// Checkpointable shape: stateful blocks joined by *combinational* links
+/// (the NoC-model shape — the fixed point is a pure function of the
+/// committed states and external inputs), fed by one external input.
+struct PipeChain {
+  PipeChain() {
+    const BlockId p1 =
+        model.add_block(std::make_shared<PipeBlock>(16, 1), "P1");
+    const BlockId p2 =
+        model.add_block(std::make_shared<PipeBlock>(16, 10), "P2");
+    const BlockId p3 =
+        model.add_block(std::make_shared<PipeBlock>(16, 100), "P3");
+    x = model.add_link("X", 16, LinkKind::kCombinational);
+    l1 = model.add_link("L1", 16, LinkKind::kCombinational);
+    l2 = model.add_link("L2", 16, LinkKind::kCombinational);
+    l3 = model.add_link("L3", 16, LinkKind::kCombinational);
+    model.bind_input(p1, 0, x);
+    model.bind_output(p1, 0, l1);
+    model.bind_input(p2, 0, l1);
+    model.bind_output(p2, 0, l2);
+    model.bind_input(p3, 0, l2);
+    model.bind_output(p3, 0, l3);
+    model.finalize();
+  }
+  SystemModel model;
+  LinkId x = 0, l1 = 0, l2 = 0, l3 = 0;
+};
+
+/// The deterministic stimulus both halves of every test replay.
+std::uint64_t stimulus(SystemCycle cycle) { return (7 * cycle + 3) & 0xffff; }
+
+void drive(SequentialSimulator& sim, const PipeChain& chain,
+           SystemCycle cycles) {
+  for (SystemCycle i = 0; i < cycles; ++i) {
+    sim.set_external_input(chain.x, val(16, stimulus(sim.cycle())));
+    sim.step();
+  }
+}
+
+TEST(EngineCheckpoint, ContinueVsRestoreIntoFreshEngineBitIdentical) {
+  PipeChain a_chain;
+  SequentialSimulator a(a_chain.model, SchedulePolicy::kDynamic);
+  drive(a, a_chain, 10);
+  const EngineCheckpoint ck = save_checkpoint(a);
+  EXPECT_EQ(ck.cycle, 10u);
+  EXPECT_FALSE(ck.empty());
+  EXPECT_EQ(ck.digest, engine_state_digest(a));
+
+  drive(a, a_chain, 15);  // the uninterrupted reference
+
+  // A *different* engine instance over its own (identical) model, with a
+  // different schedule seed — evaluation order must not matter.
+  PipeChain b_chain;
+  SequentialSimulator b(b_chain.model, SchedulePolicy::kDynamic,
+                        /*max_evals_per_block=*/64, /*schedule_seed=*/99);
+  restore_checkpoint(b, ck);
+  EXPECT_EQ(b.cycle(), 10u);
+  EXPECT_EQ(engine_state_digest(b), ck.digest);
+  drive(b, b_chain, 15);
+
+  EXPECT_EQ(b.cycle(), a.cycle());
+  EXPECT_EQ(engine_state_digest(b), engine_state_digest(a));
+  for (const LinkId link : {b_chain.l1, b_chain.l2, b_chain.l3}) {
+    EXPECT_EQ(b.link_value(link), a.link_value(link));
+  }
+}
+
+TEST(EngineCheckpoint, TamperedCheckpointIsRejected) {
+  PipeChain chain;
+  SequentialSimulator sim(chain.model, SchedulePolicy::kDynamic);
+  drive(sim, chain, 5);
+  {
+    EngineCheckpoint ck = save_checkpoint(sim);
+    ck.digest ^= 1;  // stale/corrupted digest
+    EXPECT_THROW(restore_checkpoint(sim, ck), std::exception);
+  }
+  {
+    EngineCheckpoint ck = save_checkpoint(sim);
+    ck.block_states[1] = val(16, 0xbad);  // states mutated after capture
+    EXPECT_THROW(restore_checkpoint(sim, ck), std::exception);
+  }
+}
+
+TEST(EngineCheckpoint, RegisteredInternalLinksAreNotCheckpointable) {
+  // Registered links carry state the block-state snapshot does not
+  // cover, so save_checkpoint must refuse rather than silently lose it.
+  SystemModel model;
+  const BlockId b1 =
+      model.add_block(std::make_shared<RegAdderBlock>(16, 1), "F1");
+  const BlockId b2 =
+      model.add_block(std::make_shared<RegAdderBlock>(16, 2), "F2");
+  const LinkId r1 = model.add_link("R1", 16, LinkKind::kRegistered);
+  const LinkId r2 = model.add_link("R2", 16, LinkKind::kRegistered);
+  model.bind_input(b1, 0, r2);
+  model.bind_output(b1, 0, r1);
+  model.bind_input(b2, 0, r1);
+  model.bind_output(b2, 0, r2);
+  model.finalize();
+  SequentialSimulator sim(model, SchedulePolicy::kStatic);
+  sim.step();
+  EXPECT_THROW(save_checkpoint(sim), std::exception);
+}
+
+TEST(EngineCheckpoint, ResetEngineReturnsToPowerOn) {
+  PipeChain chain;
+  SequentialSimulator sim(chain.model, SchedulePolicy::kDynamic);
+  const std::uint64_t power_on = engine_state_digest(sim);
+  drive(sim, chain, 12);
+  ASSERT_NE(engine_state_digest(sim), power_on);
+
+  reset_engine(sim);
+  EXPECT_EQ(sim.cycle(), 0u);
+  EXPECT_EQ(engine_state_digest(sim), power_on);
+
+  // The reused engine replays the original trajectory exactly.
+  PipeChain fresh_chain;
+  SequentialSimulator fresh(fresh_chain.model, SchedulePolicy::kDynamic);
+  drive(sim, chain, 12);
+  drive(fresh, fresh_chain, 12);
+  EXPECT_EQ(engine_state_digest(sim), engine_state_digest(fresh));
+}
+
+TEST(EngineCheckpoint, ScheduleRrOffsetCanonicalBehaviour) {
+  // Seed 1 is the canonical schedule: offset 0, so default-constructed
+  // engines keep their historical evaluation order (and the farm's
+  // cached engines all share it).
+  for (const std::size_t n : {1u, 5u, 64u}) {
+    EXPECT_EQ(schedule_rr_offset(1, n), 0u);
+  }
+  EXPECT_EQ(schedule_rr_offset(12345, 0), 0u);
+  std::set<std::size_t> offsets;
+  for (std::uint64_t seed = 2; seed < 40; ++seed) {
+    const std::size_t off = schedule_rr_offset(seed, 64);
+    EXPECT_LT(off, 64u);
+    EXPECT_EQ(schedule_rr_offset(seed, 64), off);  // deterministic
+    offsets.insert(off);
+  }
+  EXPECT_GT(offsets.size(), 8u);  // seeds actually spread the cursor
+}
+
+}  // namespace
+}  // namespace tmsim::core

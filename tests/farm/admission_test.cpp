@@ -1,0 +1,137 @@
+// AdmissionQueue semantics: strict priority with FIFO inside a class,
+// reject-with-reason backpressure (never blocking), and the requeue path
+// preempted jobs ride — front of class, capacity-exempt, alive even
+// after stop().
+#include "farm/admission.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tmsim::farm {
+namespace {
+
+JobSpec spec_with(Priority p, const std::string& name = "j",
+                  SystemCycle cycles = 100) {
+  JobSpec s;
+  s.name = name;
+  s.priority = p;
+  s.cycles = cycles;
+  return s;
+}
+
+TEST(AdmissionQueue, StrictPriorityThenFifoWithinClass) {
+  AdmissionQueue q(16, 1'000'000);
+  // Interleave submissions across classes.
+  ASSERT_TRUE(q.submit(spec_with(Priority::kBatch, "b0"), 0).accepted);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kNormal, "n0"), 0).accepted);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kInteractive, "i0"), 0).accepted);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kBatch, "b1"), 0).accepted);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kInteractive, "i1"), 0).accepted);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kNormal, "n1"), 0).accepted);
+
+  EXPECT_TRUE(q.has_higher_than(Priority::kBatch));
+  EXPECT_TRUE(q.has_higher_than(Priority::kNormal));
+  EXPECT_FALSE(q.has_higher_than(Priority::kInteractive));
+
+  std::vector<std::string> order;
+  for (int i = 0; i < 6; ++i) {
+    auto job = q.pop_blocking();
+    ASSERT_TRUE(job.has_value());
+    order.push_back(job->spec.name);
+  }
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"i0", "i1", "n0", "n1", "b0", "b1"}));
+}
+
+TEST(AdmissionQueue, RejectsWithStructuredReasons) {
+  AdmissionQueue q(2, 1000);
+
+  // kTooLarge: cycle budget above the ceiling.
+  const auto too_large = q.submit(spec_with(Priority::kNormal, "big", 1001), 0);
+  EXPECT_FALSE(too_large.accepted);
+  EXPECT_EQ(too_large.reason, RejectReason::kTooLarge);
+  EXPECT_NE(too_large.detail.find("1001"), std::string::npos);
+
+  // kInvalidSpec: validation failure, detail carries the why.
+  JobSpec bad = spec_with(Priority::kNormal);
+  bad.cycles = 0;
+  const auto invalid = q.submit(bad, 0);
+  EXPECT_FALSE(invalid.accepted);
+  EXPECT_EQ(invalid.reason, RejectReason::kInvalidSpec);
+  EXPECT_FALSE(invalid.detail.empty());
+
+  // kQueueFull: capacity is 2.
+  ASSERT_TRUE(q.submit(spec_with(Priority::kNormal), 0).accepted);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kNormal), 0).accepted);
+  const auto full = q.submit(spec_with(Priority::kNormal), 0);
+  EXPECT_FALSE(full.accepted);
+  EXPECT_EQ(full.reason, RejectReason::kQueueFull);
+
+  // Popping frees capacity again.
+  ASSERT_TRUE(q.pop_blocking().has_value());
+  EXPECT_TRUE(q.submit(spec_with(Priority::kNormal), 0).accepted);
+
+  // kStopped after stop().
+  q.stop();
+  const auto stopped = q.submit(spec_with(Priority::kNormal), 0);
+  EXPECT_FALSE(stopped.accepted);
+  EXPECT_EQ(stopped.reason, RejectReason::kStopped);
+
+  EXPECT_EQ(q.jobs_submitted(), 3u);
+  EXPECT_EQ(q.jobs_rejected(), 4u);
+}
+
+TEST(AdmissionQueue, RequeueGoesToFrontAndIgnoresCapacity) {
+  AdmissionQueue q(2, 1'000'000);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kNormal, "n0"), 0).accepted);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kNormal, "n1"), 0).accepted);
+
+  auto running = q.pop_blocking();  // n0 leaves the queue
+  ASSERT_TRUE(running.has_value());
+  ASSERT_TRUE(q.submit(spec_with(Priority::kNormal, "n2"), 0).accepted);
+
+  // Queue is at fresh capacity again (n1, n2) — requeue must still work,
+  // and the preempted job must overtake same-class fresh work.
+  EXPECT_TRUE(q.requeue(std::move(*running), 1));
+  EXPECT_EQ(q.depth(Priority::kNormal), 3u);
+  const auto fresh = q.submit(spec_with(Priority::kNormal, "n3"), 1);
+  EXPECT_FALSE(fresh.accepted);  // fresh capacity still enforced
+
+  auto next = q.pop_blocking();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->spec.name, "n0");
+  EXPECT_EQ(next->preemptions, 1u);
+}
+
+TEST(AdmissionQueue, RequeueAfterStopDrainsBeforeShutdown) {
+  AdmissionQueue q(4, 1'000'000);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kBatch, "b0"), 0).accepted);
+  auto running = q.pop_blocking();
+  ASSERT_TRUE(running.has_value());
+
+  q.stop();
+  // Admitted work must always be able to come back, even mid-shutdown.
+  EXPECT_TRUE(q.requeue(std::move(*running), 1));
+  auto back = q.pop_blocking();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->spec.name, "b0");
+  // Backlog drained → nullopt, forever after.
+  EXPECT_FALSE(q.pop_blocking().has_value());
+  EXPECT_FALSE(q.pop_blocking().has_value());
+}
+
+TEST(AdmissionQueue, StopWakesBlockedPoppers) {
+  AdmissionQueue q(4, 1'000'000);
+  std::thread popper([&] {
+    // Blocks on the empty queue until stop() wakes it with nullopt.
+    EXPECT_FALSE(q.pop_blocking().has_value());
+  });
+  q.stop();
+  popper.join();  // would hang forever if stop() failed to wake the waiter
+}
+
+}  // namespace
+}  // namespace tmsim::farm
