@@ -10,6 +10,16 @@ Engine::~Engine() = default;
 
 SimObserver::~SimObserver() = default;
 
+const char* scheduler_kind_name(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kRoundRobin:
+      return "round_robin";
+    case SchedulerKind::kWorklist:
+      return "worklist";
+  }
+  return "unknown";
+}
+
 std::string ConvergenceReport::summary() const {
   std::string s = "system cycle " + std::to_string(cycle) +
                   " did not settle after " + std::to_string(delta_cycles) +
@@ -195,6 +205,42 @@ void check_external_input(const SystemModel& model, LinkId link) {
         "link '" + info.name +
             "' has no readers: driving it is a silently dropped stimulus",
         {{"link", std::to_string(link)}, {"name", info.name}});
+  }
+}
+
+void check_scheduler_topology(const SystemModel& model, SchedulerKind kind) {
+  if (kind != SchedulerKind::kWorklist) {
+    return;
+  }
+  for (LinkId l = 0; l < model.num_links(); ++l) {
+    const LinkInfo& info = model.link(l);
+    if (info.kind != LinkKind::kCombinational) {
+      continue;
+    }
+    if (info.writer.has_value()) {
+      for (const Endpoint& r : info.readers) {
+        if (r.block == info.writer->block) {
+          throw ContextualError(
+              "combinational self-loop link '" + info.name +
+                  "': the worklist scheduler would requeue its block on "
+                  "every evaluation; break the loop with a registered link "
+                  "or run the round_robin scheduler",
+              {{"link", std::to_string(l)},
+               {"name", info.name},
+               {"block", std::to_string(info.writer->block)},
+               {"scheduler", scheduler_kind_name(kind)}});
+        }
+      }
+    } else if (info.readers.empty()) {
+      throw ContextualError(
+          "external combinational link '" + info.name +
+              "' has an empty reader set: a stimulus on it is an event "
+              "that wakes no block, which the worklist scheduler would "
+              "silently drop",
+          {{"link", std::to_string(l)},
+           {"name", info.name},
+           {"scheduler", scheduler_kind_name(kind)}});
+    }
   }
 }
 

@@ -30,6 +30,28 @@ enum class SchedulePolicy : std::uint8_t {
   kTwoPhaseOracle = 2,
 };
 
+/// How the dynamic (§4.2) schedule picks the next non-stable block.
+///
+///  - kRoundRobin: the paper's Fig. 5 scheduler — a dense sweep over the
+///    unstable bitmap. O(num_blocks) scan work per delta sweep even when
+///    almost every block is stable. This is the reference semantics.
+///  - kWorklist: event-driven. Clearing a link's HBR bit pushes exactly
+///    that link's readers onto a dedup'd FIFO worklist (the reader index
+///    is the link topology itself), so pickup is O(1) per event. A
+///    per-system-cycle quiescence fast path additionally skips blocks
+///    with no pending input activity whose last evaluation was a state
+///    fixed point: re-evaluating such a block would reproduce last
+///    cycle's outputs and state bit-for-bit, so not evaluating it at all
+///    is invisible. Results are bit-identical to kRoundRobin by the
+///    engine contract (tests/integration/sched_equivalence_test.cpp
+///    proves it differentially); only StepStats may differ.
+enum class SchedulerKind : std::uint8_t {
+  kRoundRobin = 0,
+  kWorklist = 1,
+};
+
+const char* scheduler_kind_name(SchedulerKind k);
+
 /// Diagnostic snapshot taken when a schedule gives up on a system cycle:
 /// which blocks were still unstable, which links changed most recently,
 /// and how far past the budget the settling ran. A host can turn this
@@ -66,8 +88,16 @@ class ConvergenceError : public ContextualError {
 struct StepStats {
   /// Block evaluations performed (== delta cycles).
   DeltaCycle delta_cycles = 0;
-  /// delta_cycles - num_blocks: the §4.2 re-evaluation overhead.
+  /// delta_cycles minus the blocks evaluated at least once this cycle:
+  /// the §4.2 re-evaluation overhead. For the round-robin scheduler the
+  /// subtrahend is num_blocks; the worklist scheduler's quiescence fast
+  /// path can evaluate fewer (see skipped_blocks).
   DeltaCycle re_evaluations = 0;
+  /// Blocks the worklist scheduler's quiescence fast path did not
+  /// evaluate at all this cycle (0 under round-robin).
+  std::uint64_t skipped_blocks = 0;
+  /// Deepest worklist occupancy seen this cycle (0 under round-robin).
+  std::uint64_t worklist_high_water = 0;
   /// Combinational link writes whose value differed from memory.
   std::size_t link_changes = 0;
   /// Settle/exchange rounds the cycle took: 1 for the sequential
@@ -219,6 +249,21 @@ void reset_engine(Engine& eng);
 /// Shared validation for Engine::set_external_input (the engines must
 /// reject exactly the same misuses to stay substitutable).
 void check_external_input(const SystemModel& model, LinkId link);
+
+/// Degenerate-topology gate for the worklist scheduler, applied by both
+/// engines at construction and re-checked (per shard) after
+/// partitioning. Rejects, with a structured error instead of a hang at
+/// the delta budget:
+///  - combinational self-loop links (a block reading its own
+///    combinational output), which the event-driven pickup would chase
+///    in a tight requeue loop;
+///  - external-input combinational links with an empty reader set: a
+///    stimulus on such a link is an event that wakes nobody, so the
+///    worklist would silently drop it (check_external_input catches the
+///    drive; this catches the model).
+/// No-op for kRoundRobin (the dense sweep tolerates both shapes, at
+/// delta-budget cost).
+void check_scheduler_topology(const SystemModel& model, SchedulerKind kind);
 
 /// Initial round-robin cursor of a dynamic schedule for `schedule_seed`.
 /// Seed 1 is canonical and maps to cursor 0 (the behaviour of every

@@ -96,6 +96,10 @@ struct EngineOptions {
   /// other values rotate the round-robin cursor — results are identical
   /// by the engine contract, only StepStats can move.
   std::uint64_t seed = 1;
+  /// Non-stable-block pickup within the dynamic schedule: the dense
+  /// round-robin sweep (reference) or the event-driven worklist with the
+  /// quiescence fast path. Bit-identical results either way.
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
 
   friend bool operator==(const EngineOptions&, const EngineOptions&) = default;
 };

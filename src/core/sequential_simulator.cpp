@@ -9,10 +9,12 @@ namespace tmsim::core {
 SequentialSimulator::SequentialSimulator(const SystemModel& model,
                                          SchedulePolicy policy,
                                          std::size_t max_evals_per_block,
-                                         std::uint64_t schedule_seed)
+                                         std::uint64_t schedule_seed,
+                                         SchedulerKind scheduler)
     : model_(model),
       policy_(policy),
       max_evals_per_block_(max_evals_per_block),
+      scheduler_(scheduler),
       state_(block_state_widths(model)),
       links_(model),
       state_scratch_(0) {
@@ -23,11 +25,35 @@ SequentialSimulator::SequentialSimulator(const SystemModel& model,
                     "static schedule requires registered boundaries (§4.1); "
                     "use kDynamic for combinational boundaries");
   }
+  check_scheduler_topology(model, scheduler_);
   for (BlockId b = 0; b < model.num_blocks(); ++b) {
     state_.load_old(b, model.block(b).logic->reset_state());
   }
   unstable_.assign(model.num_blocks(), 0);
   rr_next_ = schedule_rr_offset(schedule_seed, model.num_blocks());
+  if (scheduler_ == SchedulerKind::kWorklist) {
+    worklist_.reserve(model.num_blocks());
+    // A block is skippable only when every link it touches is
+    // combinational: registered links are double-banked, so a skipped
+    // write would leave a stale bank behind the pointer flip, and a
+    // registered input changes under the reader without a change event.
+    skippable_.assign(model.num_blocks(), 1);
+    for (BlockId b = 0; b < model.num_blocks(); ++b) {
+      const BlockInstance& blk = model.block(b);
+      for (const LinkId l : blk.input_links) {
+        if (model.link(l).kind != LinkKind::kCombinational) {
+          skippable_[b] = 0;
+        }
+      }
+      for (const LinkId l : blk.output_links) {
+        if (model.link(l).kind != LinkKind::kCombinational) {
+          skippable_[b] = 0;
+        }
+      }
+    }
+    state_fixed_.assign(model.num_blocks(), 0);
+    pending_input_.assign(model.num_blocks(), 0);
+  }
 }
 
 void SequentialSimulator::rebase(SystemCycle cycle, DeltaCycle total_deltas) {
@@ -38,7 +64,14 @@ void SequentialSimulator::rebase(SystemCycle cycle, DeltaCycle total_deltas) {
 void SequentialSimulator::set_external_input(LinkId link,
                                              const BitVector& value) {
   check_external_input(model_, link);
-  links_.write(link, value);
+  const bool changed = links_.write(link, value);
+  if (changed && scheduler_ == SchedulerKind::kWorklist) {
+    // Input activity: the quiescence fast path must not skip the
+    // readers of a freshly driven stimulus next cycle.
+    for (const Endpoint& reader : model_.link(link).readers) {
+      pending_input_[reader.block] = 1;
+    }
+  }
 }
 
 const BitVector& SequentialSimulator::link_value(LinkId link) const {
@@ -52,6 +85,12 @@ const BitVector& SequentialSimulator::block_state(BlockId block) const {
 void SequentialSimulator::load_block_state(BlockId block,
                                            const BitVector& value) {
   state_.load_old(block, value);
+  if (scheduler_ == SchedulerKind::kWorklist && !state_fixed_.empty()) {
+    // The committed state moved under the quiescence bookkeeping
+    // (checkpoint restore, reset, test preloading): the block's last
+    // evaluation no longer witnesses a fixed point.
+    state_fixed_[block] = 0;
+  }
 }
 
 StepStats SequentialSimulator::step() {
@@ -61,7 +100,8 @@ StepStats SequentialSimulator::step() {
       stats = step_static();
       break;
     case SchedulePolicy::kDynamic:
-      stats = step_dynamic();
+      stats = scheduler_ == SchedulerKind::kWorklist ? step_dynamic_worklist()
+                                                     : step_dynamic();
       break;
     case SchedulePolicy::kTwoPhaseOracle:
       stats = step_two_phase();
@@ -128,6 +168,58 @@ StepStats SequentialSimulator::step_dynamic() {
   return stats;
 }
 
+StepStats SequentialSimulator::step_dynamic_worklist() {
+  StepStats stats;
+  const std::size_t n = model_.num_blocks();
+
+  links_.reset_all_hbr();
+  recent_changed_count_ = 0;
+  worklist_.clear();
+  wl_head_ = 0;
+
+  // Quiescence fast path: a block whose last committed evaluation was a
+  // state fixed point (new == old) and whose inputs have not changed
+  // since would reproduce last cycle's outputs and state bit-for-bit —
+  // re-running it is pure §4.2 overhead, so it is not queued at all.
+  // Its committed state is carried across the bank swap instead.
+  // Everything else seeds the worklist in block order, which makes the
+  // first sweep identical to the round-robin scheduler's first sweep at
+  // the canonical cursor.
+  for (BlockId b = 0; b < n; ++b) {
+    if (skippable_[b] && state_fixed_[b] && !pending_input_[b]) {
+      state_.carry_over(b);
+      ++stats.skipped_blocks;
+      unstable_[b] = 0;
+    } else {
+      unstable_[b] = 1;
+      worklist_.push_back(b);
+    }
+  }
+  unstable_count_ = worklist_.size();
+  wl_high_water_ = worklist_.size();
+
+  const DeltaCycle limit = max_evals_per_block_ * n;
+  while (wl_head_ < worklist_.size()) {
+    const BlockId b = worklist_[wl_head_++];
+    unstable_[b] = 0;
+    --unstable_count_;
+
+    evaluate_block(b, stats);
+
+    if (stats.delta_cycles > limit) {
+      ConvergenceReport report = make_convergence_report(stats, limit);
+      if (observer_) {
+        observer_->on_convergence_failure(*this, report);
+      }
+      throw ConvergenceError(std::move(report));
+    }
+  }
+  stats.worklist_high_water = wl_high_water_;
+  stats.re_evaluations =
+      stats.delta_cycles - (n - stats.skipped_blocks);
+  return stats;
+}
+
 StepStats SequentialSimulator::step_two_phase() {
   // Ablation schedule: two full passes. Correct only for designs whose
   // outputs depend on registered state alone (true for the case-study
@@ -149,6 +241,12 @@ void SequentialSimulator::evaluate_block(BlockId b, StepStats& stats) {
   const SimBlock& logic = *blk.logic;
   const std::size_t n_in = logic.num_inputs();
   const std::size_t n_out = logic.num_outputs();
+
+  if (scheduler_ == SchedulerKind::kWorklist) {
+    // This evaluation consumes the freshest input values; any later
+    // change re-queues the block (and re-flags it) via destabilize.
+    pending_input_[b] = 0;
+  }
 
   if (in_scratch_.size() < n_in) {
     in_scratch_.resize(n_in, BitVector(0));
@@ -181,6 +279,12 @@ void SequentialSimulator::evaluate_block(BlockId b, StepStats& stats) {
                  state_scratch_,
                  std::span<BitVector>(out_scratch_.data(), n_out));
 
+  if (scheduler_ == SchedulerKind::kWorklist) {
+    // Fixed-point witness for the quiescence fast path. The last
+    // evaluation of the cycle is the committed one, so the flag's final
+    // value describes exactly the state the bank swap publishes.
+    state_fixed_[b] = state_scratch_ == state_.read_old(b) ? 1 : 0;
+  }
   state_.write_new(b, state_scratch_);
 
   for (std::size_t p = 0; p < n_out; ++p) {
@@ -234,6 +338,17 @@ void SequentialSimulator::destabilize(BlockId b) {
   if (unstable_[b] == 0) {
     unstable_[b] = 1;
     ++unstable_count_;
+    if (scheduler_ == SchedulerKind::kWorklist &&
+        policy_ == SchedulePolicy::kDynamic) {
+      // Dedup'd FIFO push: the flag guards against double-queueing, so
+      // each pending event costs exactly one future evaluation. The
+      // static/two-phase schedules never consume the FIFO, hence the
+      // policy gate.
+      worklist_.push_back(b);
+      const std::uint64_t depth =
+          static_cast<std::uint64_t>(worklist_.size() - wl_head_);
+      wl_high_water_ = std::max(wl_high_water_, depth);
+    }
   }
 }
 

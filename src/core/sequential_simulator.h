@@ -54,9 +54,14 @@ class SequentialSimulator : public Engine {
   /// reproduction). Committed results are schedule-independent by the
   /// engine contract, so the seed can never change what a workload
   /// observes — only the order (and count) of delta cycles.
+  /// `scheduler` selects how the dynamic schedule picks non-stable
+  /// blocks (SchedulerKind); kWorklist rejects degenerate topologies via
+  /// check_scheduler_topology and is bit-identical to the reference
+  /// kRoundRobin otherwise.
   SequentialSimulator(const SystemModel& model, SchedulePolicy policy,
                       std::size_t max_evals_per_block = 64,
-                      std::uint64_t schedule_seed = 1);
+                      std::uint64_t schedule_seed = 1,
+                      SchedulerKind scheduler = SchedulerKind::kRoundRobin);
 
   /// Drives an external-input link (takes effect for the next step()).
   void set_external_input(LinkId link, const BitVector& value) override;
@@ -80,6 +85,7 @@ class SequentialSimulator : public Engine {
     return total_delta_cycles_;
   }
   SchedulePolicy policy() const override { return policy_; }
+  SchedulerKind scheduler() const { return scheduler_; }
   void rebase(SystemCycle cycle, DeltaCycle total_deltas) override;
 
   const SystemModel& model() const override { return model_; }
@@ -98,12 +104,14 @@ class SequentialSimulator : public Engine {
   bool inputs_all_read(BlockId b) const;
   StepStats step_static();
   StepStats step_dynamic();
+  StepStats step_dynamic_worklist();
   StepStats step_two_phase();
   void end_of_cycle();
 
   const SystemModel& model_;
   SchedulePolicy policy_;
   std::size_t max_evals_per_block_;
+  SchedulerKind scheduler_;
   StateMemory state_;
   LinkMemory links_;
   SystemCycle cycle_ = 0;
@@ -113,10 +121,19 @@ class SequentialSimulator : public Engine {
   ConvergenceReport make_convergence_report(const StepStats& stats,
                                             DeltaCycle limit) const;
 
-  // Dynamic-schedule bookkeeping.
+  // Dynamic-schedule bookkeeping. `unstable_` doubles as the worklist's
+  // dedup flag: a block is on the FIFO iff its flag is set.
   std::vector<char> unstable_;
   std::size_t unstable_count_ = 0;
   std::size_t rr_next_ = 0;
+
+  // Worklist-scheduler bookkeeping (empty under kRoundRobin).
+  std::vector<BlockId> worklist_;   // FIFO; consumed prefix [0, wl_head_)
+  std::size_t wl_head_ = 0;
+  std::vector<char> skippable_;     // static: all links combinational
+  std::vector<char> state_fixed_;   // last committed eval was old==new
+  std::vector<char> pending_input_; // input changed since last eval
+  std::uint64_t wl_high_water_ = 0;
   // Bounded history of changed links, for convergence diagnostics.
   static constexpr std::size_t kChangedLinkHistory = 8;
   std::array<LinkId, kChangedLinkHistory> recent_changed_links_{};

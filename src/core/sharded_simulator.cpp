@@ -35,6 +35,7 @@ ShardedSimulator::ShardedSimulator(const SystemModel& model,
                     "static schedule requires registered boundaries (§4.1); "
                     "use kDynamic for combinational boundaries");
   }
+  check_scheduler_topology(model, cfg_.scheduler);
 
   const std::size_t n = model.num_blocks();
   cfg_.num_shards = std::min(cfg_.num_shards, n);
@@ -108,6 +109,29 @@ ShardedSimulator::ShardedSimulator(const SystemModel& model,
     for (std::size_t i = 0; i < blocks.size(); ++i) {
       sh->state.load_old(i, model.block(blocks[i]).logic->reset_state());
     }
+    if (cfg_.scheduler == SchedulerKind::kWorklist) {
+      sh->worklist.reserve(blocks.size());
+      sh->state_fixed.assign(blocks.size(), 0);
+      sh->pending_input.assign(blocks.size(), 0);
+      // Same skippability rule as the sequential engine: every link the
+      // block touches must be combinational (registered banks would rot
+      // behind the pointer flip, and registered inputs change without a
+      // change event).
+      sh->skippable.assign(blocks.size(), 1);
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const BlockInstance& blk = model.block(blocks[i]);
+        for (const LinkId l : blk.input_links) {
+          if (model.link(l).kind != LinkKind::kCombinational) {
+            sh->skippable[i] = 0;
+          }
+        }
+        for (const LinkId l : blk.output_links) {
+          if (model.link(l).kind != LinkKind::kCombinational) {
+            sh->skippable[i] = 0;
+          }
+        }
+      }
+    }
     if (!blocks.empty()) {
       // Per-shard cursor rotation, domain-separated by shard index so
       // the shards do not all start at congruent positions.
@@ -134,6 +158,23 @@ ShardedSimulator::ShardedSimulator(const SystemModel& model,
       }
       subscribed[rs] = 1;
       shards_[rs]->incoming.push_back(InSlot{l, slot, 0, info.kind});
+    }
+    if (cfg_.scheduler == SchedulerKind::kWorklist &&
+        std::none_of(subscribed.begin(), subscribed.end(),
+                     [](char c) { return c != 0; })) {
+      // A mailbox slot with no subscribing shard means the link's reader
+      // set dissolved under partitioning: change events would be
+      // published that no worklist ever receives, and the scheduler
+      // would sit at the delta budget waiting for a wakeup that never
+      // comes. Structurally unreachable today (a link only gets a slot
+      // because some cross-shard reader exists, and that reader's shard
+      // subscribes), but cheap to refuse outright instead of hanging.
+      throw ContextualError(
+          "cut link '" + info.name +
+              "' has an empty reader set after partitioning",
+          {{"link", std::to_string(l)},
+           {"name", info.name},
+           {"scheduler", scheduler_kind_name(cfg_.scheduler)}});
     }
   }
 
@@ -168,8 +209,17 @@ void ShardedSimulator::set_external_input(LinkId link, const BitVector& value) {
   // Workers are parked at the command barrier between steps, so writing
   // every replica directly is race-free; the barrier's release/acquire
   // pair publishes the values to them.
+  bool changed = false;
   for (const std::size_t s : link_shards_[link]) {
-    shards_[s]->links.write(link, value);
+    changed = shards_[s]->links.write(link, value) || changed;
+  }
+  if (changed && cfg_.scheduler == SchedulerKind::kWorklist) {
+    // Wake the quiescence fast path: the readers have fresh input, so
+    // the next cycle's seeding must not skip them.
+    for (const Endpoint& reader : model_.link(link).readers) {
+      shards_[part_.shard_of[reader.block]]
+          ->pending_input[local_of_[reader.block]] = 1;
+    }
   }
 }
 
@@ -185,7 +235,13 @@ const BitVector& ShardedSimulator::block_state(BlockId block) const {
 
 void ShardedSimulator::load_block_state(BlockId block, const BitVector& value) {
   TMSIM_CHECK_MSG(block < model_.num_blocks(), "block index out of range");
-  shards_[part_.shard_of[block]]->state.load_old(local_of_[block], value);
+  Shard& sh = *shards_[part_.shard_of[block]];
+  sh.state.load_old(local_of_[block], value);
+  if (cfg_.scheduler == SchedulerKind::kWorklist) {
+    // The committed state changed behind the block's back: any cached
+    // fixed-point claim is stale, so force a re-evaluation next cycle.
+    sh.state_fixed[local_of_[block]] = 0;
+  }
 }
 
 StepStats ShardedSimulator::step() {
@@ -213,14 +269,36 @@ StepStats ShardedSimulator::step() {
       r.oscillating_blocks.insert(r.oscillating_blocks.end(),
                                   sh->report.oscillating_blocks.begin(),
                                   sh->report.oscillating_blocks.end());
-      r.last_changed_links.insert(r.last_changed_links.end(),
-                                  sh->report.last_changed_links.begin(),
-                                  sh->report.last_changed_links.end());
     }
     std::sort(r.oscillating_blocks.begin(), r.oscillating_blocks.end());
     r.oscillating_blocks.erase(
         std::unique(r.oscillating_blocks.begin(), r.oscillating_blocks.end()),
         r.oscillating_blocks.end());
+    // Merge the per-shard changed-link histories the way the sequential
+    // engine's single history reads: newest first. True global ordering
+    // is gone (the shards ran concurrently), so interleave round-robin
+    // by recency depth — every shard's most recent change outranks any
+    // shard's second-most-recent — which is deterministic for a given
+    // partition. Dedup (a cut link can appear in both the writer's and a
+    // reader's history) and cap at the same bound the sequential report
+    // carries.
+    for (std::size_t depth = 0;; ++depth) {
+      bool any = false;
+      for (const std::unique_ptr<Shard>& sh : shards_) {
+        const std::vector<LinkId>& hist = sh->report.last_changed_links;
+        if (depth >= hist.size()) {
+          continue;
+        }
+        any = true;
+        if (std::find(r.last_changed_links.begin(), r.last_changed_links.end(),
+                      hist[depth]) == r.last_changed_links.end()) {
+          r.last_changed_links.push_back(hist[depth]);
+        }
+      }
+      if (!any || r.last_changed_links.size() >= Shard::kChangedLinkHistory) {
+        break;
+      }
+    }
     if (r.last_changed_links.size() > Shard::kChangedLinkHistory) {
       r.last_changed_links.resize(Shard::kChangedLinkHistory);
     }
@@ -236,9 +314,15 @@ StepStats ShardedSimulator::step() {
     total.link_changes += sh->stats.link_changes;
     total.cut_publishes += sh->stats.cut_publishes;
     total.barrier_spins += sh->stats.barrier_spins;
+    total.skipped_blocks += sh->stats.skipped_blocks;
+    total.worklist_high_water =
+        std::max(total.worklist_high_water, sh->stats.worklist_high_water);
   }
   if (cfg_.schedule != SchedulePolicy::kStatic) {
-    total.re_evaluations = total.delta_cycles - model_.num_blocks();
+    // Blocks evaluated at least once this cycle = num_blocks minus the
+    // quiescence fast path's skips (always 0 under kRoundRobin).
+    total.re_evaluations =
+        total.delta_cycles - (model_.num_blocks() - total.skipped_blocks);
   }
   // Every shard executes the same number of barrier-aligned supersteps.
   total.settle_rounds = shards_[0]->supersteps;
@@ -301,18 +385,29 @@ void ShardedSimulator::cycle_static(Shard& sh) {
 }
 
 void ShardedSimulator::cycle_dynamic(Shard& sh) {
-  guarded(sh, [&] {
-    sh.links.reset_all_hbr();
-    std::fill(sh.unstable.begin(), sh.unstable.end(), 1);
-    sh.unstable_count = sh.blocks.size();
-  });
+  const bool worklist = cfg_.scheduler == SchedulerKind::kWorklist;
+  if (worklist) {
+    guarded(sh, [&] { seed_worklist_cycle(sh); });
+  } else {
+    guarded(sh, [&] {
+      sh.links.reset_all_hbr();
+      std::fill(sh.unstable.begin(), sh.unstable.end(), 1);
+      sh.unstable_count = sh.blocks.size();
+    });
+  }
   // Belt-and-braces superstep cap: the per-shard evaluation budget in
   // settle_local() already guarantees termination (an oscillation keeps
   // at least one shard evaluating every round), this bounds rounds too.
   const std::size_t superstep_cap =
       cfg_.max_evals_per_block * model_.num_blocks();
   while (true) {
-    guarded(sh, [&] { settle_local(sh); });
+    guarded(sh, [&] {
+      if (worklist) {
+        settle_local_worklist(sh);
+      } else {
+        settle_local(sh);
+      }
+    });
     if (sh.supersteps >= superstep_cap) {
       sh.diverged = true;
     }
@@ -321,6 +416,61 @@ void ShardedSimulator::cycle_dynamic(Shard& sh) {
       return;
     }
   }
+}
+
+void ShardedSimulator::seed_worklist_cycle(Shard& sh) {
+  // Worklist analogue of the dense cycle seeding: instead of marking
+  // every block unstable, a block whose links are all combinational,
+  // whose last committed evaluation was a state fixed point, and whose
+  // inputs carry no pending activity is *skipped* — its old-bank word is
+  // carried over so the end-of-cycle bank flip cannot rot it, and it is
+  // never pushed. A skipped block is still woken mid-cycle the moment
+  // any input changes (destabilize_local pushes it), so the fixed point
+  // reached is the same one the dense sweep reaches — the quiescence
+  // fast path only elides evaluations whose outputs are already final.
+  sh.links.reset_all_hbr();
+  sh.worklist.clear();
+  sh.wl_head = 0;
+  sh.unstable_count = 0;
+  const std::size_t ln = sh.blocks.size();
+  for (std::size_t i = 0; i < ln; ++i) {
+    if (sh.skippable[i] && sh.state_fixed[i] && !sh.pending_input[i]) {
+      sh.state.carry_over(i);
+      ++sh.stats.skipped_blocks;
+      sh.unstable[i] = 0;
+    } else {
+      sh.unstable[i] = 1;
+      ++sh.unstable_count;
+      sh.worklist.push_back(i);
+    }
+  }
+  sh.stats.worklist_high_water = std::max(
+      sh.stats.worklist_high_water,
+      static_cast<std::uint64_t>(sh.worklist.size()));
+}
+
+void ShardedSimulator::settle_local_worklist(Shard& sh) {
+  // Phase A under kWorklist: drain the FIFO instead of scanning the
+  // unstable bitmap. The invariant "flag set <=> on the unconsumed part
+  // of the FIFO" is maintained by seed_worklist_cycle and
+  // destabilize_local, so pickup is O(1) with no dense scan. The
+  // sequential engine's self-loop recheck is omitted: combinational
+  // self-loops are rejected at construction (check_scheduler_topology).
+  const DeltaCycle budget = cfg_.max_evals_per_block * sh.blocks.size();
+  while (sh.wl_head < sh.worklist.size()) {
+    const std::size_t i = sh.worklist[sh.wl_head++];
+    sh.unstable[i] = 0;
+    --sh.unstable_count;
+    evaluate_block(sh, i);
+    if (sh.stats.delta_cycles > budget) {
+      sh.diverged = true;
+      return;
+    }
+  }
+  // Fully drained: recycle the storage so the FIFO never grows beyond
+  // the cycle's event count (phase B refills it for the next superstep).
+  sh.worklist.clear();
+  sh.wl_head = 0;
 }
 
 void ShardedSimulator::cycle_two_phase(Shard& sh) {
@@ -414,6 +564,12 @@ void ShardedSimulator::evaluate_all_local(Shard& sh) {
 }
 
 void ShardedSimulator::evaluate_block(Shard& sh, std::size_t local) {
+  if (cfg_.scheduler == SchedulerKind::kWorklist) {
+    // Everything pending is consumed by this evaluation; activity that
+    // arrives later (same-shard writes below, phase B deliveries,
+    // external inputs) re-marks it.
+    sh.pending_input[local] = 0;
+  }
   const BlockId b = sh.blocks[local];
   const BlockInstance& blk = model_.block(b);
   const SimBlock& logic = *blk.logic;
@@ -451,6 +607,13 @@ void ShardedSimulator::evaluate_block(Shard& sh, std::size_t local) {
                  sh.state_scratch,
                  std::span<BitVector>(sh.out_scratch.data(), n_out));
 
+  if (cfg_.scheduler == SchedulerKind::kWorklist) {
+    // State fixed point: a pure evaluate() that mapped old == new will
+    // reproduce this exact evaluation as long as the inputs stay put —
+    // the precondition the quiescence fast path relies on.
+    sh.state_fixed[local] =
+        sh.state_scratch == sh.state.read_old(local) ? 1 : 0;
+  }
   sh.state.write_new(local, sh.state_scratch);
 
   for (std::size_t p = 0; p < n_out; ++p) {
@@ -509,9 +672,22 @@ void ShardedSimulator::apply_incoming(Shard& sh) {
 
 void ShardedSimulator::destabilize_local(Shard& sh, BlockId global) {
   const std::size_t i = local_of_[global];
+  if (cfg_.scheduler == SchedulerKind::kWorklist) {
+    sh.pending_input[i] = 1;
+  }
   if (sh.unstable[i] == 0) {
     sh.unstable[i] = 1;
     ++sh.unstable_count;
+    if (cfg_.scheduler == SchedulerKind::kWorklist &&
+        cfg_.schedule == SchedulePolicy::kDynamic) {
+      // Push iff the flag transitioned — `unstable` doubles as the
+      // FIFO's dedup guard. Gated on kDynamic: the other schedules never
+      // drain the worklist, so pushing would leak entries across cycles.
+      sh.worklist.push_back(i);
+      sh.stats.worklist_high_water =
+          std::max(sh.stats.worklist_high_water,
+                   static_cast<std::uint64_t>(sh.worklist.size() - sh.wl_head));
+    }
   }
 }
 

@@ -72,6 +72,11 @@ struct ShardedConfig {
   /// schedule). Seed 1 is canonical (cursor 0 everywhere); results are
   /// schedule-independent, so this can only change StepStats.
   std::uint64_t schedule_seed = 1;
+  /// Non-stable-block pickup within phase A of each superstep:
+  /// kRoundRobin is the dense §4.2 sweep, kWorklist the event-driven
+  /// scheduler with the quiescence fast path (see SchedulerKind).
+  /// Bit-identical results either way; only StepStats may differ.
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
 };
 
 class ShardedSimulator : public Engine {
@@ -93,6 +98,7 @@ class ShardedSimulator : public Engine {
     return total_delta_cycles_;
   }
   SchedulePolicy policy() const override { return cfg_.schedule; }
+  SchedulerKind scheduler() const { return cfg_.scheduler; }
   void rebase(SystemCycle cycle, DeltaCycle total_deltas) override;
   const SystemModel& model() const override { return model_; }
 
@@ -119,10 +125,20 @@ class ShardedSimulator : public Engine {
     LinkMemory links;                 // global LinkIds, subset-materialized
     std::vector<InSlot> incoming;     // cut links read by this shard
 
-    // Dynamic-schedule bookkeeping (local block indices).
+    // Dynamic-schedule bookkeeping (local block indices). `unstable`
+    // doubles as the worklist's dedup flag under kWorklist.
     std::vector<char> unstable;
     std::size_t unstable_count = 0;
     std::size_t rr_next = 0;
+
+    // Worklist-scheduler bookkeeping (local indices; empty under
+    // kRoundRobin). The FIFO persists across the cycle's supersteps:
+    // phase B pushes cross-shard events onto it for the next phase A.
+    std::vector<std::size_t> worklist;  // consumed prefix [0, wl_head)
+    std::size_t wl_head = 0;
+    std::vector<char> skippable;        // static: all links combinational
+    std::vector<char> state_fixed;      // last committed eval: old == new
+    std::vector<char> pending_input;    // input changed since last eval
 
     // Per-cycle outcome, read by the coordinator after the final barrier.
     StepStats stats;
@@ -159,6 +175,8 @@ class ShardedSimulator : public Engine {
   void cycle_two_phase(Shard& sh);
   void evaluate_block(Shard& sh, std::size_t local);
   void settle_local(Shard& sh);
+  void settle_local_worklist(Shard& sh);
+  void seed_worklist_cycle(Shard& sh);
   void evaluate_all_local(Shard& sh);
   void apply_incoming(Shard& sh);
   void destabilize_local(Shard& sh, BlockId global);

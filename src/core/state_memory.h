@@ -45,6 +45,15 @@ class StateMemory {
     slot = word;
   }
 
+  /// Copies block b's old-bank word into its new-bank slot — what the
+  /// worklist scheduler's quiescence fast path does instead of a full
+  /// evaluation, so the global bank swap cannot rot a skipped block's
+  /// state. A word copy, far cheaper than any real block's evaluate().
+  void carry_over(std::size_t block) {
+    const std::size_t b = check_block(block);
+    words_[new_offset() + b] = words_[old_offset_ + b];
+  }
+
   /// Direct initialization of the old bank (reset / test preloading).
   void load_old(std::size_t block, const BitVector& word) {
     BitVector& slot = words_[old_offset_ + check_block(block)];

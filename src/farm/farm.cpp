@@ -17,7 +17,8 @@ std::string engine_cache_key(const JobSpec& spec) {
      << static_cast<int>(spec.net.topology) << ":" << spec.net.router.num_vcs
      << ":" << spec.net.router.queue_depth << ":"
      << static_cast<int>(opts.policy) << ":" << opts.num_shards << ":"
-     << static_cast<int>(opts.partition);
+     << static_cast<int>(opts.partition) << ":"
+     << static_cast<int>(opts.scheduler);
   return os.str();
 }
 

@@ -111,6 +111,7 @@ std::string JobSpec::serialize() const {
   os << " shards=" << engine.num_shards;
   os << " partition=" << partition_name(engine.partition);
   os << " engine_seed=" << engine.seed;
+  os << " scheduler=" << core::scheduler_kind_name(engine.scheduler);
   os << " be_load=" << fmt_double(workload.be_load);
   os << " be_vcs=";
   for (std::size_t i = 0; i < workload.be_vcs.size(); ++i) {
@@ -213,6 +214,14 @@ JobSpec JobSpec::deserialize(const std::string& text) {
       }
     } else if (key == "engine_seed") {
       spec.engine.seed = parse_u64(val);
+    } else if (key == "scheduler") {
+      if (val == "round_robin") {
+        spec.engine.scheduler = core::SchedulerKind::kRoundRobin;
+      } else if (val == "worklist") {
+        spec.engine.scheduler = core::SchedulerKind::kWorklist;
+      } else {
+        throw ContextualError("unknown scheduler kind", {{"scheduler", val}});
+      }
     } else if (key == "be_load") {
       spec.workload.be_load = parse_double(val);
     } else if (key == "be_vcs") {

@@ -322,6 +322,73 @@ TEST(DynamicSchedule, SettlingCombinationalLoopConverges) {
   EXPECT_LE(st.delta_cycles, 4u);
 }
 
+/// in → +1 → +2 → +3 → out over combinational links; stateless blocks,
+/// so a constant input makes the whole network idle after one settling
+/// cycle. Shared by the bookkeeping-audit tests below.
+struct CombChain {
+  CombChain() {
+    const BlockId a = m.add_block(std::make_shared<CombAdderBlock>(8, 1), "a");
+    const BlockId b = m.add_block(std::make_shared<CombAdderBlock>(8, 2), "b");
+    const BlockId c = m.add_block(std::make_shared<CombAdderBlock>(8, 3), "c");
+    in = m.add_link("in", 8, LinkKind::kCombinational);
+    const LinkId ab = m.add_link("ab", 8, LinkKind::kCombinational);
+    const LinkId bc = m.add_link("bc", 8, LinkKind::kCombinational);
+    out = m.add_link("out", 8, LinkKind::kCombinational);
+    m.bind_input(a, 0, in);
+    m.bind_output(a, 0, ab);
+    m.bind_input(b, 0, ab);
+    m.bind_output(b, 0, bc);
+    m.bind_input(c, 0, bc);
+    m.bind_output(c, 0, out);
+    m.finalize();
+  }
+  SystemModel m;
+  LinkId in = 0, out = 0;
+};
+
+TEST(DynamicSchedule, IdleNetworkCostsExactlyOnePassPerCycle) {
+  // Audit of the unstable_count_ bookkeeping on the write-unchanged-
+  // value path: once the network is idle, every cycle re-evaluates each
+  // block exactly once (the §4.2 "at least once" floor) and the
+  // unchanged rewrites of every link must not destabilize the readers —
+  // one pass total, never one pass per reader.
+  CombChain chain;
+  SequentialSimulator sim(chain.m, SchedulePolicy::kDynamic);
+  sim.set_external_input(chain.in, val(8, 10));
+  sim.step();  // settling cycle: re-evaluations allowed
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const StepStats st = sim.step();
+    EXPECT_EQ(st.delta_cycles, 3u) << "cycle " << cycle;
+    EXPECT_EQ(st.re_evaluations, 0u) << "cycle " << cycle;
+    EXPECT_EQ(st.link_changes, 0u) << "cycle " << cycle;
+    EXPECT_EQ(sim.link_value(chain.out).get_field(0, 8), 16u);
+  }
+}
+
+TEST(DynamicSchedule, WorklistSkipsAnIdleNetworkEntirely) {
+  // The worklist scheduler's quiescence fast path goes one step
+  // further: with every block at a state fixed point and no pending
+  // input activity, an idle cycle evaluates *nothing*.
+  CombChain chain;
+  SequentialSimulator sim(chain.m, SchedulePolicy::kDynamic,
+                          /*max_evals_per_block=*/64, /*schedule_seed=*/1,
+                          SchedulerKind::kWorklist);
+  sim.set_external_input(chain.in, val(8, 10));
+  sim.step();  // settling cycle
+  sim.step();  // pending flags from the settling cycle's changes drain
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const StepStats st = sim.step();
+    EXPECT_EQ(st.delta_cycles, 0u) << "cycle " << cycle;
+    EXPECT_EQ(st.skipped_blocks, 3u) << "cycle " << cycle;
+    EXPECT_EQ(sim.link_value(chain.out).get_field(0, 8), 16u);
+  }
+  // Fresh stimulus wakes exactly the affected readers again.
+  sim.set_external_input(chain.in, val(8, 20));
+  const StepStats st = sim.step();
+  EXPECT_GE(st.delta_cycles, 3u);
+  EXPECT_EQ(sim.link_value(chain.out).get_field(0, 8), 26u);
+}
+
 TEST(TwoPhaseOracle, MatchesDynamicOnStateOnlyDesign) {
   PipeRing a({9, 8, 7}), b({9, 8, 7});
   SequentialSimulator dyn(a.model, SchedulePolicy::kDynamic);
