@@ -1,0 +1,190 @@
+// Farm robustness bench: what fault tolerance costs. Runs the same job
+// mix twice —
+//   healthy: 4 workers, no interference;
+//   chaos:   4 workers, every 5th job's first attempt dies with an
+//            injected transient fault (retried from scratch, DESIGN.md
+//            §13), and one of the four workers is killed mid-run; the
+//            supervisor reclaims its in-flight job and respawns the
+//            slot.
+// The headline number is the throughput ratio chaos/healthy — the farm
+// must sustain > 0.8x its healthy throughput through retries and a
+// worker loss — plus the recovery latency: wall time from the kill to
+// the supervisor having reclaimed the orphaned job.
+//
+// Output: a human table plus BENCH_farm_robustness.json with healthy
+// and chaos jobs/sec, p99 turnaround, the retry rate, the recovery
+// latency, and the ratio.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "farm/farm.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using tmsim::farm::ChaosAction;
+using tmsim::farm::ChaosEvent;
+using tmsim::farm::FarmOptions;
+using tmsim::farm::JobResult;
+using tmsim::farm::JobSpec;
+using tmsim::farm::JobStatus;
+using tmsim::farm::Priority;
+using tmsim::farm::SimFarm;
+using tmsim::farm::SubmitOutcome;
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+JobSpec make_job(std::size_t i, tmsim::SystemCycle cycles) {
+  JobSpec spec;
+  spec.name = "robust-" + std::to_string(i);
+  spec.net.width = 4;
+  spec.net.height = 4;
+  spec.net.topology = tmsim::noc::Topology::kMesh;
+  spec.workload.fig1_gt = true;
+  spec.workload.gt_period = 600;
+  spec.workload.be_load = 0.02 * static_cast<double>(i % 10);
+  spec.priority = static_cast<Priority>(i % 3);
+  spec.seed = 0x10b5 + i;
+  spec.cycles = cycles;
+  spec.max_retries = 2;
+  return spec;
+}
+
+struct RunResult {
+  std::size_t jobs_done = 0;
+  double wall_s = 0.0;
+  double p99_s = 0.0;
+  double retries = 0.0;
+  double recovery_s = 0.0;  ///< kill → orphan reclaimed (chaos run only)
+};
+
+RunResult run_mix(std::size_t num_jobs, tmsim::SystemCycle cycles,
+                  bool chaos) {
+  RunResult res;
+  tmsim::obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 4;
+  opt.queue_capacity = num_jobs;
+  opt.preempt_quantum = 128;  // several slice boundaries even in quick mode
+  opt.metrics = &metrics;
+  if (chaos) {
+    opt.chaos = [](const ChaosEvent& ev) {
+      // Every 5th job's first attempt dies one slice in; the retry (from
+      // scratch, back of its class, seeded backoff) runs clean.
+      return (ev.job_id % 5 == 0 && ev.attempt == 1 && ev.slice == 1)
+                 ? ChaosAction::kThrowTransient
+                 : ChaosAction::kNone;
+    };
+    opt.supervisor_interval_ms = 2.0;  // reclaim cadence under test
+  }
+  SimFarm farm(opt);
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(num_jobs);
+  res.wall_s = tmsim::bench::time_run([&] {
+    for (std::size_t i = 0; i < num_jobs; ++i) {
+      const SubmitOutcome out = farm.submit(make_job(i, cycles));
+      if (out.accepted) {
+        ids.push_back(out.job_id);
+      }
+      if (chaos && i == num_jobs / 4) {
+        // A quarter into the load, worker 1 dies at its next slice
+        // boundary. Recovery latency = kill-request → the supervisor has
+        // joined the corpse, requeued its in-flight job, and respawned.
+        const auto t0 = std::chrono::steady_clock::now();
+        farm.kill_worker(1);
+        while (farm.jobs_reclaimed() == 0 &&
+               std::chrono::steady_clock::now() - t0 <
+                   std::chrono::seconds(5)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        res.recovery_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+      }
+    }
+    farm.drain();
+  });
+
+  std::vector<double> turnaround;
+  turnaround.reserve(ids.size());
+  for (const std::uint64_t id : ids) {
+    const JobResult r = farm.results().get(id).value();
+    if (r.status == JobStatus::kDone) {
+      ++res.jobs_done;
+      turnaround.push_back(r.turnaround_seconds);
+    } else {
+      std::fprintf(stderr, "job %llu not done: %s\n",
+                   static_cast<unsigned long long>(id), r.error.c_str());
+    }
+  }
+  res.p99_s = quantile(turnaround, 0.99);
+  farm.shutdown();
+  res.retries =
+      static_cast<double>(metrics.counter_value("farm.retries.scheduled"));
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = tmsim::bench::quick_mode();
+  const std::size_t num_jobs = quick ? 24 : 120;
+  const tmsim::SystemCycle cycles = quick ? 400 : 1500;
+
+  tmsim::bench::print_header(
+      "farm_robustness",
+      "fault-tolerance overhead: chaos (retries + a worker kill) vs healthy");
+  std::printf(
+      "%zu jobs x %llu cycles, 4x4 mesh, 4 workers; chaos = every 5th job "
+      "retried once + worker 1 killed mid-run\n\n",
+      num_jobs, static_cast<unsigned long long>(cycles));
+
+  const RunResult healthy = run_mix(num_jobs, cycles, /*chaos=*/false);
+  const RunResult chaos = run_mix(num_jobs, cycles, /*chaos=*/true);
+
+  const double healthy_jps =
+      static_cast<double>(healthy.jobs_done) / healthy.wall_s;
+  const double chaos_jps = static_cast<double>(chaos.jobs_done) / chaos.wall_s;
+  const double ratio = chaos_jps / healthy_jps;
+  const double retry_rate = chaos.retries / static_cast<double>(num_jobs);
+
+  std::printf("%10s %10s %9s %10s %9s %12s\n", "run", "jobs/sec", "wall(s)",
+              "p99(ms)", "retries", "recovery(ms)");
+  std::printf("%10s %10.1f %9.3f %10.3f %9.0f %12s\n", "healthy", healthy_jps,
+              healthy.wall_s, healthy.p99_s * 1e3, healthy.retries, "-");
+  std::printf("%10s %10.1f %9.3f %10.3f %9.0f %12.3f\n", "chaos", chaos_jps,
+              chaos.wall_s, chaos.p99_s * 1e3, chaos.retries,
+              chaos.recovery_s * 1e3);
+  std::printf("\nthroughput ratio chaos/healthy: %.3f (target > 0.8: %s)\n",
+              ratio, ratio > 0.8 ? "PASS" : "FAIL");
+
+  tmsim::bench::emit_bench_json(
+      "farm_robustness",
+      {{"num_jobs", std::to_string(num_jobs)},
+       {"cycles_per_job", std::to_string(cycles)},
+       {"network", "4x4 mesh"},
+       {"workers", "4"},
+       {"quick", quick ? "1" : "0"}},
+      {{"healthy_jobs_per_sec", healthy_jps, "jobs/s"},
+       {"chaos_jobs_per_sec", chaos_jps, "jobs/s"},
+       {"throughput_ratio", ratio, "ratio"},
+       {"healthy_p99_latency", healthy.p99_s, "seconds"},
+       {"chaos_p99_latency", chaos.p99_s, "seconds"},
+       {"retry_rate", retry_rate, "retries/job"},
+       {"recovery_latency", chaos.recovery_s, "seconds"}});
+  return 0;
+}

@@ -1,6 +1,21 @@
 #include "farm/admission.h"
 
+#include <chrono>
+#include <limits>
+
 namespace tmsim::farm {
+
+namespace {
+
+double steady_now_us() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) *
+         1e-3;
+}
+
+}  // namespace
 
 const char* reject_reason_name(RejectReason r) {
   switch (r) {
@@ -14,13 +29,17 @@ const char* reject_reason_name(RejectReason r) {
 }
 
 AdmissionQueue::AdmissionQueue(std::size_t capacity,
-                               SystemCycle max_job_cycles)
-    : capacity_(capacity), max_job_cycles_(max_job_cycles) {
+                               SystemCycle max_job_cycles,
+                               std::function<double()> now_fn)
+    : capacity_(capacity),
+      max_job_cycles_(max_job_cycles),
+      now_fn_(now_fn ? std::move(now_fn) : steady_now_us) {
   TMSIM_CHECK_MSG(capacity >= 1, "queue capacity must be positive");
 }
 
 SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us) {
   SubmitOutcome out;
+  out.queue_capacity = capacity_;
   // Validate outside the lock: validation walks GT stream paths and must
   // not serialize submitters against each other.
   try {
@@ -42,16 +61,31 @@ SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us) {
     return out;
   }
   std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& cls : classes_) {
+    total += cls.size();
+  }
   if (stopped_) {
     out.reason = RejectReason::kStopped;
     out.detail = "farm is shutting down";
+    out.queue_depth = total;
     ++rejected_;
     return out;
   }
   if (fresh_queued_ >= capacity_) {
     out.reason = RejectReason::kQueueFull;
-    out.detail = "admission queue is at capacity (" +
-                 std::to_string(capacity_) + "); backpressure — retry later";
+    out.queue_depth = total;
+    // Deterministic backpressure hint: a pure function of the fresh
+    // backlog, so identical rejection states yield identical hints (see
+    // the header's backpressure contract).
+    out.retry_after_us =
+        kRetryAfterUsPerJob * static_cast<double>(fresh_queued_);
+    out.detail = "admission queue full: " +
+                 std::to_string(fresh_queued_) + "/" +
+                 std::to_string(capacity_) + " fresh jobs queued (" +
+                 std::to_string(total) + " total); suggest retrying in " +
+                 std::to_string(static_cast<std::uint64_t>(out.retry_after_us)) +
+                 "us";
     ++rejected_;
     return out;
   }
@@ -60,25 +94,35 @@ SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us) {
   job.spec = std::move(spec);
   job.submitted_us = now_us;
   job.queued_us = now_us;
+  if (job.spec.deadline_ms > 0) {
+    job.deadline_at_us =
+        now_us + static_cast<double>(job.spec.deadline_ms) * 1e3;
+  }
   const auto cls = static_cast<std::size_t>(job.spec.priority);
   classes_[cls].push_back(std::move(job));
   ++fresh_queued_;
   ++submitted_;
   out.accepted = true;
   out.job_id = classes_[cls].back().job_id;
+  out.queue_depth = total + 1;
   cv_.notify_one();
   return out;
 }
 
-bool AdmissionQueue::requeue(QueuedJob job, double now_us) {
+bool AdmissionQueue::requeue(QueuedJob job, double now_us,
+                             RequeuePosition pos) {
   std::lock_guard<std::mutex> lock(mu_);
   // Deliberately allowed after stop(): admitted work must always be able
   // to come back (returning false would strand the session), and
   // shutdown drains the backlog through pop_blocking() anyway.
   job.queued_us = now_us;
-  ++job.preemptions;
+  job.fresh = false;
   const auto cls = static_cast<std::size_t>(job.spec.priority);
-  classes_[cls].push_front(std::move(job));
+  if (pos == RequeuePosition::kFront) {
+    classes_[cls].push_front(std::move(job));
+  } else {
+    classes_[cls].push_back(std::move(job));
+  }
   cv_.notify_one();
   return true;
 }
@@ -86,15 +130,30 @@ bool AdmissionQueue::requeue(QueuedJob job, double now_us) {
 std::optional<QueuedJob> AdmissionQueue::pop_blocking() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    const double now = now_fn_();
+    double next_eligible = std::numeric_limits<double>::infinity();
     for (auto& cls : classes_) {
-      if (!cls.empty()) {
-        QueuedJob job = std::move(cls.front());
-        cls.pop_front();
-        if (job.preemptions == 0) {
+      for (auto it = cls.begin(); it != cls.end(); ++it) {
+        if (it->not_before_us > now) {
+          next_eligible = std::min(next_eligible, it->not_before_us);
+          continue;  // backoff not expired; FIFO among *eligible* jobs
+        }
+        QueuedJob job = std::move(*it);
+        cls.erase(it);
+        if (job.fresh) {
           --fresh_queued_;
+          job.fresh = false;
         }
         return job;
       }
+    }
+    if (next_eligible < std::numeric_limits<double>::infinity()) {
+      // Only backoff'd jobs remain (stopped or not — admitted work is
+      // drained either way). Sleep until the earliest becomes eligible.
+      const auto wake_us = static_cast<std::int64_t>(
+          std::max(1.0, next_eligible - now));
+      cv_.wait_for(lock, std::chrono::microseconds(wake_us));
+      continue;
     }
     if (stopped_) {
       return std::nullopt;
@@ -105,9 +164,12 @@ std::optional<QueuedJob> AdmissionQueue::pop_blocking() {
 
 bool AdmissionQueue::has_higher_than(Priority p) const {
   std::lock_guard<std::mutex> lock(mu_);
+  const double now = now_fn_();
   for (std::size_t c = 0; c < static_cast<std::size_t>(p); ++c) {
-    if (!classes_[c].empty()) {
-      return true;
+    for (const QueuedJob& job : classes_[c]) {
+      if (job.not_before_us <= now) {
+        return true;
+      }
     }
   }
   return false;

@@ -1,22 +1,42 @@
 // AdmissionQueue: bounded, priority-classed job intake with backpressure.
 //
+// ## Backpressure contract (DESIGN.md §13)
+//
 // The farm never blocks a submitter: a submit() against a full queue (or
 // a stopped farm, or with an invalid/oversized spec) returns a structured
 // rejection immediately — reject-with-reason, the same discipline the
 // FPGA's stimuli interface applies to a full cyclic buffer (§5.3: check
-// free space, never overrun).
+// free space, never overrun). A kQueueFull outcome carries everything a
+// well-behaved submitter needs to make a shedding decision:
+//
+//   - `queue_depth`    — total jobs queued at the instant of rejection,
+//   - `queue_capacity` — the fresh-submission bound that was hit,
+//   - `retry_after_us` — a deterministic resubmission hint,
+//                        kRetryAfterUsPerJob × fresh backlog. It is a
+//                        *pure function of queue state*, so identical
+//                        rejection states produce identical hints
+//                        (load-test replays stay reproducible).
+//
+// The hint is advisory: resubmitting earlier is never an error, it just
+// earns another structured reject. Capacity bounds only *fresh*
+// submissions; requeued work (preemption, retry) is exempt, because
+// admitted work must always be able to come back.
 //
 // Ordering: strict priority (interactive > normal > batch), FIFO within
-// a class. Preempted jobs re-enter through requeue(), which is exempt
-// from the capacity bound — admitted work must always be able to come
-// back, or preemption could deadlock against a full queue — and goes to
-// the *front* of its class so a preempted job is not overtaken by later
-// submissions of its own class.
+// a class. Preempted jobs re-enter through requeue(kFront) and go to the
+// *front* of their class so a preempted job is not overtaken by later
+// submissions of its own class. Retried jobs re-enter through
+// requeue(kBack) — the back of their class, optionally with a
+// `not_before_us` backoff stamp — so a flaky job never starves fresh
+// work of its own class. A job whose not_before_us lies in the future is
+// invisible to pop_blocking() until the backoff expires.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -28,7 +48,7 @@ namespace tmsim::farm {
 
 enum class RejectReason : std::uint8_t {
   kNone = 0,
-  kQueueFull = 1,    ///< capacity reached; resubmit later
+  kQueueFull = 1,    ///< capacity reached; see retry_after_us
   kStopped = 2,      ///< farm is shutting down
   kInvalidSpec = 3,  ///< JobSpec::validate() threw (detail has the why)
   kTooLarge = 4,     ///< cycle budget above the farm's per-job ceiling
@@ -36,49 +56,84 @@ enum class RejectReason : std::uint8_t {
 
 const char* reject_reason_name(RejectReason r);
 
+/// Deterministic retry-after slope: microseconds of suggested backoff
+/// per fresh job already queued at rejection time.
+inline constexpr double kRetryAfterUsPerJob = 500.0;
+
 struct SubmitOutcome {
   bool accepted = false;
   std::uint64_t job_id = 0;            ///< valid when accepted
   RejectReason reason = RejectReason::kNone;
   std::string detail;                  ///< human-readable rejection cause
+  /// Backpressure context, filled on every outcome: total queued jobs
+  /// (after enqueue when accepted, at rejection otherwise) and the
+  /// fresh-submission capacity.
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  /// kQueueFull only: deterministic resubmission hint (see header).
+  /// 0 on every other outcome.
+  double retry_after_us = 0.0;
 };
 
-/// One queued unit of work. `session` is null for a fresh submission and
-/// carries the resumable execution state for a preempted one.
+/// One queued unit of work. `session` is null for a fresh submission (or
+/// a retry restarting from scratch) and carries the resumable execution
+/// state for a preempted / reclaimed one.
 struct QueuedJob {
   std::uint64_t job_id = 0;
   JobSpec spec;
   std::shared_ptr<SimSession> session;
+  bool fresh = true;          ///< counts against capacity until first pop
+  std::size_t attempts = 1;   ///< executions begun (1 = first attempt)
   std::size_t preemptions = 0;
   std::size_t slices = 0;
   double submitted_us = 0.0;  ///< timestamp of the original submit
   double queued_us = 0.0;     ///< timestamp of the last (re)enqueue
   double first_us = 0.0;    ///< timestamp of first execution (0 = never ran)
   double exec_us = 0.0;     ///< accumulated execution time
+  /// Absolute deadline (farm clock), stamped at submit from
+  /// spec.deadline_ms. 0 = none.
+  double deadline_at_us = 0.0;
+  /// Retry backoff: invisible to pop_blocking() before this instant.
+  double not_before_us = 0.0;
+};
+
+/// Where requeued work re-enters its priority class.
+enum class RequeuePosition : std::uint8_t {
+  kFront = 0,  ///< preemption / supervisor reclaim: must not be overtaken
+  kBack = 1,   ///< retry: must not starve fresh same-class work
 };
 
 class AdmissionQueue {
  public:
   /// `capacity` bounds *fresh* submissions queued at once;
   /// `max_job_cycles` is the per-job cycle ceiling (kTooLarge above it).
-  AdmissionQueue(std::size_t capacity, SystemCycle max_job_cycles);
+  /// `now_fn` supplies the clock `not_before_us` stamps are compared
+  /// against (defaults to a steady µs clock; the farm passes its own so
+  /// queue time and timeline time share an epoch).
+  AdmissionQueue(std::size_t capacity, SystemCycle max_job_cycles,
+                 std::function<double()> now_fn = {});
 
-  /// Validates and either enqueues (assigning a job id) or rejects.
-  /// Never blocks.
+  /// Validates and either enqueues (assigning a job id and stamping the
+  /// deadline) or rejects. Never blocks.
   SubmitOutcome submit(JobSpec spec, double now_us);
 
-  /// Re-enqueues preempted work at the front of its class. Exempt from
-  /// the capacity bound; only fails (returns false) after stop().
-  bool requeue(QueuedJob job, double now_us);
+  /// Re-enqueues admitted work. Exempt from the capacity bound and
+  /// deliberately allowed after stop() — admitted work must always be
+  /// able to come back, and shutdown drains the backlog. Does not touch
+  /// the preemption counter — the caller accounts for *why* the job
+  /// came back. Always returns true.
+  bool requeue(QueuedJob job, double now_us,
+               RequeuePosition pos = RequeuePosition::kFront);
 
-  /// Blocks until work is available or the queue is stopped-and-empty
-  /// (then nullopt). Highest priority class first, FIFO within a class.
+  /// Blocks until eligible work is available (highest priority class
+  /// first, FIFO within a class, jobs with a future not_before_us
+  /// skipped until their backoff expires) or the queue is
+  /// stopped-and-empty (then nullopt). Backoff'd jobs are still drained
+  /// after stop(): admitted work always resolves.
   std::optional<QueuedJob> pop_blocking();
 
-  /// True when any queued job outranks `p` — the preemption predicate
-  /// workers poll between quanta. Lock-free fast path via a relaxed
-  /// depth snapshot would be overkill at quantum granularity; this takes
-  /// the mutex.
+  /// True when any queued *eligible* job outranks `p` — the preemption
+  /// predicate workers poll between quanta.
   bool has_higher_than(Priority p) const;
 
   /// Wakes all waiters; pop_blocking() drains the backlog then returns
@@ -94,6 +149,7 @@ class AdmissionQueue {
  private:
   const std::size_t capacity_;
   const SystemCycle max_job_cycles_;
+  const std::function<double()> now_fn_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

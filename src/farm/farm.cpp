@@ -1,5 +1,6 @@
 #include "farm/farm.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
@@ -35,9 +36,19 @@ std::uint64_t steady_now_ns() {
 
 }  // namespace
 
+const char* cancel_result_name(CancelResult r) {
+  switch (r) {
+    case CancelResult::kUnknownJob: return "unknown_job";
+    case CancelResult::kAlreadyFinished: return "already_finished";
+    case CancelResult::kRequested: return "requested";
+  }
+  return "?";
+}
+
 SimFarm::SimFarm(FarmOptions opt)
     : opt_(opt),
-      queue_(opt.queue_capacity, opt.max_job_cycles),
+      queue_(opt.queue_capacity, opt.max_job_cycles,
+             [this] { return now_us(); }),
       results_(opt.completion_feed_depth) {
   TMSIM_CHECK_MSG(opt_.num_workers >= 1, "farm needs at least one worker");
   TMSIM_CHECK_MSG(opt_.preempt_quantum >= 1, "quantum must be positive");
@@ -52,6 +63,9 @@ SimFarm::SimFarm(FarmOptions opt)
   }
   for (std::size_t w = 0; w < opt_.num_workers; ++w) {
     workers_[w]->thread = std::thread([this, w] { worker_main(w); });
+  }
+  if (opt_.supervisor_interval_ms > 0.0) {
+    supervisor_ = std::thread([this] { supervisor_main(); });
   }
 }
 
@@ -79,19 +93,25 @@ void SimFarm::update_queue_gauges() {
 
 SubmitOutcome SimFarm::submit(const JobSpec& spec) {
   SubmitOutcome out;
-  {
-    std::lock_guard<std::mutex> lock(farm_mu_);
-    if (stopping_) {
-      out.reason = RejectReason::kStopped;
-      out.detail = "farm is shutting down";
-    }
-  }
-  if (out.reason != RejectReason::kStopped) {
-    out = queue_.submit(spec, now_us());
-  }
+  const double now = now_us();
+  // farm_mu_ spans the enqueue *and* the control-record insert: the
+  // instant queue_.submit makes the job poppable a worker may grab it,
+  // and run_job's first act is to look up the control record under
+  // farm_mu_ — it must already exist by the time we release.
   std::lock_guard<std::mutex> lock(farm_mu_);
+  if (stopping_) {
+    out.reason = RejectReason::kStopped;
+    out.detail = "farm is shutting down";
+  } else {
+    out = queue_.submit(spec, now);
+  }
   if (out.accepted) {
     ++inflight_;
+    JobControl ctl;
+    if (spec.deadline_ms > 0) {
+      ctl.deadline_at_us = now + static_cast<double>(spec.deadline_ms) * 1e3;
+    }
+    control_.emplace(out.job_id, std::move(ctl));
   }
   if (opt_.metrics) {
     opt_.metrics->counter("farm.admission.submitted").add();
@@ -109,6 +129,46 @@ SubmitOutcome SimFarm::submit(const JobSpec& spec) {
   return out;
 }
 
+CancelResult SimFarm::cancel(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(farm_mu_);
+  const auto it = control_.find(job_id);
+  if (it == control_.end()) {
+    // Control blocks live from admission to publish: absent + published
+    // means finished, absent + unpublished means never ours.
+    return results_.get(job_id) ? CancelResult::kAlreadyFinished
+                                : CancelResult::kUnknownJob;
+  }
+  if (it->second.terminal) {
+    return CancelResult::kAlreadyFinished;
+  }
+  if (it->second.cause == CancelCause::kNone) {
+    it->second.cause = CancelCause::kUser;
+  }
+  it->second.cancel->store(true, std::memory_order_relaxed);
+  if (opt_.metrics) {
+    opt_.metrics->counter("farm.cancellations.requested").add();
+  }
+  return CancelResult::kRequested;
+}
+
+void SimFarm::kill_worker(std::size_t w, bool lose_session) {
+  TMSIM_CHECK_MSG(w < workers_.size(), "no such worker");
+  if (lose_session) {
+    workers_[w]->lose_session.store(true, std::memory_order_relaxed);
+  }
+  workers_[w]->kill_requested.store(true, std::memory_order_relaxed);
+}
+
+std::vector<QuarantineRecord> SimFarm::quarantined() const {
+  std::lock_guard<std::mutex> lock(farm_mu_);
+  return quarantine_;
+}
+
+std::uint64_t SimFarm::jobs_reclaimed() const {
+  std::lock_guard<std::mutex> lock(farm_mu_);
+  return reclaims_;
+}
+
 void SimFarm::drain() {
   std::unique_lock<std::mutex> lock(farm_mu_);
   idle_cv_.wait(lock, [&] { return inflight_ == 0; });
@@ -119,17 +179,53 @@ void SimFarm::shutdown() {
     std::lock_guard<std::mutex> lock(farm_mu_);
     stopping_ = true;
   }
+  // 1. Stop the supervisor first: below this line nothing reclaims or
+  //    respawns concurrently, so the joins are race-free.
+  if (supervisor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(sup_mu_);
+      sup_stop_ = true;
+    }
+    sup_cv_.notify_all();
+    supervisor_.join();
+  }
+  // 2. Final reclaim pass: dead workers' orphans go back on the queue,
+  //    and replacements are spawned so the backlog still has someone to
+  //    run it even if the whole pool was killed.
+  reclaim_dead_workers(/*allow_respawn=*/true);
+  // 3. Drain: stop intake; workers run the backlog dry (including jobs
+  //    still sleeping out a retry backoff), then exit.
   queue_.stop();
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) {
       worker->thread.join();
     }
   }
+  // 4. No job left behind: a worker killed *during* the drain leaves an
+  //    orphan with nobody to reclaim it, and a fully-killed pool leaves
+  //    queued jobs unpopped. Resolve both as kCancelled (supervisor
+  //    cause) so every accepted job still gets exactly one result.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    std::optional<QueuedJob> orphan;
+    {
+      std::lock_guard<std::mutex> lock(farm_mu_);
+      orphan.swap(workers_[w]->orphan);
+    }
+    if (orphan) {
+      publish_cancelled(w, *orphan, CancelCause::kSupervisor);
+    }
+  }
+  while (std::optional<QueuedJob> job = queue_.pop_blocking()) {
+    publish_cancelled(0, *job, CancelCause::kSupervisor);
+  }
+  // 5. End-of-life instruments.
   const double end_us = now_us();
   if (opt_.metrics && end_us > 0.0) {
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       opt_.metrics->gauge("farm.worker.utilization", worker_label(w))
           .set(workers_[w]->busy_us / end_us);
+      opt_.metrics->counter("farm.worker.busy_us", worker_label(w))
+          .set(static_cast<std::uint64_t>(workers_[w]->busy_us));
       opt_.metrics->counter("farm.worker.cache_hits", worker_label(w))
           .set(workers_[w]->cache_hits);
       opt_.metrics->counter("farm.worker.cache_misses", worker_label(w))
@@ -139,8 +235,18 @@ void SimFarm::shutdown() {
 }
 
 void SimFarm::worker_main(std::size_t w) {
-  while (auto job = queue_.pop_blocking()) {
-    run_job(w, std::move(*job));
+  Worker& worker = *workers_[w];
+  for (;;) {
+    worker.idle.store(true, std::memory_order_relaxed);
+    std::optional<QueuedJob> job = queue_.pop_blocking();
+    worker.idle.store(false, std::memory_order_relaxed);
+    if (!job) {
+      return;
+    }
+    worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    if (!run_job(w, std::move(*job))) {
+      return;  // killed: the orphan slot holds any in-flight job
+    }
   }
 }
 
@@ -175,14 +281,38 @@ core::SeqNocSimulation& SimFarm::acquire_engine(std::size_t w,
   return *worker.cache.back().sim;
 }
 
-void SimFarm::run_job(std::size_t w, QueuedJob job) {
+double SimFarm::retry_backoff_us(const JobSpec& spec,
+                                 std::size_t attempt) const {
+  // Deterministic: exponential in the attempt, jitter a pure function of
+  // (spec.seed, attempt) — a replayed failure schedule backs off on the
+  // exact same instants.
+  const double expo = static_cast<double>(
+      1ull << std::min<std::size_t>(attempt > 0 ? attempt - 1 : 0, 10));
+  const std::uint64_t h = derive_seed(
+      spec.seed ^ (static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ull),
+      "retry-backoff");
+  const double jitter = static_cast<double>(h % 1024) / 1024.0;
+  return opt_.retry_backoff_base_us * (expo + jitter);
+}
+
+bool SimFarm::run_job(std::size_t w, QueuedJob job) {
   Worker& worker = *workers_[w];
   const auto tid = static_cast<std::uint32_t>(100 + w);
   const bool resumed = job.session != nullptr;
+  std::shared_ptr<std::atomic<bool>> token;
+  {
+    std::lock_guard<std::mutex> lock(farm_mu_);
+    const auto it = control_.find(job.job_id);
+    TMSIM_CHECK_MSG(it != control_.end(),
+                    "in-flight job without a control record");
+    token = it->second.cancel;
+    worker.current_job = job.job_id;
+  }
   try {
     if (!job.session) {
       job.session = std::make_shared<SimSession>(job.spec);
     }
+    job.session->bind_cancel(token);
     if (job.first_us == 0.0) {
       job.first_us = now_us();
     }
@@ -194,8 +324,77 @@ void SimFarm::run_job(std::size_t w, QueuedJob job) {
       opt_.metrics->counter("farm.resumes").add();
     }
     for (;;) {
+      worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
+      // Terminal checks first, so a cancelled/expired job never burns
+      // another slice. Cooperative cancellation (user / deadline-by-
+      // supervisor / stuck-escalation):
+      if (token->load(std::memory_order_relaxed)) {
+        publish_cancelled(w, job, CancelCause::kNone);  // cause from control
+        return true;
+      }
+      // Worker-side deadline check (covers supervisor-less farms).
+      if (job.deadline_at_us > 0.0 && now_us() >= job.deadline_at_us) {
+        publish_cancelled(w, job, CancelCause::kDeadline);
+        return true;
+      }
+      // Chaos hook (tests/bench): may throw into the failure path or
+      // flip this worker's kill flags.
+      if (opt_.chaos) {
+        ChaosEvent ev;
+        ev.worker = w;
+        ev.job_id = job.job_id;
+        ev.spec = &job.spec;
+        ev.attempt = job.attempts;
+        ev.slice = job.slices;
+        switch (opt_.chaos(ev)) {
+          case ChaosAction::kNone:
+            break;
+          case ChaosAction::kThrowTransient:
+            throw TransientError("chaos: injected transient fault");
+          case ChaosAction::kThrowPermanent:
+            throw Error("chaos: injected permanent fault");
+          case ChaosAction::kKillWorkerLoseSession:
+            worker.lose_session.store(true, std::memory_order_relaxed);
+            [[fallthrough]];
+          case ChaosAction::kKillWorker:
+            worker.kill_requested.store(true, std::memory_order_relaxed);
+            break;
+        }
+      }
+      // Cooperative death, always at a slice boundary (a std::thread
+      // cannot be killed mid-slice; the boundary is exactly where the
+      // checkpoint contract already proves the state consistent).
+      if (worker.kill_requested.load(std::memory_order_relaxed)) {
+        if (worker.lose_session.load(std::memory_order_relaxed)) {
+          job.session.reset();  // hard kill: the job restarts from scratch
+        } else if (job.session->attached()) {
+          job.session->detach();  // graceful: consistent checkpoint survives
+        }
+        if (opt_.timeline) {
+          opt_.timeline->instant("farm.worker.die", now_us(), tid,
+                                 {{"job", job.spec.name}});
+        }
+        {
+          std::lock_guard<std::mutex> lock(farm_mu_);
+          worker.current_job = 0;
+          worker.orphan = std::move(job);
+        }
+        worker.dead.store(true, std::memory_order_release);
+        return false;
+      }
       const double t0 = now_us();
-      const SystemCycle advanced = job.session->advance(opt_.preempt_quantum);
+      SystemCycle advanced = 0;
+      try {
+        advanced = job.session->advance(opt_.preempt_quantum);
+      } catch (...) {
+        // Bill the partial slice: busy_us accounts every slice executed,
+        // including the ones that end in a throw.
+        const double t1 = now_us();
+        worker.busy_us += t1 - t0;
+        job.exec_us += t1 - t0;
+        ++job.slices;
+        throw;
+      }
       const double t1 = now_us();
       worker.busy_us += t1 - t0;
       job.exec_us += t1 - t0;
@@ -220,32 +419,126 @@ void SimFarm::run_job(std::size_t w, QueuedJob job) {
           opt_.timeline->instant("farm.preempt", now_us(), tid,
                                  {{"job", job.spec.name}});
         }
-        std::lock_guard<std::mutex> lock(farm_mu_);
-        if (opt_.metrics) {
-          opt_.metrics->counter("farm.preemptions").add();
-          opt_.metrics->counter("farm.checkpoints").add();
+        ++job.preemptions;
+        {
+          std::lock_guard<std::mutex> lock(farm_mu_);
+          worker.current_job = 0;
+          if (opt_.metrics) {
+            opt_.metrics->counter("farm.preemptions").add();
+            opt_.metrics->counter("farm.checkpoints").add();
+          }
         }
-        queue_.requeue(std::move(job), now_us());
-        update_queue_gauges();
-        return;
+        queue_.requeue(std::move(job), now_us(), RequeuePosition::kFront);
+        {
+          std::lock_guard<std::mutex> lock(farm_mu_);
+          update_queue_gauges();
+        }
+        return true;
       }
     }
-    publish(w, job, JobStatus::kDone, "");
+    if (job.session->aborted()) {
+      // Fault-report escalation: the hardened host stopped gracefully.
+      // Classified transient (kFaultAbort) — in simulation the abort is
+      // deterministic, so retries exhaust and the job lands in
+      // quarantine with its replay tuple: the designed poison path.
+      return finish_failure(w, job, FailureKind::kFaultAbort,
+                            job.session->abort_reason());
+    }
+    JobResult r;
+    r.status = JobStatus::kDone;
+    publish(w, job, std::move(r));
+    return true;
   } catch (const std::exception& e) {
-    publish(w, job, JobStatus::kFailed, e.what());
+    return finish_failure(w, job, classify_failure(e), e.what());
   }
 }
 
-void SimFarm::publish(std::size_t w, QueuedJob& job, JobStatus status,
-                      const std::string& error) {
+bool SimFarm::finish_failure(std::size_t w, QueuedJob& job, FailureKind kind,
+                             const std::string& message) {
+  const bool transient = failure_is_transient(kind);
+  if (transient && job.attempts <= job.spec.max_retries && !queue_.stopped()) {
+    // Retry: restart from scratch. The engine checkpoint alone is not
+    // consistent with the harness state mid-attempt, and the spec pins
+    // the whole run anyway — a fresh session is provably bit-identical.
+    job.session.reset();
+    const std::size_t attempt = job.attempts;
+    ++job.attempts;
+    const double now = now_us();
+    job.not_before_us = now + retry_backoff_us(job.spec, attempt);
+    {
+      std::lock_guard<std::mutex> lock(farm_mu_);
+      workers_[w]->current_job = 0;
+      if (opt_.metrics) {
+        opt_.metrics->counter("farm.retries.scheduled").add();
+        opt_.metrics
+            ->counter("farm.retries.scheduled",
+                      std::string("kind=") + failure_kind_name(kind))
+            .add();
+      }
+    }
+    queue_.requeue(std::move(job), now, RequeuePosition::kBack);
+    {
+      std::lock_guard<std::mutex> lock(farm_mu_);
+      update_queue_gauges();
+    }
+    return true;
+  }
   JobResult r;
+  r.status = JobStatus::kFailed;
+  r.error = message;
+  r.failure.kind = kind;
+  r.failure.message = message;
+  r.failure.at_cycle = job.session ? job.session->cycles_done() : 0;
+  r.failure.attempts = job.attempts;
+  r.failure.replay = job.spec.serialize();
+  r.failure.quarantined = transient && job.spec.max_retries > 0 &&
+                          job.attempts > job.spec.max_retries;
+  if (r.failure.quarantined) {
+    QuarantineRecord q;
+    q.job_id = job.job_id;
+    q.name = job.spec.name;
+    q.kind = kind;
+    q.attempts = job.attempts;
+    q.message = message;
+    q.replay = r.failure.replay;
+    std::lock_guard<std::mutex> lock(farm_mu_);
+    quarantine_.push_back(std::move(q));
+    if (opt_.metrics) {
+      opt_.metrics->counter("farm.retries.exhausted").add();
+      opt_.metrics->counter("farm.failures.quarantined").add();
+    }
+  }
+  publish(w, job, std::move(r));
+  return true;
+}
+
+void SimFarm::publish_cancelled(std::size_t w, QueuedJob& job,
+                                CancelCause cause) {
+  JobResult r;
+  r.status = JobStatus::kCancelled;
+  r.cancel_cause = cause;
+  publish(w, job, std::move(r));
+}
+
+void SimFarm::publish(std::size_t w, QueuedJob& job, JobResult r) {
   r.job_id = job.job_id;
   r.spec_fingerprint = job.spec.fingerprint();
   r.name = job.spec.name;
-  r.status = status;
-  r.error = error;
-  if (job.session && status == JobStatus::kDone) {
-    job.session->finalize(r);
+  if (job.session) {
+    // Completed jobs and graceful fault-aborts carry full statistics
+    // (the hardened host's abort state is consistent by construction);
+    // other terminal states report progress without finalizing.
+    if (r.status == JobStatus::kDone ||
+        (r.status == JobStatus::kFailed &&
+         r.failure.kind == FailureKind::kFaultAbort)) {
+      job.session->finalize(r);
+    } else if (r.status == JobStatus::kCancelled) {
+      // Progress report only; exception-path failures keep cycles at 0
+      // exactly like run_job_standalone (failure.at_cycle has the spot).
+      r.cycles_simulated = job.session->cycles_done();
+    }
+    r.failure.last_checkpoint_cycle = job.session->last_checkpoint_cycle();
+    r.failure.last_checkpoint_digest = job.session->last_checkpoint_digest();
   }
   const double done_us = now_us();
   r.preemptions = job.preemptions;
@@ -255,21 +548,205 @@ void SimFarm::publish(std::size_t w, QueuedJob& job, JobStatus status,
       job.first_us > 0.0 ? (job.first_us - job.submitted_us) * 1e-6 : 0.0;
   r.exec_seconds = job.exec_us * 1e-6;
   r.turnaround_seconds = (done_us - job.submitted_us) * 1e-6;
-  results_.put(std::move(r));
+  {
+    // Terminal race arbitration: the first publisher marks the control
+    // block terminal and wins; any later publisher for the same job is
+    // suppressed — exactly one result per accepted job, always.
+    std::lock_guard<std::mutex> lock(farm_mu_);
+    const auto it = control_.find(job.job_id);
+    if (it != control_.end()) {
+      if (it->second.terminal) {
+        workers_[w]->current_job = 0;
+        return;
+      }
+      it->second.terminal = true;
+      if (r.status == JobStatus::kCancelled &&
+          r.cancel_cause == CancelCause::kNone) {
+        r.cancel_cause = it->second.cause;
+      }
+    }
+  }
+  if (r.status == JobStatus::kCancelled) {
+    if (r.cancel_cause == CancelCause::kNone) {
+      r.cancel_cause = CancelCause::kUser;
+    }
+    if (r.error.empty()) {
+      r.error =
+          std::string("cancelled: ") + cancel_cause_name(r.cancel_cause);
+    }
+  }
+  const JobStatus status = r.status;
+  const FailureKind kind = r.failure.kind;
+  const CancelCause cause = r.cancel_cause;
+  const bool feed_dropped = results_.put(std::move(r));
 
   std::lock_guard<std::mutex> lock(farm_mu_);
+  workers_[w]->current_job = 0;
   if (opt_.metrics) {
-    opt_.metrics
-        ->counter(status == JobStatus::kDone ? "farm.jobs.completed"
-                                             : "farm.jobs.failed")
-        .add();
+    switch (status) {
+      case JobStatus::kDone:
+        opt_.metrics->counter("farm.jobs.completed").add();
+        break;
+      case JobStatus::kFailed:
+        opt_.metrics->counter("farm.jobs.failed").add();
+        opt_.metrics
+            ->counter("farm.jobs.failed",
+                      std::string("reason=") + failure_kind_name(kind))
+            .add();
+        break;
+      case JobStatus::kCancelled:
+        opt_.metrics->counter("farm.jobs.cancelled").add();
+        opt_.metrics
+            ->counter("farm.jobs.cancelled",
+                      std::string("cause=") + cancel_cause_name(cause))
+            .add();
+        break;
+      case JobStatus::kPending:
+        break;
+    }
     opt_.metrics->counter("farm.worker.jobs", worker_label(w)).add();
+    if (feed_dropped) {
+      opt_.metrics->counter("farm.results.feed_dropped").add();
+    }
   }
   update_queue_gauges();
+  control_.erase(job.job_id);
   TMSIM_CHECK_MSG(inflight_ > 0, "result published for an untracked job");
   --inflight_;
   if (inflight_ == 0) {
     idle_cv_.notify_all();
+  }
+}
+
+void SimFarm::supervisor_main() {
+  const auto interval = std::chrono::microseconds(
+      static_cast<std::int64_t>(opt_.supervisor_interval_ms * 1e3));
+  std::unique_lock<std::mutex> lock(sup_mu_);
+  while (!sup_stop_) {
+    sup_cv_.wait_for(lock, interval, [&] { return sup_stop_; });
+    if (sup_stop_) {
+      break;
+    }
+    lock.unlock();
+    supervisor_scan();
+    lock.lock();
+  }
+}
+
+void SimFarm::supervisor_scan() {
+  if (opt_.metrics) {
+    std::lock_guard<std::mutex> lock(farm_mu_);
+    opt_.metrics->counter("farm.supervisor.scans").add();
+  }
+  // Deadline enforcement for jobs the workers cannot see yet (still
+  // queued, or mid-quantum on a hosted stack — the token stops the host
+  // at its next simulation-period boundary).
+  {
+    std::lock_guard<std::mutex> lock(farm_mu_);
+    const double now = now_us();
+    for (auto& [id, ctl] : control_) {
+      if (ctl.terminal || ctl.deadline_at_us <= 0.0 ||
+          now < ctl.deadline_at_us ||
+          ctl.cancel->load(std::memory_order_relaxed)) {
+        continue;
+      }
+      if (ctl.cause == CancelCause::kNone) {
+        ctl.cause = CancelCause::kDeadline;
+      }
+      ctl.cancel->store(true, std::memory_order_relaxed);
+      if (opt_.metrics) {
+        opt_.metrics->counter("farm.supervisor.deadlines_enforced").add();
+      }
+    }
+  }
+  reclaim_dead_workers(/*allow_respawn=*/true);
+  // Heartbeat scan: a busy worker whose beat has not advanced for
+  // `supervisor_miss_threshold` scans is stuck. Escalation (optional)
+  // is cooperative too — cancel its job so the worker unwedges at the
+  // next boundary it does reach.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    Worker& worker = *workers_[w];
+    if (worker.dead.load(std::memory_order_acquire)) {
+      continue;  // reclaimed above (or racing to death; next scan)
+    }
+    const std::uint64_t beat = worker.heartbeat.load(std::memory_order_relaxed);
+    if (worker.idle.load(std::memory_order_relaxed) ||
+        beat != worker.last_beat) {
+      worker.last_beat = beat;
+      worker.missed_scans = 0;
+      continue;
+    }
+    if (++worker.missed_scans < opt_.supervisor_miss_threshold) {
+      continue;
+    }
+    worker.missed_scans = 0;
+    if (!opt_.supervisor_escalate_stuck) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(farm_mu_);
+    const auto it = control_.find(worker.current_job);
+    if (worker.current_job != 0 && it != control_.end() &&
+        !it->second.terminal) {
+      if (it->second.cause == CancelCause::kNone) {
+        it->second.cause = CancelCause::kSupervisor;
+      }
+      it->second.cancel->store(true, std::memory_order_relaxed);
+      if (opt_.metrics) {
+        opt_.metrics->counter("farm.supervisor.stuck").add();
+      }
+    }
+  }
+}
+
+void SimFarm::reclaim_dead_workers(bool allow_respawn) {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    Worker& worker = *workers_[w];
+    if (!worker.dead.load(std::memory_order_acquire)) {
+      continue;
+    }
+    // Join before touching anything the dead thread wrote: the join is
+    // the happens-before edge that makes the orphan (and busy_us) safe
+    // to read here.
+    if (worker.thread.joinable()) {
+      worker.thread.join();
+    }
+    std::optional<QueuedJob> orphan;
+    {
+      std::lock_guard<std::mutex> lock(farm_mu_);
+      orphan.swap(worker.orphan);
+      if (opt_.metrics) {
+        opt_.metrics->counter("farm.supervisor.workers_lost").add();
+      }
+    }
+    if (orphan) {
+      if (!queue_.stopped()) {
+        // Reclaim: back to the front of its class, resuming from the
+        // detach-time checkpoint (graceful kill) or from scratch (hard
+        // kill dropped the session).
+        queue_.requeue(std::move(*orphan), now_us(),
+                       RequeuePosition::kFront);
+        std::lock_guard<std::mutex> lock(farm_mu_);
+        ++reclaims_;
+        if (opt_.metrics) {
+          opt_.metrics->counter("farm.supervisor.jobs_reclaimed").add();
+        }
+        update_queue_gauges();
+      } else {
+        publish_cancelled(w, *orphan, CancelCause::kSupervisor);
+      }
+    }
+    worker.kill_requested.store(false, std::memory_order_relaxed);
+    worker.lose_session.store(false, std::memory_order_relaxed);
+    worker.last_beat = worker.heartbeat.load(std::memory_order_relaxed);
+    worker.missed_scans = 0;
+    worker.dead.store(false, std::memory_order_release);
+    if (allow_respawn && opt_.respawn_lost_workers && !queue_.stopped()) {
+      worker.thread = std::thread([this, w] { worker_main(w); });
+      std::lock_guard<std::mutex> lock(farm_mu_);
+      if (opt_.metrics) {
+        opt_.metrics->counter("farm.supervisor.respawns").add();
+      }
+    }
   }
 }
 

@@ -18,20 +18,66 @@
 //     (tests/farm/farm_determinism_test.cpp enforces this over
 //     randomized specs).
 //
+// Fault tolerance (DESIGN.md §13): every accepted job resolves to
+// exactly one terminal status — kDone, kFailed (with a structured
+// JobFailure: kind, cycle, last checkpoint, replay tuple), or
+// kCancelled (with a CancelCause) — whatever happens to the workers
+// running it:
+//   - *deadlines & cancellation*: cancel() flips a per-job token that
+//     sessions check cooperatively at slice boundaries (core) and
+//     simulation-period boundaries (hosted); JobSpec::deadline_ms is
+//     enforced the same way, by the worker at each boundary and by the
+//     supervisor for jobs still in the queue. Races between cancel and
+//     completion resolve deterministically: the first publisher to mark
+//     the job terminal wins, the loser is suppressed.
+//   - *failure containment*: a worker that sees a job throw — or the
+//     hardened ArmHost abort with a FaultReport — publishes a
+//     structured failure and keeps serving the queue. Transient classes
+//     (TransientError chaos/contention, fault-report escalation) are
+//     retried up to JobSpec::max_retries with deterministic seeded
+//     backoff, requeued at the *back* of their class so retries never
+//     starve fresh work; a transient job that exhausts its budget is
+//     poison and lands in quarantined() with its replay tuple.
+//   - *worker supervision*: a supervisor thread watches per-worker
+//     heartbeats. A worker that dies (cooperatively, at a slice
+//     boundary — kill_worker() or a chaos kKillWorker action) is
+//     joined, its in-flight job reclaimed from the last checkpoint and
+//     requeued at the front of its class, and the pool healed by
+//     respawning into the same slot. A worker that is alive but stops
+//     beating for `supervisor_miss_threshold` scans is *stuck*; with
+//     supervisor_escalate_stuck the supervisor cancels its job
+//     (CancelCause::kSupervisor) instead of letting it wedge the pool.
+//   - the chaos proof: tests/farm/farm_chaos_test.cpp drives a farm
+//     through injected exceptions, forced retries, and worker kills
+//     (both flavors) over ≥100 randomized specs under TSan and asserts
+//     (a) exactly one terminal result per accepted spec and (b) every
+//     completed job bit-identical to a standalone run.
+//
 // Observability (all optional, null = zero overhead):
 //   farm.admission.{submitted,accepted,rejected} (+ per-reason labels),
-//   farm.queue.depth{class=...} gauges, farm.jobs.{completed,failed},
+//   farm.queue.depth{class=...} gauges, farm.jobs.{completed,failed
+//   (+reason=...),cancelled (+cause=...)}, farm.retries.{scheduled,
+//   exhausted}, farm.failures.quarantined, farm.cancellations.requested,
+//   farm.supervisor.{scans,workers_lost,jobs_reclaimed,respawns,stuck,
+//   deadlines_enforced}, farm.results.feed_dropped,
 //   farm.{preemptions,resumes,checkpoints}, per-worker
-//   farm.worker.{slices,jobs,busy_us}{worker=i} counters and a
-//   farm.worker.utilization gauge at shutdown; plus farm.slice spans on
-//   per-worker ChromeTrace tracks (tid 100+worker) with farm.preempt
-//   instants.
+//   farm.worker.{slices,jobs,busy_us}{worker=i} counters — busy_us
+//   bills *every* executed slice, including slices of jobs that later
+//   fail or get cancelled — and a farm.worker.utilization gauge at
+//   shutdown; plus farm.slice spans on per-worker ChromeTrace tracks
+//   (tid 100+worker) with farm.preempt instants.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "farm/admission.h"
@@ -45,12 +91,62 @@ class MetricsRegistry;
 
 namespace tmsim::farm {
 
+/// One observation point of the chaos hook: the farm calls it on the
+/// worker thread at every slice boundary, before the slice runs.
+struct ChaosEvent {
+  std::size_t worker = 0;       ///< worker about to run the slice
+  std::uint64_t job_id = 0;
+  const JobSpec* spec = nullptr;
+  std::size_t attempt = 1;      ///< 1-based execution attempt
+  std::size_t slice = 0;        ///< slices already executed for this job
+};
+
+/// What the chaos hook may do to the farm (tests/bench only; the hook
+/// must be thread-safe — it runs concurrently on every worker).
+enum class ChaosAction : std::uint8_t {
+  kNone = 0,
+  /// Throw TransientError out of the slice (retried up to max_retries).
+  kThrowTransient = 1,
+  /// Throw a plain Error (classified kEngineError, never retried).
+  kThrowPermanent = 2,
+  /// The worker dies *gracefully* at this boundary: it detaches the
+  /// session (consistent checkpoint + harness pair) and exits; the
+  /// supervisor reclaims the job and resumes it from the checkpoint.
+  kKillWorker = 3,
+  /// The worker dies and its session is lost: the job restarts from
+  /// scratch on another worker — bit-identical by the determinism
+  /// contract, since everything derives from the spec.
+  kKillWorkerLoseSession = 4,
+};
+
+/// Outcome of SimFarm::cancel().
+enum class CancelResult : std::uint8_t {
+  kUnknownJob = 0,      ///< id never accepted by this farm
+  kAlreadyFinished = 1, ///< terminal result already published (or racing in)
+  kRequested = 2,       ///< token flipped; resolves at the next boundary
+};
+
+const char* cancel_result_name(CancelResult r);
+
+/// Post-mortem record of a poison job: a transient failure class that
+/// exhausted its retry budget. `replay` is the canonical serialized
+/// spec — rerunning it reproduces the failure bit-for-bit.
+struct QuarantineRecord {
+  std::uint64_t job_id = 0;
+  std::string name;
+  FailureKind kind = FailureKind::kNone;
+  std::size_t attempts = 0;  ///< executions, all failed
+  std::string message;       ///< last failure message
+  std::string replay;        ///< JobSpec::serialize()
+};
+
 struct FarmOptions {
   std::size_t num_workers = 2;
   /// Fresh submissions queued at once before kQueueFull backpressure.
   std::size_t queue_capacity = 64;
-  /// System cycles per slice; preemption is only checked at slice
-  /// boundaries, so this is the preemption latency in simulated cycles.
+  /// System cycles per slice; preemption, cancellation, deadlines, and
+  /// chaos are only checked at slice boundaries, so this is the
+  /// scheduling latency in simulated cycles.
   SystemCycle preempt_quantum = 256;
   /// Per-job cycle ceiling (admission rejects above it with kTooLarge).
   SystemCycle max_job_cycles = 10'000'000;
@@ -59,6 +155,24 @@ struct FarmOptions {
   std::size_t engine_cache_per_worker = 2;
   /// Completion-feed depth of the ResultStore.
   std::size_t completion_feed_depth = 64;
+  /// Base of the deterministic retry backoff: attempt k of a transient
+  /// failure is requeued not-before base × 2^(k-1) (+ seeded jitter in
+  /// [0, base)) microseconds from the failure.
+  double retry_backoff_base_us = 200.0;
+  /// Supervisor heartbeat-scan period; 0 disables the supervisor
+  /// entirely (kill_worker() then needs shutdown() to resolve orphans).
+  double supervisor_interval_ms = 20.0;
+  /// Consecutive scans a busy worker may go without a heartbeat before
+  /// it is declared stuck.
+  std::size_t supervisor_miss_threshold = 3;
+  /// Cancel (CancelCause::kSupervisor) the job of a stuck-but-alive
+  /// worker. Off by default: under heavy sanitizer/CI load a healthy
+  /// slice can legitimately outlast the threshold.
+  bool supervisor_escalate_stuck = false;
+  /// Respawn a replacement thread into a lost worker's slot.
+  bool respawn_lost_workers = true;
+  /// Chaos hook (tests/bench): consulted at every slice boundary.
+  std::function<ChaosAction(const ChaosEvent&)> chaos;
   /// Test knobs: force_preempt requeues after *every* quantum even with
   /// no higher-priority work waiting (maximally exercises the
   /// checkpoint/resume path); paranoid_resume re-verifies cycle and
@@ -80,8 +194,20 @@ class SimFarm {
   SimFarm& operator=(const SimFarm&) = delete;
 
   /// Never blocks: either the job is queued (outcome.job_id) or the
-  /// outcome says why not.
+  /// outcome says why not — kQueueFull outcomes carry the backpressure
+  /// context (depth, capacity, deterministic retry-after hint).
   SubmitOutcome submit(const JobSpec& spec);
+
+  /// Requests cooperative cancellation. kRequested means the job will
+  /// resolve to kCancelled at its next slice/period boundary (or next
+  /// scheduling turn, if still queued) — unless it reaches a different
+  /// terminal state first; exactly one wins, never both.
+  CancelResult cancel(std::uint64_t job_id);
+
+  /// Asks worker `w` to die cooperatively at its next slice boundary
+  /// (chaos/test API). `lose_session` picks the hard flavor: the
+  /// in-flight session is destroyed and the job restarts from scratch.
+  void kill_worker(std::size_t w, bool lose_session = false);
 
   /// Blocks until the job's result is published.
   JobResult wait(std::uint64_t job_id) { return results_.wait(job_id); }
@@ -89,10 +215,21 @@ class SimFarm {
   /// Blocks until every accepted job has a published result.
   void drain();
 
-  /// Stops intake, drains queued + in-flight work, joins the workers.
-  /// Idempotent. Publishes the end-of-life farm.worker.utilization
-  /// gauges.
+  /// Stops intake, drains queued + in-flight work, joins the workers
+  /// (supervisor first, so reclaim/respawn cannot race the joins), and
+  /// resolves any job stranded by a dying pool as kCancelled — no
+  /// accepted job is ever left without a result. Idempotent. Publishes
+  /// the end-of-life farm.worker.{utilization,busy_us} instruments.
   void shutdown();
+
+  /// Poison jobs: transient failures that exhausted max_retries.
+  std::vector<QuarantineRecord> quarantined() const;
+
+  /// In-flight jobs reclaimed from dead workers so far. Safe to poll
+  /// from any thread while the farm runs (the metrics registry's
+  /// counters are not) — the robustness bench measures recovery latency
+  /// with it.
+  std::uint64_t jobs_reclaimed() const;
 
   const ResultStore& results() const { return results_; }
   ResultStore& results() { return results_; }
@@ -112,15 +249,56 @@ class SimFarm {
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     double busy_us = 0.0;
+
+    // Supervision surface. heartbeat/idle are written by the worker
+    // thread and read by the supervisor; kill/dead flags flow the other
+    // way. `dead` is the release-store the supervisor acquires before
+    // joining the thread and touching anything else.
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<bool> idle{false};
+    std::atomic<bool> kill_requested{false};
+    std::atomic<bool> lose_session{false};
+    std::atomic<bool> dead{false};
+    std::uint64_t current_job = 0;        ///< guarded by farm_mu_
+    std::optional<QueuedJob> orphan;      ///< guarded by farm_mu_
+    // Supervisor-private heartbeat bookkeeping (single-threaded: the
+    // supervisor, then — after it is joined — shutdown).
+    std::uint64_t last_beat = 0;
+    std::size_t missed_scans = 0;
+  };
+  /// Per-job control block, created at admission, erased at publish.
+  struct JobControl {
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
+    CancelCause cause = CancelCause::kNone;
+    bool terminal = false;     ///< a publisher won; suppress any other
+    double deadline_at_us = 0.0;
   };
 
   void worker_main(std::size_t w);
-  /// One scheduling turn: run quanta of `job` until it finishes or gets
-  /// preempted (then it is requeued internally).
-  void run_job(std::size_t w, QueuedJob job);
+  /// One scheduling turn: run quanta of `job` until it finishes, fails,
+  /// is cancelled, or gets preempted/retried (then it is requeued
+  /// internally). Returns false when the worker was killed and must
+  /// exit (the job, if any, sits in its orphan slot).
+  bool run_job(std::size_t w, QueuedJob job);
+  /// Terminal-or-retry decision for a failed execution. Returns true
+  /// (the worker always survives a job failure).
+  bool finish_failure(std::size_t w, QueuedJob& job, FailureKind kind,
+                      const std::string& message);
   core::SeqNocSimulation& acquire_engine(std::size_t w, const JobSpec& spec);
-  void publish(std::size_t w, QueuedJob& job, JobStatus status,
-               const std::string& error);
+  /// Publishes `r` for `job` unless another publisher already marked the
+  /// job terminal. Fills identity, checkpoint provenance, and the
+  /// scheduling record; finalizes session stats for kDone and
+  /// fault-abort failures.
+  void publish(std::size_t w, QueuedJob& job, JobResult r);
+  void publish_cancelled(std::size_t w, QueuedJob& job, CancelCause cause);
+  double retry_backoff_us(const JobSpec& spec, std::size_t attempt) const;
+  void supervisor_main();
+  void supervisor_scan();
+  /// Joins dead workers, requeues their orphans (front of class), and —
+  /// when allowed — respawns replacements. Supervisor thread or, once
+  /// the supervisor is joined, shutdown.
+  void reclaim_dead_workers(bool allow_respawn);
   double now_us() const;
   void update_queue_gauges();
 
@@ -129,10 +307,20 @@ class SimFarm {
   ResultStore results_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  std::mutex farm_mu_;  ///< guards inflight_ and the shared farm.* counters
+  mutable std::mutex farm_mu_;  ///< guards inflight_, control_, quarantine_, the
+                        ///< shared farm.* instruments, and Worker fields
+                        ///< marked "guarded by farm_mu_"
   std::condition_variable idle_cv_;
   std::size_t inflight_ = 0;  ///< accepted but not yet published
   bool stopping_ = false;
+  std::unordered_map<std::uint64_t, JobControl> control_;
+  std::vector<QuarantineRecord> quarantine_;
+  std::uint64_t reclaims_ = 0;  ///< guarded by farm_mu_
+
+  std::thread supervisor_;
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
+  bool sup_stop_ = false;
 };
 
 }  // namespace tmsim::farm

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/engine.h"
+
 namespace tmsim::farm {
 
 const char* job_status_name(JobStatus s) {
@@ -9,8 +11,44 @@ const char* job_status_name(JobStatus s) {
     case JobStatus::kPending: return "pending";
     case JobStatus::kDone: return "done";
     case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
   }
   return "?";
+}
+
+const char* failure_kind_name(FailureKind k) {
+  switch (k) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kTransient: return "transient";
+    case FailureKind::kConvergence: return "convergence";
+    case FailureKind::kFaultAbort: return "fault_abort";
+    case FailureKind::kEngineError: return "engine_error";
+  }
+  return "?";
+}
+
+bool failure_is_transient(FailureKind k) {
+  return k == FailureKind::kTransient || k == FailureKind::kFaultAbort;
+}
+
+const char* cancel_cause_name(CancelCause c) {
+  switch (c) {
+    case CancelCause::kNone: return "none";
+    case CancelCause::kUser: return "user";
+    case CancelCause::kDeadline: return "deadline";
+    case CancelCause::kSupervisor: return "supervisor";
+  }
+  return "?";
+}
+
+FailureKind classify_failure(const std::exception& e) {
+  if (dynamic_cast<const TransientError*>(&e) != nullptr) {
+    return FailureKind::kTransient;
+  }
+  if (dynamic_cast<const core::ConvergenceError*>(&e) != nullptr) {
+    return FailureKind::kConvergence;
+  }
+  return FailureKind::kEngineError;
 }
 
 namespace {
@@ -61,6 +99,14 @@ bool results_equivalent(const JobResult& a, const JobResult& b,
   if (a.status != b.status) {
     return fail(std::string("status differs: ") + job_status_name(a.status) +
                 " vs " + job_status_name(b.status));
+  }
+  // Failure *classification* is part of the deterministic surface (the
+  // same spec must fail the same way); attempts / checkpoint fields /
+  // messages are scheduling-scoped and deliberately ignored.
+  if (a.failure.kind != b.failure.kind) {
+    return fail(std::string("failure kind differs: ") +
+                failure_kind_name(a.failure.kind) + " vs " +
+                failure_kind_name(b.failure.kind));
   }
   if (a.cycles_simulated != b.cycles_simulated) {
     return fail("cycles_simulated differs: " +

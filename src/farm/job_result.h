@@ -14,18 +14,89 @@
 #include <string>
 
 #include "analysis/stats.h"
+#include "common/error.h"
 #include "common/types.h"
 #include "fpga/fault_report.h"
 
 namespace tmsim::farm {
 
 enum class JobStatus : std::uint8_t {
-  kPending = 0,   ///< accepted, not yet finished
-  kDone = 1,      ///< ran to its cycle budget (or clean overload stop)
-  kFailed = 2,    ///< threw (convergence failure, invariant violation, …)
+  kPending = 0,    ///< accepted, not yet finished
+  kDone = 1,       ///< ran to its cycle budget (or clean overload stop)
+  kFailed = 2,     ///< threw (convergence failure, invariant violation, …)
+  kCancelled = 3,  ///< terminated by cancel(), deadline, or supervisor
 };
 
 const char* job_status_name(JobStatus s);
+
+/// Structured classification of why a job failed (DESIGN.md §13). The
+/// farm never loses the distinction between a deterministic model bug
+/// (convergence, engine invariant) and a transient condition worth
+/// retrying (injected chaos, bus-fault escalation).
+enum class FailureKind : std::uint8_t {
+  kNone = 0,
+  /// Transient by construction (TransientError): chaos injection,
+  /// engine-cache contention — retry up to JobSpec::max_retries.
+  kTransient = 1,
+  /// core::ConvergenceError: the model did not settle. Deterministic,
+  /// never retried.
+  kConvergence = 2,
+  /// The hosted stack's hardened ArmHost aborted with a FaultReport
+  /// (bus faults above the recoverable envelope). Classified transient:
+  /// on real hardware the fault process is environmental; in simulation
+  /// the abort is deterministic, so a retried fault-abort exhausts its
+  /// budget and lands in quarantine with its replay tuple.
+  kFaultAbort = 3,
+  /// Any other engine/model exception. Deterministic, never retried.
+  kEngineError = 4,
+};
+
+const char* failure_kind_name(FailureKind k);
+
+/// True for failure classes the farm retries (kTransient, kFaultAbort).
+bool failure_is_transient(FailureKind k);
+
+/// Why a job ended kCancelled.
+enum class CancelCause : std::uint8_t {
+  kNone = 0,
+  kUser = 1,        ///< SimFarm::cancel()
+  kDeadline = 2,    ///< JobSpec::deadline_ms expired
+  kSupervisor = 3,  ///< supervisor escalated a stuck worker
+};
+
+const char* cancel_cause_name(CancelCause c);
+
+/// Exception class for failures that are transient by construction —
+/// the chaos harness and contention paths throw this; classify_failure()
+/// maps it to FailureKind::kTransient so the retry machinery engages.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// Maps an in-flight exception to its FailureKind (TransientError →
+/// kTransient, core::ConvergenceError → kConvergence, anything else →
+/// kEngineError). Fault-report escalation is not an exception and is
+/// classified kFaultAbort by the caller.
+FailureKind classify_failure(const std::exception& e);
+
+/// Everything a post-mortem needs about a failed job: the class of
+/// failure, where it happened, the last good checkpoint the job could be
+/// resumed from, and the replay tuple (the spec's canonical serialized
+/// form — rerunning it reproduces the failure bit-for-bit).
+struct JobFailure {
+  FailureKind kind = FailureKind::kNone;
+  std::string message;
+  SystemCycle at_cycle = 0;              ///< cycles done when it failed
+  SystemCycle last_checkpoint_cycle = 0;
+  std::uint64_t last_checkpoint_digest = 0;
+  std::size_t attempts = 1;              ///< executions incl. the failed one
+  std::string replay;                    ///< JobSpec::serialize()
+  /// True when a transient failure class exhausted max_retries: the job
+  /// is poison — quarantined with its replay tuple instead of
+  /// crash-looping through the pool.
+  bool quarantined = false;
+};
 
 /// Latency summary for one packet class (mirrors traffic::LatencySummary
 /// but lives here so hosted results use the same shape).
@@ -58,6 +129,13 @@ struct JobResult {
   /// FNV-1a over every committed block state at the end of the run — the
   /// bit-identity witness.
   std::uint64_t state_digest = 0;
+
+  /// Populated when status == kFailed (kind, checkpoint, replay tuple).
+  /// attempts and checkpoint fields are scheduling-scoped and excluded
+  /// from equivalence; kind and message must match a standalone rerun.
+  JobFailure failure;
+  /// Populated when status == kCancelled.
+  CancelCause cancel_cause = CancelCause::kNone;
 
   // Scheduling record (NOT part of equivalence).
   std::size_t preemptions = 0;  ///< checkpoint-and-requeue events

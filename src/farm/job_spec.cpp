@@ -132,6 +132,8 @@ std::string JobSpec::serialize() const {
   os << " overload_threshold=" << workload.overload_threshold;
   os << " seed=" << seed;
   os << " cycles=" << cycles;
+  os << " deadline_ms=" << deadline_ms;
+  os << " max_retries=" << max_retries;
   os << " f_read_flip=" << fmt_double(faults.read_flip);
   os << " f_write_flip=" << fmt_double(faults.write_flip);
   os << " f_dropped_write=" << fmt_double(faults.dropped_write);
@@ -260,6 +262,10 @@ JobSpec JobSpec::deserialize(const std::string& text) {
       spec.seed = parse_u64(val);
     } else if (key == "cycles") {
       spec.cycles = parse_u64(val);
+    } else if (key == "deadline_ms") {
+      spec.deadline_ms = parse_u64(val);
+    } else if (key == "max_retries") {
+      spec.max_retries = static_cast<std::uint32_t>(parse_u64(val));
     } else if (key == "f_read_flip") {
       spec.faults.read_flip = parse_double(val);
     } else if (key == "f_write_flip") {
@@ -303,6 +309,8 @@ void JobSpec::validate() const {
   }
   net.validate();
   TMSIM_CHECK_MSG(cycles >= 1, "job must simulate at least one cycle");
+  TMSIM_CHECK_MSG(max_retries <= 64,
+                  "max_retries above 64 is a crash-loop, not a retry policy");
   TMSIM_CHECK_MSG(!(workload.fig1_gt && !workload.gt_streams.empty()),
                   "fig1_gt and explicit gt_streams are mutually exclusive");
   if (workload.be_load > 0.0) {

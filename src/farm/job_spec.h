@@ -87,6 +87,18 @@ struct JobSpec {
   std::uint64_t seed = 1;
   /// System cycles to simulate.
   SystemCycle cycles = 1000;
+  /// Wall-clock deadline in milliseconds, measured from submit. 0 = no
+  /// deadline. Checked cooperatively at slice boundaries (and, for
+  /// hosted jobs, between simulation periods), so the cancellation
+  /// latency is one quantum/period; an expired job resolves to
+  /// kCancelled with CancelCause::kDeadline.
+  std::uint64_t deadline_ms = 0;
+  /// Times a *transient* failure (FailureKind kTransient / kFaultAbort)
+  /// is re-executed before the job is quarantined as poison. Retries
+  /// re-enter through the normal admission classes (back of class, with
+  /// seeded deterministic backoff) so they never starve fresh work.
+  /// Deterministic failures (convergence, engine errors) never retry.
+  std::uint32_t max_retries = 0;
   /// Bus fault injection (hosted jobs only; all-zero = clean bus).
   fpga::FaultRates faults;
 

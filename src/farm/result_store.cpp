@@ -5,7 +5,8 @@ namespace tmsim::farm {
 ResultStore::ResultStore(std::size_t completion_feed_depth)
     : feed_(completion_feed_depth == 0 ? 1 : completion_feed_depth) {}
 
-void ResultStore::put(JobResult result) {
+bool ResultStore::put(JobResult result) {
+  bool dropped_one = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const std::uint64_t id = result.job_id;
@@ -18,10 +19,12 @@ void ResultStore::put(JobResult result) {
     if (feed_.full()) {
       feed_.pop();
       ++dropped_;
+      dropped_one = true;
     }
     feed_.push(fpga::TimedWord{feed_seq_++, static_cast<std::uint32_t>(id)});
   }
   cv_.notify_all();
+  return dropped_one;
 }
 
 std::optional<JobResult> ResultStore::get(std::uint64_t job_id) const {

@@ -26,7 +26,11 @@ class ResultStore {
   explicit ResultStore(std::size_t completion_feed_depth = 64);
 
   /// Publishes a final result (workers call this exactly once per job).
-  void put(JobResult result);
+  /// Never blocks. Returns true when the bounded completion feed was
+  /// full and its *oldest* notification was dropped to make room
+  /// (drop-oldest, pinned by tests/farm/result_store_test.cpp); the
+  /// caller surfaces the drop as `farm.results.feed_dropped`.
+  bool put(JobResult result);
 
   std::optional<JobResult> get(std::uint64_t job_id) const;
 

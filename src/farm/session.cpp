@@ -109,10 +109,36 @@ void SimSession::detach() {
   sim_ = nullptr;
 }
 
+void SimSession::bind_cancel(
+    std::shared_ptr<const std::atomic<bool>> token) {
+  cancel_ = std::move(token);
+  if (host_) {
+    if (cancel_) {
+      auto token_copy = cancel_;
+      host_->set_cancel_check([token_copy] {
+        return token_copy->load(std::memory_order_relaxed);
+      });
+    } else {
+      host_->set_cancel_check({});
+    }
+  }
+}
+
+bool SimSession::aborted() const {
+  return host_ != nullptr && host_->aborted();
+}
+
+std::string SimSession::abort_reason() const {
+  return aborted() ? host_->fault_report().abort_reason : std::string();
+}
+
 SystemCycle SimSession::advance(SystemCycle quantum) {
   TMSIM_CHECK_MSG(quantum >= 1, "quantum must be positive");
   if (done()) {
     return 0;
+  }
+  if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+    return 0;  // cooperative cancellation: no work past the token
   }
   const SystemCycle before = cycles_done_;
   if (spec_.kind == JobKind::kHostedFpga) {
@@ -205,12 +231,28 @@ JobResult run_job_standalone(const JobSpec& spec) {
     while (!session.done()) {
       session.advance(spec.cycles);
     }
-    session.finalize(r);
-    r.status = JobStatus::kDone;
+    if (session.aborted()) {
+      // Fault-report escalation: the hardened host stopped gracefully,
+      // so its statistics are consistent — finalize them, but the job
+      // *failed*, with the same classification the farm applies.
+      session.finalize(r);
+      r.status = JobStatus::kFailed;
+      r.error = session.abort_reason();
+      r.failure.kind = FailureKind::kFaultAbort;
+      r.failure.message = r.error;
+      r.failure.at_cycle = session.cycles_done();
+      r.failure.replay = spec.serialize();
+    } else {
+      session.finalize(r);
+      r.status = JobStatus::kDone;
+    }
     r.slices = 1;
   } catch (const std::exception& e) {
     r.status = JobStatus::kFailed;
     r.error = e.what();
+    r.failure.kind = classify_failure(e);
+    r.failure.message = e.what();
+    r.failure.replay = spec.serialize();
   }
   return r;
 }

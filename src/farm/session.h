@@ -23,6 +23,7 @@
 //     calls, so preemption is simply slicing run() into smaller targets.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -81,11 +82,32 @@ class SimSession {
   bool attached() const { return sim_ != nullptr; }
 
   /// Runs up to `quantum` more system cycles (never past the spec's
-  /// budget; stops early on overload/abort). Returns cycles advanced.
+  /// budget; stops early on overload/abort/cancellation). Returns cycles
+  /// advanced.
   SystemCycle advance(SystemCycle quantum);
+
+  /// Binds a cancellation token (DESIGN.md §13). Core sessions check it
+  /// before each advance(); hosted sessions additionally wire it into
+  /// ArmHost so a multi-period quantum stops at the next period
+  /// boundary. Cancellation is cooperative and never corrupts state:
+  /// every early stop lands on a slice/period boundary, exactly where
+  /// preemption already proves the state consistent.
+  void bind_cancel(std::shared_ptr<const std::atomic<bool>> token);
 
   bool done() const;
   SystemCycle cycles_done() const { return cycles_done_; }
+
+  /// Hosted jobs: true when the hardened host gave up with a structured
+  /// FaultReport — the farm escalates this to FailureKind::kFaultAbort.
+  /// Core jobs: always false.
+  bool aborted() const;
+  /// The abort reason when aborted(), else empty.
+  std::string abort_reason() const;
+
+  /// Last durable checkpoint (detach-time snapshot). Cycle 0 / digest 0
+  /// when the session never checkpointed (fresh jobs, hosted jobs).
+  SystemCycle last_checkpoint_cycle() const { return checkpoint_.cycle; }
+  std::uint64_t last_checkpoint_digest() const { return checkpoint_.digest; }
 
   /// Fills the simulation-visible fields of `out` (latency summaries,
   /// fault report, state digest, flit counts). Callable attached or
@@ -97,6 +119,7 @@ class SimSession {
 
   JobSpec spec_;
   SystemCycle cycles_done_ = 0;
+  std::shared_ptr<const std::atomic<bool>> cancel_;
 
   // Core-traffic state.
   core::SeqNocSimulation* sim_ = nullptr;  // borrowed, nullable

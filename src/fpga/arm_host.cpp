@@ -609,6 +609,9 @@ void ArmHost::run_incremental(std::size_t total_cycles) {
       sim_cycles_reg_ = static_cast<std::uint32_t>(p);
     }
     while (cycles_ < total_cycles && !overloaded_ && !aborted()) {
+      if (cancel_check_ && cancel_check_()) {
+        break;  // cooperative cancellation at a period boundary
+      }
       if (timeline_) {
         mark_us = timeline_->now_us();
       }

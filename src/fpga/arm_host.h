@@ -104,6 +104,17 @@ class ArmHost {
   /// end of job.
   void sync_hw_counters();
 
+  /// Cooperative cancellation (DESIGN.md §13): when set, run() /
+  /// run_incremental() consult the predicate before every simulation
+  /// period and stop early when it returns true. The stop always lands
+  /// on a period boundary — the same cut the farm's slicing-invariance
+  /// contract already proves consistent — so a cancelled host can later
+  /// be resumed (or finalized) without corrupting its mirrors. Pass an
+  /// empty function to detach.
+  void set_cancel_check(std::function<bool()> check) {
+    cancel_check_ = std::move(check);
+  }
+
   const PhaseCounts& counts() const { return counts_; }
   bool overloaded() const { return overloaded_; }
 
@@ -221,6 +232,9 @@ class ArmHost {
   // Observability (null = detached, zero overhead).
   obs::ChromeTrace* timeline_ = nullptr;
   double analyze_us_accum_ = 0.0;  ///< inline analyze time this period
+
+  /// Cooperative cancellation predicate (empty = never cancelled).
+  std::function<bool()> cancel_check_;
 };
 
 }  // namespace tmsim::fpga

@@ -4,6 +4,7 @@
 // after stop().
 #include "farm/admission.h"
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -103,7 +104,103 @@ TEST(AdmissionQueue, RequeueGoesToFrontAndIgnoresCapacity) {
   auto next = q.pop_blocking();
   ASSERT_TRUE(next.has_value());
   EXPECT_EQ(next->spec.name, "n0");
-  EXPECT_EQ(next->preemptions, 1u);
+  // requeue() no longer edits scheduling counters — the farm accounts
+  // for *why* a job came back (preemption vs retry vs reclaim).
+  EXPECT_EQ(next->preemptions, 0u);
+  EXPECT_FALSE(next->fresh);
+}
+
+TEST(AdmissionQueue, QueueFullCarriesDeterministicBackpressureHint) {
+  AdmissionQueue q(3, 1'000'000);
+  for (int i = 0; i < 3; ++i) {
+    const auto out = q.submit(spec_with(Priority::kNormal), 0);
+    ASSERT_TRUE(out.accepted);
+    EXPECT_EQ(out.queue_capacity, 3u);
+    EXPECT_EQ(out.queue_depth, static_cast<std::size_t>(i + 1));
+    EXPECT_EQ(out.retry_after_us, 0.0);  // hint is kQueueFull-only
+  }
+  const auto full = q.submit(spec_with(Priority::kNormal), 0);
+  ASSERT_FALSE(full.accepted);
+  EXPECT_EQ(full.reason, RejectReason::kQueueFull);
+  EXPECT_EQ(full.queue_depth, 3u);
+  EXPECT_EQ(full.queue_capacity, 3u);
+  // The hint is a pure function of queue state: slope × fresh backlog.
+  EXPECT_EQ(full.retry_after_us, kRetryAfterUsPerJob * 3.0);
+  EXPECT_NE(full.detail.find("suggest retrying"), std::string::npos);
+  // Identical rejection state → identical hint (replayable load tests).
+  const auto again = q.submit(spec_with(Priority::kNormal), 123.0);
+  ASSERT_FALSE(again.accepted);
+  EXPECT_EQ(again.retry_after_us, full.retry_after_us);
+}
+
+TEST(AdmissionQueue, RequeueBackYieldsToFreshSameClassWork) {
+  AdmissionQueue q(8, 1'000'000);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kNormal, "n0"), 0).accepted);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kNormal, "n1"), 0).accepted);
+  auto flaky = q.pop_blocking();  // n0
+  ASSERT_TRUE(flaky.has_value());
+  // A retry goes to the *back* of its class: it must not starve n1.
+  EXPECT_TRUE(q.requeue(std::move(*flaky), 1, RequeuePosition::kBack));
+  auto first = q.pop_blocking();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->spec.name, "n1");
+  auto second = q.pop_blocking();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->spec.name, "n0");
+}
+
+TEST(AdmissionQueue, BackoffHidesJobsUntilTheInjectedClockReachesThem) {
+  // Injected clock: eligibility becomes a pure function of test state.
+  double fake_now = 0.0;
+  AdmissionQueue q(8, 1'000'000, [&] { return fake_now; });
+  ASSERT_TRUE(q.submit(spec_with(Priority::kNormal, "flaky"), 0).accepted);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kBatch, "patient"), 0).accepted);
+  auto flaky = q.pop_blocking();
+  ASSERT_TRUE(flaky.has_value());
+  ASSERT_EQ(flaky->spec.name, "flaky");
+
+  // Requeue the higher-class job with a 5ms backoff. Until the clock
+  // gets there it is invisible: not to has_higher_than (a backoff'd job
+  // must not trigger preemptions)…
+  flaky->not_before_us = 5'000.0;
+  EXPECT_TRUE(q.requeue(std::move(*flaky), 0, RequeuePosition::kBack));
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_FALSE(q.has_higher_than(Priority::kBatch));
+
+  // …and not to pop_blocking: the lower-priority-but-eligible job wins.
+  auto first = q.pop_blocking();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->spec.name, "patient");
+
+  // Once the clock passes the stamp the job is served normally.
+  fake_now = 5'000.0;
+  auto second = q.pop_blocking();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->spec.name, "flaky");
+}
+
+TEST(AdmissionQueue, PopSleepsOutBackoffAndStopStillDrainsIt) {
+  // Real steady clock (the default): share its epoch via a twin lambda.
+  const auto clock = [] {
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count()) *
+           1e-3;
+  };
+  AdmissionQueue q(8, 1'000'000, clock);
+  ASSERT_TRUE(q.submit(spec_with(Priority::kNormal, "retry"), 0).accepted);
+  auto job = q.pop_blocking();
+  ASSERT_TRUE(job.has_value());
+  job->not_before_us = clock() + 2'000.0;  // 2ms from now
+  EXPECT_TRUE(q.requeue(std::move(*job), clock(), RequeuePosition::kBack));
+  q.stop();
+  // Admitted work always resolves: pop_blocking sleeps the backoff out
+  // even though the queue is stopped (hanging here = the bug).
+  auto drained = q.pop_blocking();
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(drained->spec.name, "retry");
+  EXPECT_FALSE(q.pop_blocking().has_value());
 }
 
 TEST(AdmissionQueue, RequeueAfterStopDrainsBeforeShutdown) {

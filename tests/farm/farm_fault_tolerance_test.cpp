@@ -1,0 +1,373 @@
+// The farm's fault-tolerance pillars, one at a time (the combined chaos
+// proof lives in farm_chaos_test.cpp):
+//
+//   - cancellation: cancel() races, deadlines at slice boundaries and
+//     from the supervisor, structured CancelCause on every kCancelled;
+//   - containment: exceptions become structured JobFailures with a
+//     replay tuple, workers keep serving;
+//   - retry: transient classes retried with deterministic backoff,
+//     restarted from scratch, bit-identical to an unfailed run; poison
+//     jobs quarantined after exhausting their budget;
+//   - fault-report escalation: an aborting hosted stack is a kFaultAbort
+//     failure with full finalized statistics, equal to standalone;
+//   - supervision: killed workers are joined, their jobs reclaimed and
+//     completed bit-identically, the pool healed by respawns; stuck
+//     workers are escalated cooperatively;
+//   - accounting: busy_us bills slices of jobs that later fail.
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "farm/farm.h"
+#include "farm/session.h"
+#include "obs/metrics.h"
+
+namespace tmsim::farm {
+namespace {
+
+JobSpec core_spec(const std::string& name, SystemCycle cycles,
+                  std::uint64_t seed = 1) {
+  JobSpec s;
+  s.name = name;
+  s.net.width = 2;
+  s.net.height = 2;
+  s.cycles = cycles;
+  s.seed = seed;
+  s.workload.be_load = 0.1;
+  return s;
+}
+
+/// Hosted spec whose hardened ArmHost deterministically gives up: 20%
+/// fault rates are far beyond the recoverable envelope (the host rides
+/// out 10% — see fault_injection_test), so the run ends in a graceful
+/// abort with a FaultReport, not a crash.
+JobSpec aborting_hosted_spec() {
+  JobSpec s = core_spec("abort-hosted", 200, 7);
+  s.kind = JobKind::kHostedFpga;
+  s.faults.read_flip = 0.2;
+  s.faults.stuck_busy = 0.2;
+  s.faults.dropped_write = 0.2;
+  return s;
+}
+
+TEST(FarmFaultTolerance, CancelResolvesQueuedJobAndRaces) {
+  FarmOptions opt;
+  opt.num_workers = 1;
+  opt.queue_capacity = 8;
+  opt.preempt_quantum = 64;
+  opt.supervisor_interval_ms = 0.0;
+  SimFarm farm(opt);
+
+  // Occupy the single worker so the victim stays queued.
+  const auto blocker = farm.submit(core_spec("blocker", 20'000));
+  ASSERT_TRUE(blocker.accepted);
+  const auto victim = farm.submit(core_spec("victim", 1'000));
+  ASSERT_TRUE(victim.accepted);
+
+  EXPECT_EQ(farm.cancel(victim.job_id), CancelResult::kRequested);
+  EXPECT_EQ(farm.cancel(9999), CancelResult::kUnknownJob);
+
+  const JobResult r = farm.wait(victim.job_id);
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_EQ(r.cancel_cause, CancelCause::kUser);
+  EXPECT_NE(r.error.find("cancelled"), std::string::npos);
+  // Exactly one terminal state: cancelling again is a no-op, not a race.
+  EXPECT_EQ(farm.cancel(victim.job_id), CancelResult::kAlreadyFinished);
+
+  // The blocker is untouched by its neighbour's cancellation.
+  EXPECT_EQ(farm.wait(blocker.job_id).status, JobStatus::kDone);
+  EXPECT_EQ(farm.cancel(blocker.job_id), CancelResult::kAlreadyFinished);
+}
+
+TEST(FarmFaultTolerance, DeadlineExpiresAtASliceBoundary) {
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 1;
+  opt.preempt_quantum = 64;  // frequent boundaries → tight enforcement
+  opt.supervisor_interval_ms = 0.0;  // prove the worker-side check alone
+  opt.metrics = &metrics;
+  SimFarm farm(opt);
+
+  JobSpec spec = core_spec("deadline", 2'000'000);
+  spec.deadline_ms = 1;  // a 2M-cycle job cannot finish in 1ms
+  const auto out = farm.submit(spec);
+  ASSERT_TRUE(out.accepted);
+  const JobResult r = farm.wait(out.job_id);
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_EQ(r.cancel_cause, CancelCause::kDeadline);
+  EXPECT_LT(r.cycles_simulated, spec.cycles);
+  farm.shutdown();
+  EXPECT_EQ(metrics.counter_value("farm.jobs.cancelled"), 1u);
+  EXPECT_EQ(metrics.counter_value("farm.jobs.cancelled", "cause=deadline"),
+            1u);
+}
+
+TEST(FarmFaultTolerance, SupervisorEnforcesDeadlineOfQueuedJobs) {
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 1;
+  opt.preempt_quantum = 256;
+  opt.supervisor_interval_ms = 1.0;
+  opt.metrics = &metrics;
+  SimFarm farm(opt);
+
+  // The blocker holds the only worker well past the victim's deadline,
+  // so by the time the victim is popped its token is already flipped —
+  // it resolves without simulating a single cycle.
+  ASSERT_TRUE(farm.submit(core_spec("blocker", 60'000)).accepted);
+  JobSpec spec = core_spec("starved", 1'000);
+  spec.deadline_ms = 1;
+  const auto out = farm.submit(spec);
+  ASSERT_TRUE(out.accepted);
+  const JobResult r = farm.wait(out.job_id);
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_EQ(r.cancel_cause, CancelCause::kDeadline);
+  farm.shutdown();
+  EXPECT_GE(metrics.counter_value("farm.supervisor.deadlines_enforced"), 1u);
+  EXPECT_GE(metrics.counter_value("farm.supervisor.scans"), 1u);
+}
+
+TEST(FarmFaultTolerance, TransientFailureRetriedToBitIdenticalSuccess) {
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 2;
+  opt.queue_capacity = 16;
+  opt.retry_backoff_base_us = 50.0;  // keep the test snappy
+  opt.supervisor_interval_ms = 0.0;
+  opt.metrics = &metrics;
+  // Every first attempt dies mid-job; every retry runs clean.
+  opt.chaos = [](const ChaosEvent& ev) {
+    return (ev.attempt == 1 && ev.slice == 1) ? ChaosAction::kThrowTransient
+                                              : ChaosAction::kNone;
+  };
+  SimFarm farm(opt);
+
+  constexpr int kJobs = 6;
+  std::uint64_t ids[kJobs];
+  JobSpec specs[kJobs];
+  for (int i = 0; i < kJobs; ++i) {
+    specs[i] = core_spec("flaky-" + std::to_string(i), 400,
+                         static_cast<std::uint64_t>(i + 1));
+    specs[i].max_retries = 2;
+    const auto out = farm.submit(specs[i]);
+    ASSERT_TRUE(out.accepted);
+    ids[i] = out.job_id;
+  }
+  farm.drain();
+  for (int i = 0; i < kJobs; ++i) {
+    const JobResult farm_r = farm.results().get(ids[i]).value();
+    EXPECT_EQ(farm_r.status, JobStatus::kDone) << farm_r.error;
+    EXPECT_EQ(farm_r.failure.kind, FailureKind::kNone);
+    // The retry restarted from scratch on a clean session: the result
+    // is indistinguishable from a run that never failed.
+    std::string why;
+    EXPECT_TRUE(results_equivalent(run_job_standalone(specs[i]), farm_r, &why))
+        << specs[i].name << ": " << why;
+  }
+  farm.shutdown();
+  EXPECT_EQ(metrics.counter_value("farm.retries.scheduled"), kJobs);
+  EXPECT_EQ(metrics.counter_value("farm.retries.scheduled", "kind=transient"),
+            kJobs);
+  EXPECT_EQ(metrics.counter_value("farm.retries.exhausted"), 0u);
+  EXPECT_EQ(metrics.counter_value("farm.jobs.completed"), kJobs);
+  EXPECT_EQ(metrics.counter_value("farm.jobs.failed"), 0u);
+}
+
+TEST(FarmFaultTolerance, PoisonJobQuarantinedAfterExhaustingRetries) {
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 1;
+  opt.retry_backoff_base_us = 50.0;
+  opt.supervisor_interval_ms = 0.0;
+  opt.metrics = &metrics;
+  opt.chaos = [](const ChaosEvent& ev) {
+    // Poison: fails on *every* attempt.
+    return ev.slice == ev.attempt - 1 ? ChaosAction::kThrowTransient
+                                      : ChaosAction::kNone;
+  };
+  SimFarm farm(opt);
+
+  JobSpec spec = core_spec("poison", 400);
+  spec.max_retries = 2;
+  const auto out = farm.submit(spec);
+  ASSERT_TRUE(out.accepted);
+  const JobResult r = farm.wait(out.job_id);
+  EXPECT_EQ(r.status, JobStatus::kFailed);
+  EXPECT_EQ(r.failure.kind, FailureKind::kTransient);
+  EXPECT_TRUE(r.failure.quarantined);
+  EXPECT_EQ(r.failure.attempts, 3u);  // 1 + max_retries, all failed
+  EXPECT_EQ(r.failure.replay, spec.serialize());
+
+  const auto records = farm.quarantined();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].job_id, out.job_id);
+  EXPECT_EQ(records[0].kind, FailureKind::kTransient);
+  EXPECT_EQ(records[0].attempts, 3u);
+  EXPECT_EQ(records[0].replay, spec.serialize());
+
+  farm.shutdown();
+  EXPECT_EQ(metrics.counter_value("farm.retries.scheduled"), 2u);
+  EXPECT_EQ(metrics.counter_value("farm.retries.exhausted"), 1u);
+  EXPECT_EQ(metrics.counter_value("farm.failures.quarantined"), 1u);
+  EXPECT_EQ(metrics.counter_value("farm.jobs.failed", "reason=transient"),
+            1u);
+}
+
+TEST(FarmFaultTolerance, PermanentFailureIsNeverRetried) {
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 1;
+  opt.supervisor_interval_ms = 0.0;
+  opt.metrics = &metrics;
+  opt.chaos = [](const ChaosEvent& ev) {
+    return ev.slice == 1 ? ChaosAction::kThrowPermanent : ChaosAction::kNone;
+  };
+  SimFarm farm(opt);
+
+  JobSpec spec = core_spec("doomed", 400);
+  spec.max_retries = 5;  // budget present — must not be consumed
+  const auto out = farm.submit(spec);
+  ASSERT_TRUE(out.accepted);
+  const JobResult r = farm.wait(out.job_id);
+  EXPECT_EQ(r.status, JobStatus::kFailed);
+  EXPECT_EQ(r.failure.kind, FailureKind::kEngineError);
+  EXPECT_EQ(r.failure.attempts, 1u);
+  EXPECT_FALSE(r.failure.quarantined);
+  EXPECT_FALSE(r.failure.replay.empty());
+  EXPECT_TRUE(farm.quarantined().empty());
+  farm.shutdown();
+  EXPECT_EQ(metrics.counter_value("farm.retries.scheduled"), 0u);
+  EXPECT_EQ(metrics.counter_value("farm.jobs.failed", "reason=engine_error"),
+            1u);
+}
+
+TEST(FarmFaultTolerance, FaultAbortEscalatesWithFinalizedStatsAndQuarantines) {
+  const JobSpec spec = [&] {
+    JobSpec s = aborting_hosted_spec();
+    s.max_retries = 1;
+    return s;
+  }();
+  // The reference: standalone classifies the graceful abort identically.
+  const JobResult standalone = run_job_standalone(spec);
+  ASSERT_EQ(standalone.status, JobStatus::kFailed);
+  ASSERT_EQ(standalone.failure.kind, FailureKind::kFaultAbort);
+  ASSERT_TRUE(standalone.fault_report.aborted);
+  ASSERT_FALSE(standalone.error.empty());
+
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 1;
+  opt.retry_backoff_base_us = 50.0;
+  opt.supervisor_interval_ms = 0.0;
+  opt.metrics = &metrics;
+  SimFarm farm(opt);
+  const auto out = farm.submit(spec);
+  ASSERT_TRUE(out.accepted);
+  const JobResult r = farm.wait(out.job_id);
+  EXPECT_EQ(r.status, JobStatus::kFailed);
+  EXPECT_EQ(r.failure.kind, FailureKind::kFaultAbort);
+  // The abort is deterministic in simulation, so the retry reproduced it
+  // and the job is quarantined — the designed poison path.
+  EXPECT_EQ(r.failure.attempts, 2u);
+  EXPECT_TRUE(r.failure.quarantined);
+  EXPECT_EQ(r.error, standalone.error);
+  // Graceful abort = consistent statistics, finalized on both paths.
+  std::string why;
+  EXPECT_TRUE(results_equivalent(standalone, r, &why)) << why;
+  EXPECT_EQ(farm.quarantined().size(), 1u);
+  farm.shutdown();
+  EXPECT_EQ(metrics.counter_value("farm.retries.scheduled",
+                                  "kind=fault_abort"),
+            1u);
+  EXPECT_EQ(metrics.counter_value("farm.jobs.failed", "reason=fault_abort"),
+            1u);
+}
+
+TEST(FarmFaultTolerance, KilledWorkerIsReclaimedAndJobCompletesIdentically) {
+  for (const bool lose_session : {false, true}) {
+    SCOPED_TRACE(lose_session ? "hard kill (session lost)"
+                              : "graceful kill (checkpoint survives)");
+    obs::MetricsRegistry metrics;
+    FarmOptions opt;
+    opt.num_workers = 2;
+    opt.preempt_quantum = 64;
+    opt.supervisor_interval_ms = 1.0;
+    opt.metrics = &metrics;
+    std::atomic<bool> killed{false};
+    opt.chaos = [&](const ChaosEvent& ev) {
+      if (ev.slice == 2 && !killed.exchange(true)) {
+        return lose_session ? ChaosAction::kKillWorkerLoseSession
+                            : ChaosAction::kKillWorker;
+      }
+      return ChaosAction::kNone;
+    };
+    SimFarm farm(opt);
+    const JobSpec spec = core_spec("survivor", 1'000, 5);
+    const auto out = farm.submit(spec);
+    ASSERT_TRUE(out.accepted);
+    const JobResult r = farm.wait(out.job_id);
+    ASSERT_TRUE(killed.load());
+    EXPECT_EQ(r.status, JobStatus::kDone) << r.error;
+    // Whether resumed from the detach-time checkpoint or restarted from
+    // scratch, the result is bit-identical to an undisturbed run.
+    std::string why;
+    EXPECT_TRUE(results_equivalent(run_job_standalone(spec), r, &why)) << why;
+    farm.shutdown();
+    EXPECT_GE(metrics.counter_value("farm.supervisor.workers_lost"), 1u);
+    EXPECT_GE(metrics.counter_value("farm.supervisor.jobs_reclaimed"), 1u);
+    EXPECT_GE(metrics.counter_value("farm.supervisor.respawns"), 1u);
+  }
+}
+
+TEST(FarmFaultTolerance, StuckWorkerEscalatedBySupervisor) {
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 1;
+  opt.supervisor_interval_ms = 2.0;
+  opt.supervisor_miss_threshold = 3;
+  opt.supervisor_escalate_stuck = true;
+  opt.metrics = &metrics;
+  opt.chaos = [](const ChaosEvent& ev) {
+    if (ev.slice >= 1) {
+      // Wedge the worker between heartbeats, well past the threshold.
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    return ChaosAction::kNone;
+  };
+  SimFarm farm(opt);
+  const auto out = farm.submit(core_spec("wedged", 1'000'000));
+  ASSERT_TRUE(out.accepted);
+  const JobResult r = farm.wait(out.job_id);
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_EQ(r.cancel_cause, CancelCause::kSupervisor);
+  farm.shutdown();
+  EXPECT_GE(metrics.counter_value("farm.supervisor.stuck"), 1u);
+}
+
+TEST(FarmFaultTolerance, BusyTimeBillsSlicesOfFailedJobs) {
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 1;
+  opt.preempt_quantum = 20'000;  // one fat slice, then the failure
+  opt.supervisor_interval_ms = 0.0;
+  opt.metrics = &metrics;
+  opt.chaos = [](const ChaosEvent& ev) {
+    return ev.slice == 1 ? ChaosAction::kThrowPermanent : ChaosAction::kNone;
+  };
+  {
+    SimFarm farm(opt);
+    const auto out = farm.submit(core_spec("billed", 100'000));
+    ASSERT_TRUE(out.accepted);
+    const JobResult r = farm.wait(out.job_id);
+    EXPECT_EQ(r.status, JobStatus::kFailed);
+    EXPECT_GT(r.exec_seconds, 0.0);  // the executed slice is on the bill
+  }  // shutdown() via destructor exports the per-worker counters
+  EXPECT_EQ(metrics.counter_value("farm.jobs.completed"), 0u);
+  EXPECT_GT(metrics.counter_value("farm.worker.busy_us", "worker=0"), 0u);
+}
+
+}  // namespace
+}  // namespace tmsim::farm
