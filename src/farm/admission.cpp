@@ -1,5 +1,6 @@
 #include "farm/admission.h"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 
@@ -30,25 +31,75 @@ const char* reject_reason_name(RejectReason r) {
 
 AdmissionQueue::AdmissionQueue(std::size_t capacity,
                                SystemCycle max_job_cycles,
-                               std::function<double()> now_fn)
+                               std::function<double()> now_fn,
+                               std::size_t num_shards,
+                               BatchKeyFn batch_key_fn)
     : capacity_(capacity),
       max_job_cycles_(max_job_cycles),
-      now_fn_(now_fn ? std::move(now_fn) : steady_now_us) {
+      now_fn_(now_fn ? std::move(now_fn) : steady_now_us),
+      num_shards_(num_shards == 0 ? 1 : num_shards),
+      batch_key_fn_(std::move(batch_key_fn)) {
   TMSIM_CHECK_MSG(capacity >= 1, "queue capacity must be positive");
+  for (ClassQueue& cls : classes_) {
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      cls.shards.push_back(std::make_unique<Shard>());
+    }
+  }
 }
 
-SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us) {
+void AdmissionQueue::signal_enqueue() {
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    enq_ticket_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_one();
+}
+
+void AdmissionQueue::enqueue(QueuedJob job, RequeuePosition pos) {
+  job.seq = pos == RequeuePosition::kFront
+                ? front_seq_.fetch_sub(1, std::memory_order_relaxed)
+                : back_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (batch_key_fn_) {
+    job.batch_key = batch_key_fn_(job.spec);
+  }
+  ClassQueue& cls = classes_[static_cast<std::size_t>(job.spec.priority)];
+  Shard& shard =
+      *cls.shards[cls.rr.fetch_add(1, std::memory_order_relaxed) %
+                  num_shards_];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Keep the shard deque ticket-sorted. Back tickets arrive roughly in
+    // order (a racing pair can invert), front tickets belong near the
+    // front — a short scan from the matching end finds the slot.
+    if (shard.jobs.empty() || shard.jobs.back().seq < job.seq) {
+      shard.jobs.push_back(std::move(job));
+    } else if (shard.jobs.front().seq > job.seq) {
+      shard.jobs.push_front(std::move(job));
+    } else {
+      auto it = shard.jobs.end();
+      while (it != shard.jobs.begin() && std::prev(it)->seq > job.seq) {
+        --it;
+      }
+      shard.jobs.insert(it, std::move(job));
+    }
+  }
+  cls.count.fetch_add(1, std::memory_order_release);
+  total_count_.fetch_add(1, std::memory_order_release);
+  signal_enqueue();
+}
+
+SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us,
+                                     const AcceptHook& on_accept) {
   SubmitOutcome out;
   out.queue_capacity = capacity_;
-  // Validate outside the lock: validation walks GT stream paths and must
+  // Validate outside any lock: validation walks GT stream paths and must
   // not serialize submitters against each other.
   try {
     spec.validate();
   } catch (const std::exception& e) {
     out.reason = RejectReason::kInvalidSpec;
     out.detail = e.what();
-    std::lock_guard<std::mutex> lock(mu_);
-    ++rejected_;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return out;
   }
   if (spec.cycles > max_job_cycles_) {
@@ -56,41 +107,41 @@ SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us) {
     out.detail = "cycle budget " + std::to_string(spec.cycles) +
                  " exceeds the farm ceiling " +
                  std::to_string(max_job_cycles_);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++rejected_;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return out;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  std::size_t total = 0;
-  for (const auto& cls : classes_) {
-    total += cls.size();
-  }
-  if (stopped_) {
+  if (stopped_.load(std::memory_order_acquire)) {
     out.reason = RejectReason::kStopped;
     out.detail = "farm is shutting down";
-    out.queue_depth = total;
-    ++rejected_;
+    out.queue_depth = total_count_.load(std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return out;
   }
-  if (fresh_queued_ >= capacity_) {
+  // Capacity is a lock-free reservation: claim a fresh slot, give it
+  // back on overflow. The bound stays strict under concurrent submits.
+  const std::size_t fresh_before =
+      fresh_queued_.fetch_add(1, std::memory_order_acq_rel);
+  if (fresh_before >= capacity_) {
+    fresh_queued_.fetch_sub(1, std::memory_order_acq_rel);
     out.reason = RejectReason::kQueueFull;
-    out.queue_depth = total;
+    out.queue_depth = total_count_.load(std::memory_order_relaxed);
     // Deterministic backpressure hint: a pure function of the fresh
     // backlog, so identical rejection states yield identical hints (see
     // the header's backpressure contract).
     out.retry_after_us =
-        kRetryAfterUsPerJob * static_cast<double>(fresh_queued_);
-    out.detail = "admission queue full: " +
-                 std::to_string(fresh_queued_) + "/" +
-                 std::to_string(capacity_) + " fresh jobs queued (" +
-                 std::to_string(total) + " total); suggest retrying in " +
-                 std::to_string(static_cast<std::uint64_t>(out.retry_after_us)) +
+        kRetryAfterUsPerJob * static_cast<double>(fresh_before);
+    out.detail = "admission queue full: " + std::to_string(fresh_before) +
+                 "/" + std::to_string(capacity_) + " fresh jobs queued (" +
+                 std::to_string(out.queue_depth) +
+                 " total); suggest retrying in " +
+                 std::to_string(
+                     static_cast<std::uint64_t>(out.retry_after_us)) +
                  "us";
-    ++rejected_;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return out;
   }
   QueuedJob job;
-  job.job_id = next_job_id_++;
+  job.job_id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
   job.spec = std::move(spec);
   job.submitted_us = now_us;
   job.queued_us = now_us;
@@ -98,77 +149,163 @@ SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us) {
     job.deadline_at_us =
         now_us + static_cast<double>(job.spec.deadline_ms) * 1e3;
   }
-  const auto cls = static_cast<std::size_t>(job.spec.priority);
-  classes_[cls].push_back(std::move(job));
-  ++fresh_queued_;
-  ++submitted_;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   out.accepted = true;
-  out.job_id = classes_[cls].back().job_id;
-  out.queue_depth = total + 1;
-  cv_.notify_one();
+  out.job_id = job.job_id;
+  // The accept hook runs before the job is visible to any popper (and
+  // with no queue locks held), closing the submit/pop TOCTOU without a
+  // queue-wide mutex.
+  if (on_accept) {
+    on_accept(job.job_id, job.spec);
+  }
+  enqueue(std::move(job), RequeuePosition::kBack);
+  out.queue_depth = total_count_.load(std::memory_order_relaxed);
   return out;
 }
 
 bool AdmissionQueue::requeue(QueuedJob job, double now_us,
                              RequeuePosition pos) {
-  std::lock_guard<std::mutex> lock(mu_);
   // Deliberately allowed after stop(): admitted work must always be able
   // to come back (returning false would strand the session), and
   // shutdown drains the backlog through pop_blocking() anyway.
   job.queued_us = now_us;
   job.fresh = false;
-  const auto cls = static_cast<std::size_t>(job.spec.priority);
-  if (pos == RequeuePosition::kFront) {
-    classes_[cls].push_front(std::move(job));
-  } else {
-    classes_[cls].push_back(std::move(job));
-  }
-  cv_.notify_one();
+  enqueue(std::move(job), pos);
   return true;
 }
 
-std::optional<QueuedJob> AdmissionQueue::pop_blocking() {
-  std::unique_lock<std::mutex> lock(mu_);
+std::optional<QueuedJob> AdmissionQueue::take_min_eligible(
+    ClassQueue& cls, double now, double& next_eligible,
+    std::uint64_t require_key, bool key_constrained) {
+  // All shard locks of this class are taken in index order (the single
+  // lock-order used everywhere), so the min-ticket choice is atomic
+  // against concurrent pops; submitters still only contend on the one
+  // shard they insert into.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(cls.shards.size());
+  for (auto& shard : cls.shards) {
+    locks.emplace_back(shard->mu);
+  }
+  Shard* best_shard = nullptr;
+  std::size_t best_idx = 0;
+  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  for (auto& shard : cls.shards) {
+    for (std::size_t i = 0; i < shard->jobs.size(); ++i) {
+      const QueuedJob& job = shard->jobs[i];
+      if (job.not_before_us > now) {
+        next_eligible = std::min(next_eligible, job.not_before_us);
+        continue;  // backoff not expired; FIFO among *eligible* jobs
+      }
+      if (job.seq < best_seq) {
+        best_seq = job.seq;
+        best_shard = shard.get();
+        best_idx = i;
+      }
+      break;  // shard is ticket-sorted: first eligible is its minimum
+    }
+  }
+  if (best_shard == nullptr) {
+    return std::nullopt;
+  }
+  if (key_constrained && best_shard->jobs[best_idx].batch_key != require_key) {
+    return std::nullopt;  // next-in-order job is incompatible: stop batch
+  }
+  QueuedJob job = std::move(best_shard->jobs[best_idx]);
+  best_shard->jobs.erase(best_shard->jobs.begin() +
+                         static_cast<std::ptrdiff_t>(best_idx));
+  cls.count.fetch_sub(1, std::memory_order_release);
+  total_count_.fetch_sub(1, std::memory_order_release);
+  if (job.fresh) {
+    fresh_queued_.fetch_sub(1, std::memory_order_acq_rel);
+    job.fresh = false;
+  }
+  return job;
+}
+
+std::vector<QueuedJob> AdmissionQueue::pop_batch_blocking(
+    std::size_t max_batch) {
+  TMSIM_CHECK_MSG(max_batch >= 1, "batch size must be positive");
+  std::vector<QueuedJob> batch;
   for (;;) {
+    const std::uint64_t ticket = enq_ticket_.load(std::memory_order_acquire);
     const double now = now_fn_();
     double next_eligible = std::numeric_limits<double>::infinity();
-    for (auto& cls : classes_) {
-      for (auto it = cls.begin(); it != cls.end(); ++it) {
-        if (it->not_before_us > now) {
-          next_eligible = std::min(next_eligible, it->not_before_us);
-          continue;  // backoff not expired; FIFO among *eligible* jobs
-        }
-        QueuedJob job = std::move(*it);
-        cls.erase(it);
-        if (job.fresh) {
-          --fresh_queued_;
-          job.fresh = false;
-        }
-        return job;
+    for (ClassQueue& cls : classes_) {
+      if (cls.count.load(std::memory_order_acquire) == 0) {
+        continue;
       }
+      std::optional<QueuedJob> head = take_min_eligible(
+          cls, now, next_eligible, /*require_key=*/0,
+          /*key_constrained=*/false);
+      if (!head) {
+        continue;
+      }
+      const std::uint64_t key = head->batch_key;
+      batch.push_back(std::move(*head));
+      // Batch growth never skips or overtakes: it only extends while the
+      // very next eligible job (in ticket order) of the same class
+      // shares the head's compatibility key.
+      while (batch.size() < max_batch && batch_key_fn_ && key != 0) {
+        double ignored = std::numeric_limits<double>::infinity();
+        std::optional<QueuedJob> next = take_min_eligible(
+            cls, now, ignored, key, /*key_constrained=*/true);
+        if (!next) {
+          break;
+        }
+        batch.push_back(std::move(*next));
+      }
+      return batch;
     }
     if (next_eligible < std::numeric_limits<double>::infinity()) {
       // Only backoff'd jobs remain (stopped or not — admitted work is
-      // drained either way). Sleep until the earliest becomes eligible.
+      // drained either way). Sleep until the earliest becomes eligible
+      // or a new enqueue changes the picture.
+      std::unique_lock<std::mutex> lock(wait_mu_);
+      if (enq_ticket_.load(std::memory_order_acquire) != ticket) {
+        continue;
+      }
       const auto wake_us = static_cast<std::int64_t>(
           std::max(1.0, next_eligible - now));
-      cv_.wait_for(lock, std::chrono::microseconds(wake_us));
+      cv_.wait_for(lock, std::chrono::microseconds(wake_us), [&] {
+        return enq_ticket_.load(std::memory_order_acquire) != ticket;
+      });
       continue;
     }
-    if (stopped_) {
-      return std::nullopt;
+    std::unique_lock<std::mutex> lock(wait_mu_);
+    if (enq_ticket_.load(std::memory_order_acquire) != ticket) {
+      continue;  // an enqueue raced the scan; rescan instead of sleeping
     }
-    cv_.wait(lock);
+    if (stopped_.load(std::memory_order_acquire) &&
+        total_count_.load(std::memory_order_acquire) == 0) {
+      return batch;  // empty: stopped and drained
+    }
+    cv_.wait(lock, [&] {
+      return enq_ticket_.load(std::memory_order_acquire) != ticket;
+    });
   }
 }
 
+std::optional<QueuedJob> AdmissionQueue::pop_blocking() {
+  std::vector<QueuedJob> batch = pop_batch_blocking(1);
+  if (batch.empty()) {
+    return std::nullopt;
+  }
+  return std::move(batch.front());
+}
+
 bool AdmissionQueue::has_higher_than(Priority p) const {
-  std::lock_guard<std::mutex> lock(mu_);
   const double now = now_fn_();
   for (std::size_t c = 0; c < static_cast<std::size_t>(p); ++c) {
-    for (const QueuedJob& job : classes_[c]) {
-      if (job.not_before_us <= now) {
-        return true;
+    const ClassQueue& cls = classes_[c];
+    if (cls.count.load(std::memory_order_acquire) == 0) {
+      continue;  // lock-free fast path: class empty
+    }
+    for (const auto& shard : cls.shards) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (const QueuedJob& job : shard->jobs) {
+        if (job.not_before_us <= now) {
+          return true;
+        }
       }
     }
   }
@@ -176,38 +313,33 @@ bool AdmissionQueue::has_higher_than(Priority p) const {
 }
 
 void AdmissionQueue::stop() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stopped_ = true;
+  stopped_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    enq_ticket_.fetch_add(1, std::memory_order_release);
+  }
   cv_.notify_all();
 }
 
 bool AdmissionQueue::stopped() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stopped_;
+  return stopped_.load(std::memory_order_acquire);
 }
 
 std::size_t AdmissionQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::size_t total = 0;
-  for (const auto& cls : classes_) {
-    total += cls.size();
-  }
-  return total;
+  return total_count_.load(std::memory_order_acquire);
 }
 
 std::size_t AdmissionQueue::depth(Priority p) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return classes_[static_cast<std::size_t>(p)].size();
+  return classes_[static_cast<std::size_t>(p)].count.load(
+      std::memory_order_acquire);
 }
 
 std::uint64_t AdmissionQueue::jobs_submitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return submitted_;
+  return submitted_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t AdmissionQueue::jobs_rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return rejected_;
+  return rejected_.load(std::memory_order_relaxed);
 }
 
 }  // namespace tmsim::farm

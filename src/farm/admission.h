@@ -30,8 +30,27 @@
 // `not_before_us` backoff stamp — so a flaky job never starves fresh
 // work of its own class. A job whose not_before_us lies in the future is
 // invisible to pop_blocking() until the backoff expires.
+//
+// ## Sharded hot path (DESIGN.md §14)
+//
+// Internally each priority class is split into S shards, each a small
+// seq-sorted deque behind its own mutex. Ordering is carried by *global
+// sequence tickets*, not by queue position: every enqueue draws a ticket
+// from a lock-free counter (back tickets count up, front-requeue tickets
+// count down), and pop serves the minimum-ticket eligible job of the
+// highest non-empty class — which reproduces the exact strict-priority /
+// FIFO-among-eligible order of the old single-mutex queue. A submitter
+// therefore touches one atomic (capacity reservation), one ticket draw
+// and one shard mutex; submitters only collide 1/S of the time, and
+// never hold a lock while validating a spec. Class occupancy lives in
+// per-class atomic counters so has_higher_than(), the per-slice
+// preemption probe, is lock-free in the common "no higher work" case.
+// Wakeups go through a dedicated wait mutex + enqueue ticket so a
+// blocked popper can never miss an enqueue that raced its scan.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -40,6 +59,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "farm/job_spec.h"
 #include "farm/session.h"
@@ -95,6 +115,11 @@ struct QueuedJob {
   double deadline_at_us = 0.0;
   /// Retry backoff: invisible to pop_blocking() before this instant.
   double not_before_us = 0.0;
+  /// Batch-compatibility key (engine-cache identity in the farm),
+  /// stamped at enqueue from the queue's batch_key_fn. 0 = unbatchable.
+  std::uint64_t batch_key = 0;
+  /// Global FIFO ticket (queue-internal; see header).
+  std::uint64_t seq = 0;
 };
 
 /// Where requeued work re-enters its priority class.
@@ -105,17 +130,31 @@ enum class RequeuePosition : std::uint8_t {
 
 class AdmissionQueue {
  public:
+  /// Computes a job's batch-compatibility key (the farm passes the
+  /// engine-cache key hash). Jobs pop together only when keys match.
+  using BatchKeyFn = std::function<std::uint64_t(const JobSpec&)>;
+  /// Runs on accepted submissions after the job id is assigned but
+  /// *before* the job becomes poppable — the farm installs its per-job
+  /// control record here so a worker can never see a control-less job.
+  /// Called with no queue locks held.
+  using AcceptHook = std::function<void(std::uint64_t job_id,
+                                        const JobSpec& spec)>;
+
   /// `capacity` bounds *fresh* submissions queued at once;
   /// `max_job_cycles` is the per-job cycle ceiling (kTooLarge above it).
   /// `now_fn` supplies the clock `not_before_us` stamps are compared
   /// against (defaults to a steady µs clock; the farm passes its own so
-  /// queue time and timeline time share an epoch).
+  /// queue time and timeline time share an epoch). `num_shards` is the
+  /// per-class shard count; `batch_key_fn` enables pop_batch_blocking.
   AdmissionQueue(std::size_t capacity, SystemCycle max_job_cycles,
-                 std::function<double()> now_fn = {});
+                 std::function<double()> now_fn = {},
+                 std::size_t num_shards = 4, BatchKeyFn batch_key_fn = {});
 
   /// Validates and either enqueues (assigning a job id and stamping the
-  /// deadline) or rejects. Never blocks.
-  SubmitOutcome submit(JobSpec spec, double now_us);
+  /// deadline) or rejects. Never blocks. `on_accept`, when given, runs
+  /// after the id is assigned and before the job is visible to poppers.
+  SubmitOutcome submit(JobSpec spec, double now_us,
+                       const AcceptHook& on_accept = {});
 
   /// Re-enqueues admitted work. Exempt from the capacity bound and
   /// deliberately allowed after stop() — admitted work must always be
@@ -126,14 +165,23 @@ class AdmissionQueue {
                RequeuePosition pos = RequeuePosition::kFront);
 
   /// Blocks until eligible work is available (highest priority class
-  /// first, FIFO within a class, jobs with a future not_before_us
-  /// skipped until their backoff expires) or the queue is
+  /// first, FIFO-by-ticket within a class, jobs with a future
+  /// not_before_us skipped until their backoff expires) or the queue is
   /// stopped-and-empty (then nullopt). Backoff'd jobs are still drained
   /// after stop(): admitted work always resolves.
   std::optional<QueuedJob> pop_blocking();
 
+  /// Like pop_blocking(), but amortizes dispatch: after serving the
+  /// head job it keeps popping while the *next* eligible job of the
+  /// same class (in ticket order — nothing is skipped or overtaken)
+  /// shares the head's batch key, up to `max_batch` jobs. Returns an
+  /// empty vector exactly when pop_blocking() would return nullopt.
+  /// With no batch_key_fn configured every batch has size 1.
+  std::vector<QueuedJob> pop_batch_blocking(std::size_t max_batch);
+
   /// True when any queued *eligible* job outranks `p` — the preemption
-  /// predicate workers poll between quanta.
+  /// predicate workers poll between quanta. Lock-free when every higher
+  /// class is empty.
   bool has_higher_than(Priority p) const;
 
   /// Wakes all waiters; pop_blocking() drains the backlog then returns
@@ -147,18 +195,56 @@ class AdmissionQueue {
   std::uint64_t jobs_rejected() const;
 
  private:
+  /// One seq-sorted sub-queue. Entries are kept ordered by ticket so a
+  /// scan reads eligible candidates in FIFO order.
+  struct Shard {
+    mutable std::mutex mu;
+    std::deque<QueuedJob> jobs;
+  };
+  struct ClassQueue {
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::atomic<std::size_t> count{0};   ///< jobs across shards
+    std::atomic<std::size_t> rr{0};      ///< round-robin enqueue cursor
+  };
+
+  void enqueue(QueuedJob job, RequeuePosition pos);
+  void signal_enqueue();
+  /// Scans class `c` (all shard locks held in index order) for the
+  /// minimum-ticket eligible job; removes and returns it. Updates
+  /// `next_eligible` with the earliest backoff expiry seen.
+  std::optional<QueuedJob> take_min_eligible(ClassQueue& cls, double now,
+                                             double& next_eligible,
+                                             std::uint64_t require_key,
+                                             bool key_constrained);
+
   const std::size_t capacity_;
   const SystemCycle max_job_cycles_;
   const std::function<double()> now_fn_;
+  const std::size_t num_shards_;
+  const BatchKeyFn batch_key_fn_;
 
-  mutable std::mutex mu_;
+  std::array<ClassQueue, kNumPriorities> classes_;
+
+  // Global order tickets: fresh/back enqueues count up from the middle
+  // of the range, front requeues count down — so a front requeue always
+  // orders before everything already queued, and repeated front
+  // requeues keep push_front's most-recent-first order.
+  std::atomic<std::uint64_t> back_seq_{1ull << 32};
+  std::atomic<std::uint64_t> front_seq_{(1ull << 32) - 1};
+
+  std::atomic<std::size_t> total_count_{0};
+  std::atomic<std::size_t> fresh_queued_{0};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> next_job_id_{1};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+
+  // Wakeup protocol: enq_ticket_ is bumped under wait_mu_ after every
+  // enqueue/stop, so a popper that saw nothing re-checks the ticket
+  // under wait_mu_ before sleeping — a racing enqueue can't be missed.
+  mutable std::mutex wait_mu_;
   std::condition_variable cv_;
-  std::deque<QueuedJob> classes_[kNumPriorities];
-  std::size_t fresh_queued_ = 0;  ///< fresh entries across classes
-  bool stopped_ = false;
-  std::uint64_t next_job_id_ = 1;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t rejected_ = 0;
+  std::atomic<std::uint64_t> enq_ticket_{0};
 };
 
 }  // namespace tmsim::farm

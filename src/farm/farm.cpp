@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <sstream>
 
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
@@ -10,18 +9,6 @@
 namespace tmsim::farm {
 
 namespace {
-
-std::string engine_cache_key(const JobSpec& spec) {
-  const core::EngineOptions opts = effective_engine_options(spec, true);
-  std::ostringstream os;
-  os << spec.net.width << "x" << spec.net.height << ":"
-     << static_cast<int>(spec.net.topology) << ":" << spec.net.router.num_vcs
-     << ":" << spec.net.router.queue_depth << ":"
-     << static_cast<int>(opts.policy) << ":" << opts.num_shards << ":"
-     << static_cast<int>(opts.partition) << ":"
-     << static_cast<int>(opts.scheduler);
-  return os.str();
-}
 
 std::string worker_label(std::size_t w) {
   return "worker=" + std::to_string(w);
@@ -48,7 +35,11 @@ const char* cancel_result_name(CancelResult r) {
 SimFarm::SimFarm(FarmOptions opt)
     : opt_(opt),
       queue_(opt.queue_capacity, opt.max_job_cycles,
-             [this] { return now_us(); }),
+             [this] { return now_us(); }, opt.admission_shards,
+             // Batch compatibility = engine-cache identity: the queue
+             // only hands out multi-job batches that can share one warm
+             // engine without re-attach.
+             [](const JobSpec& spec) { return engine_cache_key_hash(spec); }),
       results_(opt.completion_feed_depth) {
   TMSIM_CHECK_MSG(opt_.num_workers >= 1, "farm needs at least one worker");
   TMSIM_CHECK_MSG(opt_.preempt_quantum >= 1, "quantum must be positive");
@@ -79,10 +70,13 @@ double SimFarm::now_us() const {
 }
 
 void SimFarm::update_queue_gauges() {
-  // Callers hold farm_mu_, so each gauge keeps a single writer at a time.
+  // Gauges are refreshed at supervisor cadence and at shutdown, not on
+  // every submit/publish — a point-in-time depth does not need (and the
+  // sharded hot path does not pay for) per-event precision.
   if (!opt_.metrics) {
     return;
   }
+  std::lock_guard<std::mutex> lock(metrics_mu_);
   for (std::size_t c = 0; c < kNumPriorities; ++c) {
     const auto p = static_cast<Priority>(c);
     opt_.metrics->gauge("farm.queue.depth",
@@ -94,26 +88,29 @@ void SimFarm::update_queue_gauges() {
 SubmitOutcome SimFarm::submit(const JobSpec& spec) {
   SubmitOutcome out;
   const double now = now_us();
-  // farm_mu_ spans the enqueue *and* the control-record insert: the
-  // instant queue_.submit makes the job poppable a worker may grab it,
-  // and run_job's first act is to look up the control record under
-  // farm_mu_ — it must already exist by the time we release.
-  std::lock_guard<std::mutex> lock(farm_mu_);
-  if (stopping_) {
+  if (stopping_.load(std::memory_order_acquire)) {
     out.reason = RejectReason::kStopped;
     out.detail = "farm is shutting down";
   } else {
-    out = queue_.submit(spec, now);
-  }
-  if (out.accepted) {
-    ++inflight_;
-    JobControl ctl;
-    if (spec.deadline_ms > 0) {
-      ctl.deadline_at_us = now + static_cast<double>(spec.deadline_ms) * 1e3;
-    }
-    control_.emplace(out.job_id, std::move(ctl));
+    // The accept hook installs the control record after the job id is
+    // assigned and *before* the job becomes poppable, so a worker can
+    // never see a control-less job — the old TOCTOU fix, without
+    // holding any farm-wide lock across the enqueue.
+    out = queue_.submit(spec, now,
+                        [this, now](std::uint64_t id, const JobSpec& s) {
+                          inflight_.fetch_add(1, std::memory_order_relaxed);
+                          JobControl ctl;
+                          if (s.deadline_ms > 0) {
+                            ctl.deadline_at_us =
+                                now + static_cast<double>(s.deadline_ms) * 1e3;
+                          }
+                          ControlShard& shard = control_shard(id);
+                          std::lock_guard<std::mutex> lock(shard.mu);
+                          shard.map.emplace(id, std::move(ctl));
+                        });
   }
   if (opt_.metrics) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
     opt_.metrics->counter("farm.admission.submitted").add();
     if (out.accepted) {
       opt_.metrics->counter("farm.admission.accepted").add();
@@ -125,27 +122,34 @@ SubmitOutcome SimFarm::submit(const JobSpec& spec) {
           .add();
     }
   }
-  update_queue_gauges();
   return out;
 }
 
 CancelResult SimFarm::cancel(std::uint64_t job_id) {
-  std::lock_guard<std::mutex> lock(farm_mu_);
-  const auto it = control_.find(job_id);
-  if (it == control_.end()) {
+  ControlShard& shard = control_shard(job_id);
+  bool requested = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(job_id);
+    if (it != shard.map.end()) {
+      if (it->second.terminal) {
+        return CancelResult::kAlreadyFinished;
+      }
+      if (it->second.cause == CancelCause::kNone) {
+        it->second.cause = CancelCause::kUser;
+      }
+      it->second.cancel->store(true, std::memory_order_relaxed);
+      requested = true;
+    }
+  }
+  if (!requested) {
     // Control blocks live from admission to publish: absent + published
     // means finished, absent + unpublished means never ours.
     return results_.get(job_id) ? CancelResult::kAlreadyFinished
                                 : CancelResult::kUnknownJob;
   }
-  if (it->second.terminal) {
-    return CancelResult::kAlreadyFinished;
-  }
-  if (it->second.cause == CancelCause::kNone) {
-    it->second.cause = CancelCause::kUser;
-  }
-  it->second.cancel->store(true, std::memory_order_relaxed);
   if (opt_.metrics) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
     opt_.metrics->counter("farm.cancellations.requested").add();
   }
   return CancelResult::kRequested;
@@ -170,15 +174,54 @@ std::uint64_t SimFarm::jobs_reclaimed() const {
 }
 
 void SimFarm::drain() {
-  std::unique_lock<std::mutex> lock(farm_mu_);
-  idle_cv_.wait(lock, [&] { return inflight_ == 0; });
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  idle_cv_.wait(
+      lock, [&] { return inflight_.load(std::memory_order_acquire) == 0; });
+}
+
+std::optional<JobResult> SimFarm::memo_lookup(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  const auto it = memo_map_.find(fingerprint);
+  if (it == memo_map_.end()) {
+    ++memo_misses_;
+    return std::nullopt;
+  }
+  memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
+  ++memo_hits_;
+  return it->second->result;
+}
+
+void SimFarm::memo_store(std::uint64_t fingerprint, const JobResult& r) {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  if (memo_map_.contains(fingerprint)) {
+    return;  // concurrent duplicate runs: first insert wins, both valid
+  }
+  MemoEntry entry;
+  entry.fingerprint = fingerprint;
+  entry.result = r;
+  // Only the simulation-visible surface is memo material; the original
+  // run's scheduling record is scrubbed so a served copy carries its own.
+  entry.result.memo_hit = false;
+  entry.result.preemptions = 0;
+  entry.result.slices = 0;
+  entry.result.last_worker = 0;
+  entry.result.queue_seconds = 0.0;
+  entry.result.exec_seconds = 0.0;
+  entry.result.turnaround_seconds = 0.0;
+  entry.result.failure.last_checkpoint_cycle = 0;
+  entry.result.failure.last_checkpoint_digest = 0;
+  memo_lru_.push_front(std::move(entry));
+  memo_map_.emplace(fingerprint, memo_lru_.begin());
+  ++memo_inserts_;
+  while (memo_lru_.size() > opt_.memo_capacity) {
+    memo_map_.erase(memo_lru_.back().fingerprint);
+    memo_lru_.pop_back();
+    ++memo_evictions_;
+  }
 }
 
 void SimFarm::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(farm_mu_);
-    stopping_ = true;
-  }
+  stopping_.store(true, std::memory_order_release);
   // 1. Stop the supervisor first: below this line nothing reclaims or
   //    respawns concurrently, so the joins are race-free.
   if (supervisor_.joinable()) {
@@ -218,34 +261,91 @@ void SimFarm::shutdown() {
   while (std::optional<QueuedJob> job = queue_.pop_blocking()) {
     publish_cancelled(0, *job, CancelCause::kSupervisor);
   }
-  // 5. End-of-life instruments.
+  update_queue_gauges();
+  // 5. End-of-life instruments (all worker threads joined above, so the
+  //    per-worker rows have a single writer: this thread).
   const double end_us = now_us();
   if (opt_.metrics && end_us > 0.0) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
     for (std::size_t w = 0; w < workers_.size(); ++w) {
+      const Worker& wk = *workers_[w];
       opt_.metrics->gauge("farm.worker.utilization", worker_label(w))
-          .set(workers_[w]->busy_us / end_us);
+          .set(wk.busy_us / end_us);
       opt_.metrics->counter("farm.worker.busy_us", worker_label(w))
-          .set(static_cast<std::uint64_t>(workers_[w]->busy_us));
+          .set(static_cast<std::uint64_t>(wk.busy_us));
       opt_.metrics->counter("farm.worker.cache_hits", worker_label(w))
-          .set(workers_[w]->cache_hits);
+          .set(wk.cache_hits);
       opt_.metrics->counter("farm.worker.cache_misses", worker_label(w))
-          .set(workers_[w]->cache_misses);
+          .set(wk.cache_misses);
+      // Pipeline-stage breakdown (queue-wait / attach / run / publish) —
+      // the throughput bench sums these across workers.
+      opt_.metrics->counter("farm.stage.queue_wait_us", worker_label(w))
+          .set(static_cast<std::uint64_t>(wk.queue_wait_us));
+      opt_.metrics->counter("farm.stage.attach_us", worker_label(w))
+          .set(static_cast<std::uint64_t>(wk.attach_us));
+      opt_.metrics->counter("farm.stage.run_us", worker_label(w))
+          .set(static_cast<std::uint64_t>(wk.busy_us));
+      opt_.metrics->counter("farm.stage.publish_us", worker_label(w))
+          .set(static_cast<std::uint64_t>(wk.publish_us));
+      opt_.metrics->counter("farm.batch.batches", worker_label(w))
+          .set(wk.batches);
+      opt_.metrics->counter("farm.batch.batched_jobs", worker_label(w))
+          .set(wk.batched_jobs);
     }
+    std::lock_guard<std::mutex> memo_lock(memo_mu_);
+    opt_.metrics->counter("farm.memo.hits").set(memo_hits_);
+    opt_.metrics->counter("farm.memo.misses").set(memo_misses_);
+    opt_.metrics->counter("farm.memo.inserts").set(memo_inserts_);
+    opt_.metrics->counter("farm.memo.evictions").set(memo_evictions_);
+    opt_.metrics->gauge("farm.memo.size")
+        .set(static_cast<double>(memo_lru_.size()));
+  }
+}
+
+void SimFarm::requeue_batch_tail(std::vector<QueuedJob>& batch,
+                                 std::size_t from) {
+  // Front tickets count *down*, so requeuing in reverse order leaves the
+  // tail at the front of its class in its original relative order.
+  const double now = now_us();
+  for (std::size_t k = batch.size(); k > from; --k) {
+    queue_.requeue(std::move(batch[k - 1]), now, RequeuePosition::kFront);
   }
 }
 
 void SimFarm::worker_main(std::size_t w) {
   Worker& worker = *workers_[w];
+  const std::size_t max_batch = std::max<std::size_t>(1, opt_.batch_max_jobs);
   for (;;) {
     worker.idle.store(true, std::memory_order_relaxed);
-    std::optional<QueuedJob> job = queue_.pop_blocking();
+    std::vector<QueuedJob> batch = queue_.pop_batch_blocking(max_batch);
     worker.idle.store(false, std::memory_order_relaxed);
-    if (!job) {
+    if (batch.empty()) {
       return;
     }
     worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
-    if (!run_job(w, std::move(*job))) {
-      return;  // killed: the orphan slot holds any in-flight job
+    const double popped_us = now_us();
+    for (const QueuedJob& job : batch) {
+      worker.queue_wait_us += std::max(0.0, popped_us - job.queued_us);
+    }
+    if (batch.size() > 1) {
+      ++worker.batches;
+      worker.batched_jobs += batch.size();
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (i > 0 && queue_.has_higher_than(batch[i].spec.priority)) {
+        // Urgent work arrived mid-batch: scheduling invisibility beats
+        // dispatch amortization — hand the untouched tail back, in
+        // order, and let the pop loop serve the higher class first.
+        requeue_batch_tail(batch, i);
+        break;
+      }
+      if (!run_job(w, std::move(batch[i]))) {
+        // Killed: the orphan slot holds any in-flight job; the untouched
+        // tail goes back before the thread exits (the reclaim join is
+        // the happens-before edge that makes this visible).
+        requeue_batch_tail(batch, i + 1);
+        return;
+      }
     }
   }
 }
@@ -301,14 +401,31 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
   const bool resumed = job.session != nullptr;
   std::shared_ptr<std::atomic<bool>> token;
   {
-    std::lock_guard<std::mutex> lock(farm_mu_);
-    const auto it = control_.find(job.job_id);
-    TMSIM_CHECK_MSG(it != control_.end(),
+    ControlShard& shard = control_shard(job.job_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(job.job_id);
+    TMSIM_CHECK_MSG(it != shard.map.end(),
                     "in-flight job without a control record");
     token = it->second.cancel;
-    worker.current_job = job.job_id;
+  }
+  worker.current_job.store(job.job_id, std::memory_order_relaxed);
+  // Memo fast path: only a fresh, never-run attempt may be served from
+  // the cache (a resumed or retried job keeps executing), and a cancel
+  // or deadline that arrived while queued still wins over a hit.
+  if (opt_.memo_capacity > 0 && !job.session && job.slices == 0 &&
+      job.attempts <= 1 && !token->load(std::memory_order_relaxed)) {
+    const double mnow = now_us();
+    if (!(job.deadline_at_us > 0.0 && mnow >= job.deadline_at_us)) {
+      if (std::optional<JobResult> hit = memo_lookup(job.spec.fingerprint())) {
+        hit->memo_hit = true;
+        job.first_us = mnow;
+        publish(w, job, std::move(*hit));
+        return true;
+      }
+    }
   }
   try {
+    const double a0 = now_us();
     if (!job.session) {
       job.session = std::make_shared<SimSession>(job.spec);
     }
@@ -319,8 +436,9 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
     if (job.session->needs_engine()) {
       job.session->attach(acquire_engine(w, job.spec), opt_.paranoid_resume);
     }
+    worker.attach_us += now_us() - a0;
     if (resumed && opt_.metrics) {
-      std::lock_guard<std::mutex> lock(farm_mu_);
+      std::lock_guard<std::mutex> lock(metrics_mu_);
       opt_.metrics->counter("farm.resumes").add();
     }
     for (;;) {
@@ -374,9 +492,9 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
           opt_.timeline->instant("farm.worker.die", now_us(), tid,
                                  {{"job", job.spec.name}});
         }
+        worker.current_job.store(0, std::memory_order_relaxed);
         {
           std::lock_guard<std::mutex> lock(farm_mu_);
-          worker.current_job = 0;
           worker.orphan = std::move(job);
         }
         worker.dead.store(true, std::memory_order_release);
@@ -400,7 +518,12 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
       job.exec_us += t1 - t0;
       ++job.slices;
       if (opt_.metrics) {
-        opt_.metrics->counter("farm.worker.slices", worker_label(w)).add();
+        if (worker.slices_counter == nullptr) {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          worker.slices_counter =
+              &opt_.metrics->counter("farm.worker.slices", worker_label(w));
+        }
+        worker.slices_counter->add();
       }
       if (opt_.timeline) {
         opt_.timeline->span(
@@ -420,19 +543,13 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
                                  {{"job", job.spec.name}});
         }
         ++job.preemptions;
-        {
-          std::lock_guard<std::mutex> lock(farm_mu_);
-          worker.current_job = 0;
-          if (opt_.metrics) {
-            opt_.metrics->counter("farm.preemptions").add();
-            opt_.metrics->counter("farm.checkpoints").add();
-          }
+        worker.current_job.store(0, std::memory_order_relaxed);
+        if (opt_.metrics) {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          opt_.metrics->counter("farm.preemptions").add();
+          opt_.metrics->counter("farm.checkpoints").add();
         }
         queue_.requeue(std::move(job), now_us(), RequeuePosition::kFront);
-        {
-          std::lock_guard<std::mutex> lock(farm_mu_);
-          update_queue_gauges();
-        }
         return true;
       }
     }
@@ -465,22 +582,16 @@ bool SimFarm::finish_failure(std::size_t w, QueuedJob& job, FailureKind kind,
     ++job.attempts;
     const double now = now_us();
     job.not_before_us = now + retry_backoff_us(job.spec, attempt);
-    {
-      std::lock_guard<std::mutex> lock(farm_mu_);
-      workers_[w]->current_job = 0;
-      if (opt_.metrics) {
-        opt_.metrics->counter("farm.retries.scheduled").add();
-        opt_.metrics
-            ->counter("farm.retries.scheduled",
-                      std::string("kind=") + failure_kind_name(kind))
-            .add();
-      }
+    workers_[w]->current_job.store(0, std::memory_order_relaxed);
+    if (opt_.metrics) {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      opt_.metrics->counter("farm.retries.scheduled").add();
+      opt_.metrics
+          ->counter("farm.retries.scheduled",
+                    std::string("kind=") + failure_kind_name(kind))
+          .add();
     }
     queue_.requeue(std::move(job), now, RequeuePosition::kBack);
-    {
-      std::lock_guard<std::mutex> lock(farm_mu_);
-      update_queue_gauges();
-    }
     return true;
   }
   JobResult r;
@@ -501,9 +612,12 @@ bool SimFarm::finish_failure(std::size_t w, QueuedJob& job, FailureKind kind,
     q.attempts = job.attempts;
     q.message = message;
     q.replay = r.failure.replay;
-    std::lock_guard<std::mutex> lock(farm_mu_);
-    quarantine_.push_back(std::move(q));
+    {
+      std::lock_guard<std::mutex> lock(farm_mu_);
+      quarantine_.push_back(std::move(q));
+    }
     if (opt_.metrics) {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
       opt_.metrics->counter("farm.retries.exhausted").add();
       opt_.metrics->counter("farm.failures.quarantined").add();
     }
@@ -521,6 +635,7 @@ void SimFarm::publish_cancelled(std::size_t w, QueuedJob& job,
 }
 
 void SimFarm::publish(std::size_t w, QueuedJob& job, JobResult r) {
+  const double p0 = now_us();
   r.job_id = job.job_id;
   r.spec_fingerprint = job.spec.fingerprint();
   r.name = job.spec.name;
@@ -551,12 +666,16 @@ void SimFarm::publish(std::size_t w, QueuedJob& job, JobResult r) {
   {
     // Terminal race arbitration: the first publisher marks the control
     // block terminal and wins; any later publisher for the same job is
-    // suppressed — exactly one result per accepted job, always.
-    std::lock_guard<std::mutex> lock(farm_mu_);
-    const auto it = control_.find(job.job_id);
-    if (it != control_.end()) {
+    // suppressed — exactly one result per accepted job, always. Only
+    // this job's control shard is touched; publishes of unrelated jobs
+    // proceed in parallel.
+    ControlShard& shard = control_shard(job.job_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(job.job_id);
+    if (it != shard.map.end()) {
       if (it->second.terminal) {
-        workers_[w]->current_job = 0;
+        workers_[w]->current_job.store(0, std::memory_order_relaxed);
+        workers_[w]->publish_us += now_us() - p0;
         return;
       }
       it->second.terminal = true;
@@ -575,17 +694,30 @@ void SimFarm::publish(std::size_t w, QueuedJob& job, JobResult r) {
           std::string("cancelled: ") + cancel_cause_name(r.cancel_cause);
     }
   }
+  if (opt_.memo_capacity > 0 && r.status == JobStatus::kDone && !r.memo_hit) {
+    memo_store(r.spec_fingerprint, r);
+  }
   const JobStatus status = r.status;
   const FailureKind kind = r.failure.kind;
   const CancelCause cause = r.cancel_cause;
+  const bool memo_hit = r.memo_hit;
   const bool feed_dropped = results_.put(std::move(r));
-
-  std::lock_guard<std::mutex> lock(farm_mu_);
-  workers_[w]->current_job = 0;
+  {
+    // The control block outlives the result's visibility (cancel() reads
+    // "absent + published" as finished), so erase only after put().
+    ControlShard& shard = control_shard(job.job_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.erase(job.job_id);
+  }
+  workers_[w]->current_job.store(0, std::memory_order_relaxed);
   if (opt_.metrics) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
     switch (status) {
       case JobStatus::kDone:
         opt_.metrics->counter("farm.jobs.completed").add();
+        if (memo_hit) {
+          opt_.metrics->counter("farm.jobs.completed", "memo=hit").add();
+        }
         break;
       case JobStatus::kFailed:
         opt_.metrics->counter("farm.jobs.failed").add();
@@ -609,11 +741,13 @@ void SimFarm::publish(std::size_t w, QueuedJob& job, JobResult r) {
       opt_.metrics->counter("farm.results.feed_dropped").add();
     }
   }
-  update_queue_gauges();
-  control_.erase(job.job_id);
-  TMSIM_CHECK_MSG(inflight_ > 0, "result published for an untracked job");
-  --inflight_;
-  if (inflight_ == 0) {
+  workers_[w]->publish_us += now_us() - p0;
+  const std::size_t before = inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  TMSIM_CHECK_MSG(before > 0, "result published for an untracked job");
+  if (before == 1) {
+    // Empty critical section: a drain()er that read inflight_ != 0 under
+    // drain_mu_ is guaranteed to be inside wait() before we notify.
+    { std::lock_guard<std::mutex> lock(drain_mu_); }
     idle_cv_.notify_all();
   }
 }
@@ -635,31 +769,38 @@ void SimFarm::supervisor_main() {
 
 void SimFarm::supervisor_scan() {
   if (opt_.metrics) {
-    std::lock_guard<std::mutex> lock(farm_mu_);
+    std::lock_guard<std::mutex> lock(metrics_mu_);
     opt_.metrics->counter("farm.supervisor.scans").add();
   }
   // Deadline enforcement for jobs the workers cannot see yet (still
   // queued, or mid-quantum on a hosted stack — the token stops the host
   // at its next simulation-period boundary).
+  std::uint64_t deadlines_enforced = 0;
   {
-    std::lock_guard<std::mutex> lock(farm_mu_);
     const double now = now_us();
-    for (auto& [id, ctl] : control_) {
-      if (ctl.terminal || ctl.deadline_at_us <= 0.0 ||
-          now < ctl.deadline_at_us ||
-          ctl.cancel->load(std::memory_order_relaxed)) {
-        continue;
-      }
-      if (ctl.cause == CancelCause::kNone) {
-        ctl.cause = CancelCause::kDeadline;
-      }
-      ctl.cancel->store(true, std::memory_order_relaxed);
-      if (opt_.metrics) {
-        opt_.metrics->counter("farm.supervisor.deadlines_enforced").add();
+    for (ControlShard& shard : control_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto& [id, ctl] : shard.map) {
+        if (ctl.terminal || ctl.deadline_at_us <= 0.0 ||
+            now < ctl.deadline_at_us ||
+            ctl.cancel->load(std::memory_order_relaxed)) {
+          continue;
+        }
+        if (ctl.cause == CancelCause::kNone) {
+          ctl.cause = CancelCause::kDeadline;
+        }
+        ctl.cancel->store(true, std::memory_order_relaxed);
+        ++deadlines_enforced;
       }
     }
   }
+  if (deadlines_enforced > 0 && opt_.metrics) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    opt_.metrics->counter("farm.supervisor.deadlines_enforced")
+        .add(deadlines_enforced);
+  }
   reclaim_dead_workers(/*allow_respawn=*/true);
+  update_queue_gauges();
   // Heartbeat scan: a busy worker whose beat has not advanced for
   // `supervisor_miss_threshold` scans is stuck. Escalation (optional)
   // is cooperative too — cancel its job so the worker unwedges at the
@@ -683,17 +824,27 @@ void SimFarm::supervisor_scan() {
     if (!opt_.supervisor_escalate_stuck) {
       continue;
     }
-    std::lock_guard<std::mutex> lock(farm_mu_);
-    const auto it = control_.find(worker.current_job);
-    if (worker.current_job != 0 && it != control_.end() &&
-        !it->second.terminal) {
-      if (it->second.cause == CancelCause::kNone) {
-        it->second.cause = CancelCause::kSupervisor;
+    const std::uint64_t current =
+        worker.current_job.load(std::memory_order_relaxed);
+    if (current == 0) {
+      continue;
+    }
+    bool escalated = false;
+    {
+      ControlShard& shard = control_shard(current);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.map.find(current);
+      if (it != shard.map.end() && !it->second.terminal) {
+        if (it->second.cause == CancelCause::kNone) {
+          it->second.cause = CancelCause::kSupervisor;
+        }
+        it->second.cancel->store(true, std::memory_order_relaxed);
+        escalated = true;
       }
-      it->second.cancel->store(true, std::memory_order_relaxed);
-      if (opt_.metrics) {
-        opt_.metrics->counter("farm.supervisor.stuck").add();
-      }
+    }
+    if (escalated && opt_.metrics) {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      opt_.metrics->counter("farm.supervisor.stuck").add();
     }
   }
 }
@@ -714,9 +865,10 @@ void SimFarm::reclaim_dead_workers(bool allow_respawn) {
     {
       std::lock_guard<std::mutex> lock(farm_mu_);
       orphan.swap(worker.orphan);
-      if (opt_.metrics) {
-        opt_.metrics->counter("farm.supervisor.workers_lost").add();
-      }
+    }
+    if (opt_.metrics) {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      opt_.metrics->counter("farm.supervisor.workers_lost").add();
     }
     if (orphan) {
       if (!queue_.stopped()) {
@@ -725,12 +877,14 @@ void SimFarm::reclaim_dead_workers(bool allow_respawn) {
         // kill dropped the session).
         queue_.requeue(std::move(*orphan), now_us(),
                        RequeuePosition::kFront);
-        std::lock_guard<std::mutex> lock(farm_mu_);
-        ++reclaims_;
+        {
+          std::lock_guard<std::mutex> lock(farm_mu_);
+          ++reclaims_;
+        }
         if (opt_.metrics) {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
           opt_.metrics->counter("farm.supervisor.jobs_reclaimed").add();
         }
-        update_queue_gauges();
       } else {
         publish_cancelled(w, *orphan, CancelCause::kSupervisor);
       }
@@ -742,8 +896,8 @@ void SimFarm::reclaim_dead_workers(bool allow_respawn) {
     worker.dead.store(false, std::memory_order_release);
     if (allow_respawn && opt_.respawn_lost_workers && !queue_.stopped()) {
       worker.thread = std::thread([this, w] { worker_main(w); });
-      std::lock_guard<std::mutex> lock(farm_mu_);
       if (opt_.metrics) {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
         opt_.metrics->counter("farm.supervisor.respawns").add();
       }
     }

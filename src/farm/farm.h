@@ -53,6 +53,26 @@
 //     (a) exactly one terminal result per accepted spec and (b) every
 //     completed job bit-identical to a standalone run.
 //
+// Scaling (DESIGN.md §14): the submit→pop→run→publish pipeline holds no
+// global lock. Admission is sharded per class (seq-ticket FIFO), the
+// result store is sharded by job id, per-job control blocks are sharded
+// by job id, and in-flight accounting is a single atomic — so adding
+// workers adds throughput until the machine runs out of cores
+// (tests/farm/farm_scaling_test.cpp pins w4 ≥ 2× w1 on a paced
+// workload). Two dispatch amortizations ride on top:
+//   - *batching*: a worker pops up to FarmOptions::batch_max_jobs
+//     consecutive same-class jobs sharing an engine_cache_key (never
+//     skipping or reordering anything) and runs them back-to-back on one
+//     warm engine; if higher-priority work arrives mid-batch the
+//     untouched tail goes back to the front of its class, in order.
+//   - *memoization*: with memo_capacity > 0, a kDone result is cached
+//     under JobSpec::fingerprint() (LRU-bounded) and an identical later
+//     spec is served without simulating — sound because the fingerprint
+//     covers the spec's entire canonical serialization and every
+//     simulation-visible output is a pure function of the spec
+//     (tests/farm/farm_memo_test.cpp proves bit-identity). Served
+//     results carry memo_hit in their scheduling record.
+//
 // Observability (all optional, null = zero overhead):
 //   farm.admission.{submitted,accepted,rejected} (+ per-reason labels),
 //   farm.queue.depth{class=...} gauges, farm.jobs.{completed,failed
@@ -68,10 +88,12 @@
 //   (tid 100+worker) with farm.preempt instants.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -86,6 +108,7 @@
 
 namespace tmsim::obs {
 class ChromeTrace;
+class Counter;
 class MetricsRegistry;
 }  // namespace tmsim::obs
 
@@ -153,6 +176,17 @@ struct FarmOptions {
   /// Engines a worker keeps warm, LRU-evicted (keyed by topology +
   /// engine options with the canonical schedule seed).
   std::size_t engine_cache_per_worker = 2;
+  /// Sub-queues per priority class in the AdmissionQueue — submitters
+  /// and poppers contend 1/shards of the time.
+  std::size_t admission_shards = 4;
+  /// Dispatch batching: a worker pops up to this many *consecutive*
+  /// same-class jobs sharing an engine-cache key and runs them
+  /// back-to-back on one warm engine. 1 disables batching.
+  std::size_t batch_max_jobs = 4;
+  /// Spec-fingerprint result memoization: kDone results cached under
+  /// JobSpec::fingerprint(), identical later specs served without
+  /// simulating (LRU bound = this many entries). 0 disables the memo.
+  std::size_t memo_capacity = 0;
   /// Completion-feed depth of the ResultStore.
   std::size_t completion_feed_depth = 64;
   /// Base of the deterministic retry backoff: attempt k of a transient
@@ -249,6 +283,18 @@ class SimFarm {
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     double busy_us = 0.0;
+    // Per-stage pipeline accounting (worker-thread-private while the
+    // worker lives; read by shutdown after the join). busy_us is the
+    // "run" stage; these three complete the breakdown the throughput
+    // bench emits as farm.stage.*_us.
+    double queue_wait_us = 0.0;  ///< enqueue → pop, summed over jobs
+    double attach_us = 0.0;      ///< session build + engine attach/restore
+    double publish_us = 0.0;     ///< terminal arbitration + result store
+    std::uint64_t batches = 0;       ///< multi-job pops
+    std::uint64_t batched_jobs = 0;  ///< jobs arriving in multi-job pops
+    /// Cached ref to this worker's farm.worker.slices row, so the
+    /// per-slice hot path skips the registry's registration mutex.
+    obs::Counter* slices_counter = nullptr;
 
     // Supervision surface. heartbeat/idle are written by the worker
     // thread and read by the supervisor; kill/dead flags flow the other
@@ -259,7 +305,7 @@ class SimFarm {
     std::atomic<bool> kill_requested{false};
     std::atomic<bool> lose_session{false};
     std::atomic<bool> dead{false};
-    std::uint64_t current_job = 0;        ///< guarded by farm_mu_
+    std::atomic<std::uint64_t> current_job{0};
     std::optional<QueuedJob> orphan;      ///< guarded by farm_mu_
     // Supervisor-private heartbeat bookkeeping (single-threaded: the
     // supervisor, then — after it is joined — shutdown).
@@ -274,8 +320,18 @@ class SimFarm {
     bool terminal = false;     ///< a publisher won; suppress any other
     double deadline_at_us = 0.0;
   };
+  /// Control blocks are sharded by job id so submit / cancel / publish
+  /// for different jobs never contend (DESIGN.md §14).
+  struct ControlShard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, JobControl> map;
+  };
+  static constexpr std::size_t kControlShards = 8;
 
   void worker_main(std::size_t w);
+  /// Gives batch[from..) back to the *front* of its class, in original
+  /// order (kill / higher-priority-arrived mid-batch).
+  void requeue_batch_tail(std::vector<QueuedJob>& batch, std::size_t from);
   /// One scheduling turn: run quanta of `job` until it finishes, fails,
   /// is cancelled, or gets preempted/retried (then it is requeued
   /// internally). Returns false when the worker was killed and must
@@ -293,6 +349,16 @@ class SimFarm {
   void publish(std::size_t w, QueuedJob& job, JobResult r);
   void publish_cancelled(std::size_t w, QueuedJob& job, CancelCause cause);
   double retry_backoff_us(const JobSpec& spec, std::size_t attempt) const;
+  ControlShard& control_shard(std::uint64_t job_id) {
+    return control_[job_id % kControlShards];
+  }
+  const ControlShard& control_shard(std::uint64_t job_id) const {
+    return control_[job_id % kControlShards];
+  }
+  /// Memo cache (memo_capacity > 0): LRU of kDone results keyed by
+  /// JobSpec::fingerprint(). Lookup refreshes recency and returns a copy.
+  std::optional<JobResult> memo_lookup(std::uint64_t fingerprint);
+  void memo_store(std::uint64_t fingerprint, const JobResult& r);
   void supervisor_main();
   void supervisor_scan();
   /// Joins dead workers, requeues their orphans (front of class), and —
@@ -307,15 +373,42 @@ class SimFarm {
   ResultStore results_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  mutable std::mutex farm_mu_;  ///< guards inflight_, control_, quarantine_, the
-                        ///< shared farm.* instruments, and Worker fields
-                        ///< marked "guarded by farm_mu_"
+  // Lock map (DESIGN.md §14). No lock is global to the hot path:
+  //   - control_[i].mu  — one control shard (submit/cancel/publish of the
+  //     jobs hashing there);
+  //   - farm_mu_        — cold paths only: quarantine_, reclaims_, orphan
+  //     slots;
+  //   - metrics_mu_     — leaf mutex serializing writers of *shared*
+  //     farm.* instruments (obs instruments are single-writer by
+  //     contract; per-worker-labelled rows need no lock);
+  //   - drain_mu_       — pairs with idle_cv_ for drain(); inflight_
+  //     itself is atomic;
+  //   - memo_mu_        — the memo LRU.
+  // Leaf order: any of the above may be taken with metrics_mu_ nested
+  // inside; no other nesting is used.
+  mutable std::mutex farm_mu_;
+  mutable std::mutex metrics_mu_;
+  mutable std::mutex drain_mu_;
   std::condition_variable idle_cv_;
-  std::size_t inflight_ = 0;  ///< accepted but not yet published
-  bool stopping_ = false;
-  std::unordered_map<std::uint64_t, JobControl> control_;
+  std::atomic<std::size_t> inflight_{0};  ///< accepted, not yet published
+  std::atomic<bool> stopping_{false};
+  std::array<ControlShard, kControlShards> control_;
   std::vector<QuarantineRecord> quarantine_;
   std::uint64_t reclaims_ = 0;  ///< guarded by farm_mu_
+
+  // Spec-fingerprint memoization (memo_capacity > 0). The list holds
+  // entries most-recent-first; the map points into it.
+  struct MemoEntry {
+    std::uint64_t fingerprint = 0;
+    JobResult result;
+  };
+  mutable std::mutex memo_mu_;
+  std::list<MemoEntry> memo_lru_;
+  std::unordered_map<std::uint64_t, std::list<MemoEntry>::iterator> memo_map_;
+  std::uint64_t memo_hits_ = 0;       ///< guarded by memo_mu_
+  std::uint64_t memo_misses_ = 0;     ///< guarded by memo_mu_
+  std::uint64_t memo_inserts_ = 0;    ///< guarded by memo_mu_
+  std::uint64_t memo_evictions_ = 0;  ///< guarded by memo_mu_
 
   std::thread supervisor_;
   std::mutex sup_mu_;

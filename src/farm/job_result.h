@@ -138,6 +138,12 @@ struct JobResult {
   CancelCause cancel_cause = CancelCause::kNone;
 
   // Scheduling record (NOT part of equivalence).
+  /// True when this result was served from the farm's spec-fingerprint
+  /// memo cache instead of a fresh simulation. The memoized surface is
+  /// bit-identical to a fresh run by construction (the fingerprint
+  /// covers the spec's entire canonical serialization), so this flag is
+  /// scheduling-scoped — results_equivalent() ignores it.
+  bool memo_hit = false;
   std::size_t preemptions = 0;  ///< checkpoint-and-requeue events
   std::size_t slices = 0;       ///< quanta executed (≥ 1 when done)
   std::size_t last_worker = 0;  ///< worker that finished the job

@@ -1,59 +1,93 @@
 #include "farm/result_store.h"
 
+#include <algorithm>
+
+#include "common/error.h"
+
 namespace tmsim::farm {
 
-ResultStore::ResultStore(std::size_t completion_feed_depth)
-    : feed_(completion_feed_depth == 0 ? 1 : completion_feed_depth) {}
+ResultStore::ResultStore(std::size_t completion_feed_depth,
+                         std::size_t num_shards)
+    : feed_(completion_feed_depth == 0 ? 1 : completion_feed_depth) {
+  if (num_shards == 0) {
+    num_shards = 1;
+  }
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
 
 bool ResultStore::put(JobResult result) {
+  const std::uint64_t id = result.job_id;
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    TMSIM_CHECK_MSG(!shard.results.contains(id),
+                    "duplicate result for a job id");
+    shard.results.emplace(id, Stored{seq, std::move(result)});
+  }
+  size_.fetch_add(1, std::memory_order_release);
+  shard.cv.notify_all();
+  // Completion feed: drop-oldest on overflow (the §5.2 monitor-buffer
+  // discipline — a slow consumer must not stall the producer). Job ids
+  // are sequential from 1, far below the word's 32-bit range.
   bool dropped_one = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    const std::uint64_t id = result.job_id;
-    TMSIM_CHECK_MSG(!index_.contains(id), "duplicate result for a job id");
-    index_.emplace(id, results_.size());
-    results_.push_back(std::move(result));
-    // Completion feed: drop-oldest on overflow (the §5.2 monitor-buffer
-    // discipline — a slow consumer must not stall the producer). Job ids
-    // are sequential from 1, far below the word's 32-bit range.
+    std::lock_guard<std::mutex> lock(feed_mu_);
     if (feed_.full()) {
       feed_.pop();
       ++dropped_;
       dropped_one = true;
     }
-    feed_.push(fpga::TimedWord{feed_seq_++, static_cast<std::uint32_t>(id)});
+    feed_.push(fpga::TimedWord{seq, static_cast<std::uint32_t>(id)});
   }
-  cv_.notify_all();
   return dropped_one;
 }
 
 std::optional<JobResult> ResultStore::get(std::uint64_t job_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(job_id);
-  if (it == index_.end()) {
+  const Shard& shard = shard_for(job_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.results.find(job_id);
+  if (it == shard.results.end()) {
     return std::nullopt;
   }
-  return results_[it->second];
+  return it->second.result;
 }
 
 JobResult ResultStore::wait(std::uint64_t job_id) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return index_.contains(job_id); });
-  return results_[index_.at(job_id)];
+  const Shard& shard = shard_for(job_id);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  shard.cv.wait(lock, [&] { return shard.results.contains(job_id); });
+  return shard.results.at(job_id).result;
 }
 
 std::vector<JobResult> ResultStore::all() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return results_;
+  std::vector<Stored> gathered;
+  gathered.reserve(size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, stored] : shard->results) {
+      gathered.push_back(stored);
+    }
+  }
+  std::sort(gathered.begin(), gathered.end(),
+            [](const Stored& a, const Stored& b) { return a.seq < b.seq; });
+  std::vector<JobResult> out;
+  out.reserve(gathered.size());
+  for (auto& stored : gathered) {
+    out.push_back(std::move(stored.result));
+  }
+  return out;
 }
 
 std::size_t ResultStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return results_.size();
+  return size_.load(std::memory_order_acquire);
 }
 
 std::vector<std::uint64_t> ResultStore::drain_completions() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(feed_mu_);
   std::vector<std::uint64_t> ids;
   ids.reserve(feed_.fill());
   while (!feed_.empty()) {
@@ -63,7 +97,7 @@ std::vector<std::uint64_t> ResultStore::drain_completions() {
 }
 
 std::uint64_t ResultStore::completions_dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(feed_mu_);
   return dropped_;
 }
 

@@ -7,10 +7,20 @@
 //     the consumer that falls behind loses the *oldest* notifications
 //     (drop-oldest, counted), never blocks a worker, and can always
 //     recover the dropped results through get().
+//
+// Sharded hot path (DESIGN.md §14): results are striped across S
+// independently-locked shards keyed by job id, each with its own
+// condition variable, so concurrent publishers (and waiters on
+// different jobs) never serialize against each other. Only the bounded
+// completion feed keeps a single short lock — it is an ordered stream
+// by definition. Completion order is carried by a per-result sequence
+// stamp so all() can still present results in publish order.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -23,7 +33,8 @@ namespace tmsim::farm {
 
 class ResultStore {
  public:
-  explicit ResultStore(std::size_t completion_feed_depth = 64);
+  explicit ResultStore(std::size_t completion_feed_depth = 64,
+                       std::size_t num_shards = 8);
 
   /// Publishes a final result (workers call this exactly once per job).
   /// Never blocks. Returns true when the bounded completion feed was
@@ -48,12 +59,26 @@ class ResultStore {
   std::uint64_t completions_dropped() const;
 
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::unordered_map<std::uint64_t, std::size_t> index_;  // id → results_ pos
-  std::vector<JobResult> results_;
+  struct Stored {
+    std::uint64_t seq = 0;  ///< completion order stamp
+    JobResult result;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    std::unordered_map<std::uint64_t, Stored> results;
+  };
+
+  Shard& shard_for(std::uint64_t job_id) const {
+    return *shards_[job_id % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> seq_{0};
+
+  mutable std::mutex feed_mu_;
   fpga::CyclicBuffer feed_;
-  std::uint64_t feed_seq_ = 0;  ///< completion sequence (feed timestamps)
   std::uint64_t dropped_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "farm/session.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "fpga/arm_host.h"
 #include "fpga/faulty_bus.h"
@@ -17,6 +18,28 @@ core::EngineOptions effective_engine_options(const JobSpec& spec,
     opts.seed = derive_seed(spec.seed, "schedule");
   }
   return opts;
+}
+
+std::string engine_cache_key(const JobSpec& spec) {
+  const core::EngineOptions opts = effective_engine_options(spec, true);
+  std::ostringstream os;
+  os << spec.net.width << "x" << spec.net.height << ":"
+     << static_cast<int>(spec.net.topology) << ":" << spec.net.router.num_vcs
+     << ":" << spec.net.router.queue_depth << ":"
+     << static_cast<int>(opts.policy) << ":" << opts.num_shards << ":"
+     << static_cast<int>(opts.partition) << ":"
+     << static_cast<int>(opts.scheduler);
+  return os.str();
+}
+
+std::uint64_t engine_cache_key_hash(const JobSpec& spec) {
+  const std::string key = engine_cache_key(spec);
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a, as in fingerprint()
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h == 0 ? 0xcbf29ce484222325ull : h;
 }
 
 SimSession::SimSession(const JobSpec& spec) : spec_(spec) {

@@ -48,6 +48,17 @@ namespace tmsim::farm {
 core::EngineOptions effective_engine_options(const JobSpec& spec,
                                              bool canonical_seed);
 
+/// Canonical engine-cache identity of a job: two jobs with equal keys can
+/// run on the same cached engine instance (equal topology/sizing and
+/// engine options under the canonical schedule seed). This is also the
+/// farm's *batch compatibility* rule — a worker only runs jobs
+/// back-to-back without re-attach when their keys match.
+std::string engine_cache_key(const JobSpec& spec);
+
+/// FNV-1a hash of engine_cache_key(), never 0 (0 marks "unbatchable" in
+/// the AdmissionQueue) — the BatchKeyFn the farm installs.
+std::uint64_t engine_cache_key_hash(const JobSpec& spec);
+
 class SimSession {
  public:
   /// Validates the spec (throws ContextualError on an unsatisfiable

@@ -1,0 +1,255 @@
+// Spec-fingerprint memoization proofs (DESIGN.md §14).
+//
+// The memo's soundness argument has two legs, and each gets a property
+// test here:
+//   1. *bit-identity*: a memo-served result equals a fresh simulation
+//      exactly (digest, latency accumulators, flit counts, fault
+//      report), because every simulation-visible output is a pure
+//      function of the spec and the fingerprint covers the spec's
+//      entire canonical serialization. Proven over 50+ randomized
+//      specs against run_job_standalone references.
+//   2. *collision safety*: specs differing ONLY in seed, deadline,
+//      priority, retry budget, or name must never share a memo entry —
+//      all of those fields are serialized, hence fingerprinted.
+// Plus the operational contract: LRU bound + farm.memo.* accounting,
+// and memo-off-by-default (so determinism/chaos suites are untouched).
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "farm/farm.h"
+#include "farm/session.h"
+#include "obs/metrics.h"
+
+namespace tmsim::farm {
+namespace {
+
+/// Small, fast, heterogeneous core-traffic specs: 2x2..3x3 meshes,
+/// 40..160 cycles, mixed BE load, occasional GT streams and payload
+/// verification — every knob that feeds the result surface.
+JobSpec random_spec(std::uint64_t index) {
+  SplitMix64 rng(0x3e30ull + index);
+  JobSpec spec;
+  spec.name = "memo-" + std::to_string(index);
+  spec.net.width = 2 + rng.next_below(2);
+  spec.net.height = 2 + rng.next_below(2);
+  spec.net.topology = noc::Topology::kMesh;
+  spec.net.router.queue_depth = 2 + rng.next_below(2);
+  spec.priority = static_cast<Priority>(rng.next_below(kNumPriorities));
+  spec.seed = rng.next();
+  spec.cycles = 40 + rng.next_below(121);
+  spec.workload.be_load = 0.05 * static_cast<double>(rng.next_below(5));
+  spec.workload.verify_payload = rng.next_below(2) == 0;
+  const std::size_t routers = spec.net.width * spec.net.height;
+  if (rng.next_below(2) == 0) {
+    traffic::GtStream s;
+    s.src = rng.next_below(routers);
+    s.dst = (s.src + 1 + rng.next_below(routers - 1)) % routers;
+    s.vc = 0;
+    s.period = 40 + 10 * rng.next_below(4);
+    s.phase = rng.next_below(20);
+    spec.workload.gt_streams.push_back(s);
+  }
+  return spec;
+}
+
+TEST(FarmMemo, HitsAreBitIdenticalToFreshRunsAcross50RandomizedSpecs) {
+  constexpr std::size_t kSpecs = 52;
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 2;
+  opt.queue_capacity = 2 * kSpecs;
+  opt.memo_capacity = 2 * kSpecs;
+  opt.metrics = &metrics;
+
+  std::vector<JobSpec> specs;
+  specs.reserve(kSpecs);
+  for (std::uint64_t i = 0; i < kSpecs; ++i) {
+    specs.push_back(random_spec(i));
+  }
+
+  std::vector<std::uint64_t> first_ids(kSpecs), second_ids(kSpecs);
+  {
+    SimFarm farm(opt);
+    // Wave 1 populates the memo...
+    for (std::size_t i = 0; i < kSpecs; ++i) {
+      const SubmitOutcome out = farm.submit(specs[i]);
+      ASSERT_TRUE(out.accepted) << out.detail;
+      first_ids[i] = out.job_id;
+    }
+    farm.drain();
+    // ...wave 2 resubmits the identical specs and must be served from it.
+    for (std::size_t i = 0; i < kSpecs; ++i) {
+      const SubmitOutcome out = farm.submit(specs[i]);
+      ASSERT_TRUE(out.accepted) << out.detail;
+      second_ids[i] = out.job_id;
+    }
+    farm.drain();
+
+    for (std::size_t i = 0; i < kSpecs; ++i) {
+      const JobResult fresh = farm.results().get(first_ids[i]).value();
+      const JobResult served = farm.results().get(second_ids[i]).value();
+      ASSERT_EQ(fresh.status, JobStatus::kDone) << specs[i].name;
+      ASSERT_EQ(served.status, JobStatus::kDone) << specs[i].name;
+      EXPECT_FALSE(fresh.memo_hit) << specs[i].name;
+      EXPECT_TRUE(served.memo_hit) << specs[i].name;
+      // The served result must be bit-identical both to the farm's own
+      // fresh run and to an undisturbed standalone execution.
+      std::string why;
+      EXPECT_TRUE(results_equivalent(served, fresh, &why))
+          << specs[i].name << ": " << why;
+      const JobResult standalone = run_job_standalone(specs[i]);
+      EXPECT_TRUE(results_equivalent(served, standalone, &why))
+          << specs[i].name << " vs standalone: " << why;
+      // Served results carry their own scheduling record, not the
+      // original run's.
+      EXPECT_EQ(served.slices, 0u) << specs[i].name;
+      EXPECT_EQ(served.job_id, second_ids[i]);
+    }
+    farm.shutdown();
+  }
+  // Every wave-2 job hit; every wave-1 job missed and was inserted.
+  EXPECT_EQ(metrics.counter_value("farm.memo.hits"), kSpecs);
+  EXPECT_EQ(metrics.counter_value("farm.memo.misses"), kSpecs);
+  EXPECT_EQ(metrics.counter_value("farm.memo.inserts"), kSpecs);
+  EXPECT_EQ(metrics.counter_value("farm.memo.evictions"), 0u);
+  EXPECT_EQ(metrics.counter_value("farm.jobs.completed"), 2 * kSpecs);
+  EXPECT_EQ(metrics.counter_value("farm.jobs.completed", "memo=hit"), kSpecs);
+}
+
+TEST(FarmMemo, SpecsDifferingOnlyInSchedulingFieldsNeverShareAnEntry) {
+  const JobSpec base = random_spec(1000);
+
+  JobSpec seed_variant = base;
+  seed_variant.seed ^= 1;
+  JobSpec deadline_variant = base;
+  deadline_variant.deadline_ms = 60'000;
+  JobSpec priority_variant = base;
+  priority_variant.priority =
+      base.priority == Priority::kBatch ? Priority::kNormal : Priority::kBatch;
+  JobSpec retries_variant = base;
+  retries_variant.max_retries = base.max_retries + 3;
+  JobSpec name_variant = base;
+  name_variant.name += "-renamed";
+
+  // All six fingerprints must be distinct — the memo key covers the
+  // entire canonical serialization, scheduling fields included.
+  const std::vector<const JobSpec*> all = {&base,             &seed_variant,
+                                           &deadline_variant, &priority_variant,
+                                           &retries_variant,  &name_variant};
+  std::unordered_set<std::uint64_t> fps;
+  for (const JobSpec* s : all) {
+    fps.insert(s->fingerprint());
+  }
+  EXPECT_EQ(fps.size(), all.size());
+
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 2;
+  opt.memo_capacity = 16;
+  opt.metrics = &metrics;
+  {
+    SimFarm farm(opt);
+    const SubmitOutcome b = farm.submit(base);
+    ASSERT_TRUE(b.accepted);
+    farm.drain();  // base now memoized
+    std::vector<std::uint64_t> ids;
+    for (const JobSpec* s : all) {
+      if (s == &base) {
+        continue;
+      }
+      const SubmitOutcome out = farm.submit(*s);
+      ASSERT_TRUE(out.accepted) << out.detail;
+      ids.push_back(out.job_id);
+    }
+    farm.drain();
+    for (const std::uint64_t id : ids) {
+      const JobResult r = farm.results().get(id).value();
+      EXPECT_EQ(r.status, JobStatus::kDone);
+      // None of the variants may be served from base's entry.
+      EXPECT_FALSE(r.memo_hit) << r.name;
+    }
+    // The seed variant must also *differ* in simulation surface from the
+    // base run — collision here would be result corruption, not just a
+    // stale timestamp.
+    const JobResult base_r = farm.results().get(b.job_id).value();
+    JobSpec seed_rerun = seed_variant;
+    const JobResult seed_r = run_job_standalone(seed_rerun);
+    EXPECT_NE(base_r.state_digest, seed_r.state_digest);
+    farm.shutdown();
+  }
+  EXPECT_EQ(metrics.counter_value("farm.memo.hits"), 0u);
+  EXPECT_EQ(metrics.counter_value("farm.memo.inserts"), 6u);
+}
+
+TEST(FarmMemo, LruBoundEvictsOldestAndKeepsAccounting) {
+  constexpr std::size_t kCapacity = 4;
+  constexpr std::size_t kSpecs = 9;
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 1;
+  opt.memo_capacity = kCapacity;
+  opt.metrics = &metrics;
+  {
+    SimFarm farm(opt);
+    for (std::uint64_t i = 0; i < kSpecs; ++i) {
+      ASSERT_TRUE(farm.submit(random_spec(2000 + i)).accepted);
+      farm.drain();  // sequential, so insertion order is the spec order
+    }
+    // The oldest spec fell out of the LRU: resubmitting it misses (and
+    // re-inserts, evicting the then-oldest).
+    const SubmitOutcome again = farm.submit(random_spec(2000));
+    ASSERT_TRUE(again.accepted);
+    farm.drain();
+    EXPECT_FALSE(farm.results().get(again.job_id).value().memo_hit);
+    // The newest spec is still resident: resubmitting it hits.
+    const SubmitOutcome hit = farm.submit(random_spec(2000 + kSpecs - 1));
+    ASSERT_TRUE(hit.accepted);
+    farm.drain();
+    EXPECT_TRUE(farm.results().get(hit.job_id).value().memo_hit);
+    farm.shutdown();
+  }
+  EXPECT_EQ(metrics.counter_value("farm.memo.inserts"), kSpecs + 1);
+  EXPECT_EQ(metrics.counter_value("farm.memo.evictions"),
+            kSpecs + 1 - kCapacity);
+  EXPECT_EQ(metrics.counter_value("farm.memo.hits"), 1u);
+  EXPECT_EQ(metrics.gauge_value("farm.memo.size"),
+            static_cast<double>(kCapacity));
+}
+
+TEST(FarmMemo, OffByDefaultSoEveryRunSimulates) {
+  obs::MetricsRegistry metrics;
+  FarmOptions opt;
+  opt.num_workers = 1;
+  opt.metrics = &metrics;
+  ASSERT_EQ(opt.memo_capacity, 0u);  // the default, pinned
+  const JobSpec spec = random_spec(3000);
+  {
+    SimFarm farm(opt);
+    const SubmitOutcome a = farm.submit(spec);
+    ASSERT_TRUE(a.accepted);
+    farm.drain();
+    const SubmitOutcome b = farm.submit(spec);
+    ASSERT_TRUE(b.accepted);
+    farm.drain();
+    EXPECT_FALSE(farm.results().get(a.job_id).value().memo_hit);
+    EXPECT_FALSE(farm.results().get(b.job_id).value().memo_hit);
+    // Identical simulations either way — the memo is an optimization,
+    // never a semantic.
+    std::string why;
+    EXPECT_TRUE(results_equivalent(farm.results().get(a.job_id).value(),
+                                   farm.results().get(b.job_id).value(), &why))
+        << why;
+    farm.shutdown();
+  }
+  EXPECT_EQ(metrics.counter_value("farm.memo.hits"), 0u);
+  EXPECT_EQ(metrics.counter_value("farm.memo.misses"), 0u);
+  EXPECT_EQ(metrics.counter_value("farm.memo.inserts"), 0u);
+}
+
+}  // namespace
+}  // namespace tmsim::farm
