@@ -122,6 +122,10 @@ class SeqNocSimulation : public noc::NocSimulation {
   /// Engine access for delta-cycle statistics (§6) and white-box tests.
   const Engine& engine() const { return *sim_; }
   const StepStats& last_step_stats() const { return last_stats_; }
+  /// Cumulative delta cycles since power-on/restore — sampled before and
+  /// after a run slice this yields the slice's convergence cost, which
+  /// the farm attaches to its `farm.slice` trace spans (DESIGN.md §15).
+  DeltaCycle total_delta_cycles() const { return sim_->total_delta_cycles(); }
 
   /// Observability (DESIGN.md §10): attaches a SimObserver to the
   /// underlying engine. nullptr detaches; only call between step()s.

@@ -16,6 +16,9 @@ double steady_now_us() {
          1e-3;
 }
 
+/// Display track for queue-side spans (workers live on 100 + w).
+constexpr std::uint32_t kQueueTid = 90;
+
 }  // namespace
 
 const char* reject_reason_name(RejectReason r) {
@@ -33,12 +36,13 @@ AdmissionQueue::AdmissionQueue(std::size_t capacity,
                                SystemCycle max_job_cycles,
                                std::function<double()> now_fn,
                                std::size_t num_shards,
-                               BatchKeyFn batch_key_fn)
+                               BatchKeyFn batch_key_fn, obs::Tracer* tracer)
     : capacity_(capacity),
       max_job_cycles_(max_job_cycles),
       now_fn_(now_fn ? std::move(now_fn) : steady_now_us),
       num_shards_(num_shards == 0 ? 1 : num_shards),
-      batch_key_fn_(std::move(batch_key_fn)) {
+      batch_key_fn_(std::move(batch_key_fn)),
+      tracer_(tracer) {
   TMSIM_CHECK_MSG(capacity >= 1, "queue capacity must be positive");
   for (ClassQueue& cls : classes_) {
     for (std::size_t s = 0; s < num_shards_; ++s) {
@@ -63,9 +67,15 @@ void AdmissionQueue::enqueue(QueuedJob job, RequeuePosition pos) {
     job.batch_key = batch_key_fn_(job.spec);
   }
   ClassQueue& cls = classes_[static_cast<std::size_t>(job.spec.priority)];
-  Shard& shard =
-      *cls.shards[cls.rr.fetch_add(1, std::memory_order_relaxed) %
-                  num_shards_];
+  const std::size_t shard_idx =
+      cls.rr.fetch_add(1, std::memory_order_relaxed) % num_shards_;
+  Shard& shard = *cls.shards[shard_idx];
+  job.enqueue_shard = shard_idx;
+  // Copy what the span needs before the move; record after the unlock.
+  const obs::TraceContext trace = job.trace;
+  const auto attempt = static_cast<std::uint32_t>(job.attempts);
+  const double queued_us = job.queued_us;
+  const Priority prio = job.spec.priority;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     // Keep the shard deque ticket-sorted. Back tickets arrive roughly in
@@ -85,6 +95,14 @@ void AdmissionQueue::enqueue(QueuedJob job, RequeuePosition pos) {
   }
   cls.count.fetch_add(1, std::memory_order_release);
   total_count_.fetch_add(1, std::memory_order_release);
+  if (tracer_ != nullptr && trace.sampled()) {
+    tracer_->span(trace, tracer_->alloc_span_id(), trace.span_id,
+                  "admission.enqueue", attempt, kQueueTid, queued_us,
+                  queued_us,
+                  {{"shard", std::to_string(shard_idx)},
+                   {"class", priority_name(prio)},
+                   {"pos", pos == RequeuePosition::kFront ? "front" : "back"}});
+  }
   signal_enqueue();
 }
 
@@ -145,6 +163,15 @@ SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us,
   job.spec = std::move(spec);
   job.submitted_us = now_us;
   job.queued_us = now_us;
+  // Head-sample *before* the fingerprint hash: unsampled jobs (the
+  // common case at 1-in-N) skip all tracing work, not just storage.
+  if (tracer_ != nullptr && tracer_->should_sample()) {
+    job.trace = tracer_->start_trace(job.spec.fingerprint());
+    tracer_->span(job.trace, tracer_->alloc_span_id(), job.trace.span_id,
+                  "farm.submit", 0, kQueueTid, now_us, now_us,
+                  {{"job", std::to_string(job.job_id)},
+                   {"name", job.spec.name}});
+  }
   if (job.spec.deadline_ms > 0) {
     job.deadline_at_us =
         now_us + static_cast<double>(job.spec.deadline_ms) * 1e3;
@@ -254,6 +281,21 @@ std::vector<QueuedJob> AdmissionQueue::pop_batch_blocking(
         }
         batch.push_back(std::move(*next));
       }
+      if (tracer_ != nullptr) {
+        const double end = now_fn_();
+        for (const QueuedJob& j : batch) {
+          if (!j.trace.sampled()) {
+            continue;
+          }
+          // The queue-wait span: last (re)enqueue → this dequeue.
+          tracer_->span(j.trace, tracer_->alloc_span_id(), j.trace.span_id,
+                        "admission.dequeue",
+                        static_cast<std::uint32_t>(j.attempts), kQueueTid,
+                        j.queued_us, end,
+                        {{"shard", std::to_string(j.enqueue_shard)},
+                         {"batch", std::to_string(batch.size())}});
+        }
+      }
       return batch;
     }
     if (next_eligible < std::numeric_limits<double>::infinity()) {
@@ -340,6 +382,31 @@ std::uint64_t AdmissionQueue::jobs_submitted() const {
 
 std::uint64_t AdmissionQueue::jobs_rejected() const {
   return rejected_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::vector<AdmissionQueue::ShardDepth>>
+AdmissionQueue::introspect_shards() const {
+  std::vector<std::vector<ShardDepth>> out(kNumPriorities);
+  for (std::size_t c = 0; c < kNumPriorities; ++c) {
+    out[c].reserve(num_shards_);
+    for (const auto& shard : classes_[c].shards) {
+      ShardDepth d;
+      std::lock_guard<std::mutex> lock(shard->mu);
+      d.depth = shard->jobs.size();
+      if (!d.depth) {
+        out[c].push_back(d);
+        continue;
+      }
+      // The deque is ticket-sorted, so the front is the oldest ticket —
+      // but its *queued_us* is what ages (a front requeue resets it).
+      d.oldest_queued_us = shard->jobs.front().queued_us;
+      for (const QueuedJob& j : shard->jobs) {
+        d.oldest_queued_us = std::min(d.oldest_queued_us, j.queued_us);
+      }
+      out[c].push_back(d);
+    }
+  }
+  return out;
 }
 
 }  // namespace tmsim::farm

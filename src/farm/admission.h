@@ -63,6 +63,7 @@
 
 #include "farm/job_spec.h"
 #include "farm/session.h"
+#include "obs/trace.h"
 
 namespace tmsim::farm {
 
@@ -120,6 +121,16 @@ struct QueuedJob {
   std::uint64_t batch_key = 0;
   /// Global FIFO ticket (queue-internal; see header).
   std::uint64_t seq = 0;
+  /// Distributed-tracing identity (DESIGN.md §15), stamped at submit
+  /// when the job is sampled. trace_id 0 (the default) disables every
+  /// downstream recording site for this job.
+  obs::TraceContext trace;
+  /// Currently open execution-segment span (one per dispatch), 0
+  /// between dispatches. Owned by the worker running the job.
+  std::uint64_t exec_span = 0;
+  double exec_span_start_us = 0.0;
+  /// Shard index of the last enqueue (for dequeue span attribution).
+  std::size_t enqueue_shard = 0;
 };
 
 /// Where requeued work re-enters its priority class.
@@ -146,9 +157,13 @@ class AdmissionQueue {
   /// against (defaults to a steady µs clock; the farm passes its own so
   /// queue time and timeline time share an epoch). `num_shards` is the
   /// per-class shard count; `batch_key_fn` enables pop_batch_blocking.
+  /// A non-null `tracer` samples submissions and records the
+  /// enqueue/dequeue spans of sampled jobs (span timestamps come from
+  /// `now_fn`, so all of a trace's spans share one clock).
   AdmissionQueue(std::size_t capacity, SystemCycle max_job_cycles,
                  std::function<double()> now_fn = {},
-                 std::size_t num_shards = 4, BatchKeyFn batch_key_fn = {});
+                 std::size_t num_shards = 4, BatchKeyFn batch_key_fn = {},
+                 obs::Tracer* tracer = nullptr);
 
   /// Validates and either enqueues (assigning a job id and stamping the
   /// deadline) or rejects. Never blocks. `on_accept`, when given, runs
@@ -194,6 +209,17 @@ class AdmissionQueue {
   std::uint64_t jobs_submitted() const;   ///< accepted fresh submissions
   std::uint64_t jobs_rejected() const;
 
+  /// Per-shard occupancy snapshot for SimFarm::introspect().
+  struct ShardDepth {
+    std::size_t depth = 0;
+    /// queued_us of the oldest-ticket job in the shard (0 when empty);
+    /// `now - oldest_queued_us` is the shard's oldest-ticket age.
+    double oldest_queued_us = 0.0;
+  };
+  /// Indexed [priority class][shard]. Takes each shard lock briefly;
+  /// callable from any thread.
+  std::vector<std::vector<ShardDepth>> introspect_shards() const;
+
  private:
   /// One seq-sorted sub-queue. Entries are kept ordered by ticket so a
   /// scan reads eligible candidates in FIFO order.
@@ -222,6 +248,7 @@ class AdmissionQueue {
   const std::function<double()> now_fn_;
   const std::size_t num_shards_;
   const BatchKeyFn batch_key_fn_;
+  obs::Tracer* const tracer_;
 
   std::array<ClassQueue, kNumPriorities> classes_;
 

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tmsim::farm {
 
@@ -12,6 +16,35 @@ namespace {
 
 std::string worker_label(std::size_t w) {
   return "worker=" + std::to_string(w);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string hex_id(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
 }
 
 std::uint64_t steady_now_ns() {
@@ -39,12 +72,18 @@ SimFarm::SimFarm(FarmOptions opt)
              // Batch compatibility = engine-cache identity: the queue
              // only hands out multi-job batches that can share one warm
              // engine without re-attach.
-             [](const JobSpec& spec) { return engine_cache_key_hash(spec); }),
+             [](const JobSpec& spec) { return engine_cache_key_hash(spec); },
+             opt.tracer),
       results_(opt.completion_feed_depth) {
   TMSIM_CHECK_MSG(opt_.num_workers >= 1, "farm needs at least one worker");
   TMSIM_CHECK_MSG(opt_.preempt_quantum >= 1, "quantum must be positive");
   for (std::size_t w = 0; w < opt_.num_workers; ++w) {
     workers_.push_back(std::make_unique<Worker>());
+  }
+  if (opt_.flight_recorder_depth > 0) {
+    // One ring per worker plus one for the supervisor/shutdown paths.
+    recorder_ = std::make_unique<obs::FlightRecorder>(
+        opt_.num_workers + 1, opt_.flight_recorder_depth);
   }
   if (opt_.timeline) {
     for (std::size_t w = 0; w < opt_.num_workers; ++w) {
@@ -57,6 +96,9 @@ SimFarm::SimFarm(FarmOptions opt)
   }
   if (opt_.supervisor_interval_ms > 0.0) {
     supervisor_ = std::thread([this] { supervisor_main(); });
+  }
+  if (opt_.introspect_interval_ms > 0.0) {
+    introspector_ = std::thread([this] { introspector_main(); });
   }
 }
 
@@ -222,6 +264,16 @@ void SimFarm::memo_store(std::uint64_t fingerprint, const JobResult& r) {
 
 void SimFarm::shutdown() {
   stopping_.store(true, std::memory_order_release);
+  // 0. Stop the periodic introspector (it only reads, but joining it
+  //    here keeps the rest of shutdown single-minded).
+  if (introspector_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(intro_mu_);
+      intro_stop_ = true;
+    }
+    intro_cv_.notify_all();
+    introspector_.join();
+  }
   // 1. Stop the supervisor first: below this line nothing reclaims or
   //    respawns concurrently, so the joins are race-free.
   if (supervisor_.joinable()) {
@@ -262,6 +314,9 @@ void SimFarm::shutdown() {
     publish_cancelled(0, *job, CancelCause::kSupervisor);
   }
   update_queue_gauges();
+  if (opt_.introspect_interval_ms > 0.0) {
+    write_introspect_file();  // final end-of-life snapshot
+  }
   // 5. End-of-life instruments (all worker threads joined above, so the
   //    per-worker rows have a single writer: this thread).
   const double end_us = now_us();
@@ -395,6 +450,47 @@ double SimFarm::retry_backoff_us(const JobSpec& spec,
   return opt_.retry_backoff_base_us * (expo + jitter);
 }
 
+void SimFarm::open_exec_span(std::size_t w, QueuedJob& job) {
+  if (opt_.tracer == nullptr || !job.trace.sampled()) {
+    return;
+  }
+  job.exec_span = opt_.tracer->alloc_span_id();
+  job.exec_span_start_us = now_us();
+  workers_[w]->current_span.store(job.exec_span, std::memory_order_relaxed);
+}
+
+void SimFarm::close_exec_span(std::size_t w, QueuedJob& job,
+                              const char* outcome) {
+  workers_[w]->current_span.store(0, std::memory_order_relaxed);
+  if (opt_.tracer == nullptr || !job.trace.sampled() || job.exec_span == 0) {
+    return;
+  }
+  opt_.tracer->span(job.trace, job.exec_span, job.trace.span_id, "farm.exec",
+                    static_cast<std::uint32_t>(job.attempts),
+                    static_cast<std::uint32_t>(100 + w),
+                    job.exec_span_start_us, now_us(),
+                    {{"worker", std::to_string(w)}, {"outcome", outcome}});
+  job.exec_span = 0;
+}
+
+void SimFarm::flight(std::size_t ring, const QueuedJob& job,
+                     obs::FlightEventKind kind, std::uint64_t a,
+                     std::uint64_t b) {
+  if (!recorder_) {
+    return;
+  }
+  obs::FlightEvent e;
+  e.ts_us = now_us();
+  e.job_id = job.job_id;
+  e.trace_id = job.trace.trace_id;
+  e.span_id = job.exec_span != 0 ? job.exec_span : job.trace.span_id;
+  e.attempt = static_cast<std::uint32_t>(job.attempts);
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  recorder_->record(ring, e);
+}
+
 bool SimFarm::run_job(std::size_t w, QueuedJob job) {
   Worker& worker = *workers_[w];
   const auto tid = static_cast<std::uint32_t>(100 + w);
@@ -409,6 +505,11 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
     token = it->second.cancel;
   }
   worker.current_job.store(job.job_id, std::memory_order_relaxed);
+  // One farm.exec segment per dispatch, opened before the memo check so
+  // even memo-served jobs show where they ran; closed with its outcome
+  // on every exit path below.
+  open_exec_span(w, job);
+  flight(w, job, obs::FlightEventKind::kDispatch, job.slices, job.attempts);
   // Memo fast path: only a fresh, never-run attempt may be served from
   // the cache (a resumed or retried job keeps executing), and a cancel
   // or deadline that arrived while queued still wins over a hit.
@@ -419,6 +520,7 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
       if (std::optional<JobResult> hit = memo_lookup(job.spec.fingerprint())) {
         hit->memo_hit = true;
         job.first_us = mnow;
+        close_exec_span(w, job, "memo");
         publish(w, job, std::move(*hit));
         return true;
       }
@@ -437,6 +539,14 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
       job.session->attach(acquire_engine(w, job.spec), opt_.paranoid_resume);
     }
     worker.attach_us += now_us() - a0;
+    if (opt_.tracer != nullptr && job.trace.sampled()) {
+      opt_.tracer->span(job.trace, opt_.tracer->alloc_span_id(), job.exec_span,
+                        "farm.attach", static_cast<std::uint32_t>(job.attempts),
+                        tid, a0, now_us(),
+                        {{"resumed", resumed ? "1" : "0"}});
+    }
+    flight(w, job, obs::FlightEventKind::kAttach, resumed ? 1 : 0,
+           worker.cache_hits);
     if (resumed && opt_.metrics) {
       std::lock_guard<std::mutex> lock(metrics_mu_);
       opt_.metrics->counter("farm.resumes").add();
@@ -483,7 +593,8 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
       // cannot be killed mid-slice; the boundary is exactly where the
       // checkpoint contract already proves the state consistent).
       if (worker.kill_requested.load(std::memory_order_relaxed)) {
-        if (worker.lose_session.load(std::memory_order_relaxed)) {
+        const bool lost = worker.lose_session.load(std::memory_order_relaxed);
+        if (lost) {
           job.session.reset();  // hard kill: the job restarts from scratch
         } else if (job.session->attached()) {
           job.session->detach();  // graceful: consistent checkpoint survives
@@ -492,6 +603,8 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
           opt_.timeline->instant("farm.worker.die", now_us(), tid,
                                  {{"job", job.spec.name}});
         }
+        flight(w, job, obs::FlightEventKind::kKill, lost ? 1 : 0, 0);
+        close_exec_span(w, job, "killed");
         worker.current_job.store(0, std::memory_order_relaxed);
         {
           std::lock_guard<std::mutex> lock(farm_mu_);
@@ -531,6 +644,16 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
             {{"job", job.spec.name},
              {"cycles", std::to_string(advanced)}});
       }
+      if (opt_.tracer != nullptr && job.trace.sampled()) {
+        opt_.tracer->span(
+            job.trace, opt_.tracer->alloc_span_id(), job.exec_span,
+            "farm.slice", static_cast<std::uint32_t>(job.attempts), tid, t0,
+            t1,
+            {{"cycles", std::to_string(advanced)},
+             {"deltas", std::to_string(job.session->last_slice_deltas())}});
+      }
+      flight(w, job, obs::FlightEventKind::kSlice, advanced,
+             job.session->last_slice_deltas());
       if (job.session->done()) {
         break;
       }
@@ -543,6 +666,9 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
                                  {{"job", job.spec.name}});
         }
         ++job.preemptions;
+        flight(w, job, obs::FlightEventKind::kPreempt,
+               job.session->cycles_done(), job.spec.cycles);
+        close_exec_span(w, job, "preempted");
         worker.current_job.store(0, std::memory_order_relaxed);
         if (opt_.metrics) {
           std::lock_guard<std::mutex> lock(metrics_mu_);
@@ -563,6 +689,7 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
     }
     JobResult r;
     r.status = JobStatus::kDone;
+    close_exec_span(w, job, "done");
     publish(w, job, std::move(r));
     return true;
   } catch (const std::exception& e) {
@@ -573,7 +700,10 @@ bool SimFarm::run_job(std::size_t w, QueuedJob job) {
 bool SimFarm::finish_failure(std::size_t w, QueuedJob& job, FailureKind kind,
                              const std::string& message) {
   const bool transient = failure_is_transient(kind);
-  if (transient && job.attempts <= job.spec.max_retries && !queue_.stopped()) {
+  const bool will_retry =
+      transient && job.attempts <= job.spec.max_retries && !queue_.stopped();
+  close_exec_span(w, job, will_retry ? "retry" : "failed");
+  if (will_retry) {
     // Retry: restart from scratch. The engine checkpoint alone is not
     // consistent with the harness state mid-attempt, and the spec pins
     // the whole run anyway — a fresh session is provably bit-identical.
@@ -582,6 +712,18 @@ bool SimFarm::finish_failure(std::size_t w, QueuedJob& job, FailureKind kind,
     ++job.attempts;
     const double now = now_us();
     job.not_before_us = now + retry_backoff_us(job.spec, attempt);
+    // The backoff window itself is a span of the *new* attempt, parented
+    // to the root so the retry chain stays one connected tree.
+    if (opt_.tracer != nullptr && job.trace.sampled()) {
+      opt_.tracer->span(job.trace, opt_.tracer->alloc_span_id(),
+                        job.trace.span_id, "farm.retry",
+                        static_cast<std::uint32_t>(job.attempts),
+                        static_cast<std::uint32_t>(100 + w), now,
+                        job.not_before_us,
+                        {{"kind", failure_kind_name(kind)}});
+    }
+    flight(w, job, obs::FlightEventKind::kRetry, job.attempts,
+           static_cast<std::uint64_t>(kind));
     workers_[w]->current_job.store(0, std::memory_order_relaxed);
     if (opt_.metrics) {
       std::lock_guard<std::mutex> lock(metrics_mu_);
@@ -628,6 +770,9 @@ bool SimFarm::finish_failure(std::size_t w, QueuedJob& job, FailureKind kind,
 
 void SimFarm::publish_cancelled(std::size_t w, QueuedJob& job,
                                 CancelCause cause) {
+  flight(w, job, obs::FlightEventKind::kCancel,
+         static_cast<std::uint64_t>(cause), 0);
+  close_exec_span(w, job, "cancelled");
   JobResult r;
   r.status = JobStatus::kCancelled;
   r.cancel_cause = cause;
@@ -697,6 +842,32 @@ void SimFarm::publish(std::size_t w, QueuedJob& job, JobResult r) {
   if (opt_.memo_capacity > 0 && r.status == JobStatus::kDone && !r.memo_hit) {
     memo_store(r.spec_fingerprint, r);
   }
+  // Past the arbitration: *this* publisher owns the terminal result, so
+  // it is the only one that may record the trace root (exactly one
+  // "farm.job" span per trace, even when a racing publisher lost above)
+  // and the one whose flight-recorder context rides on the failure.
+  if (opt_.tracer != nullptr && job.trace.sampled()) {
+    const auto tid = static_cast<std::uint32_t>(100 + w);
+    const double end = now_us();
+    opt_.tracer->span(job.trace, opt_.tracer->alloc_span_id(),
+                      job.trace.span_id, "farm.publish",
+                      static_cast<std::uint32_t>(job.attempts), tid, p0, end,
+                      {{"status", job_status_name(r.status)}});
+    opt_.tracer->span(job.trace, job.trace.span_id, 0, "farm.job",
+                      /*attempt=*/0, tid, job.submitted_us, end,
+                      {{"job", std::to_string(job.job_id)},
+                       {"name", job.spec.name},
+                       {"status", job_status_name(r.status)},
+                       {"attempts", std::to_string(job.attempts)}});
+  }
+  flight(w, job, obs::FlightEventKind::kPublish,
+         static_cast<std::uint64_t>(r.status), 0);
+  if (r.status == JobStatus::kFailed && recorder_) {
+    // Black box: the failing worker's recent events for this job travel
+    // with the failure, next to the replay tuple. Diagnostic-only —
+    // results_equivalent() never looks at it.
+    r.failure.flight_recording = recorder_->dump_jsonl(w, job.job_id);
+  }
   const JobStatus status = r.status;
   const FailureKind kind = r.failure.kind;
   const CancelCause cause = r.cancel_cause;
@@ -749,6 +920,106 @@ void SimFarm::publish(std::size_t w, QueuedJob& job, JobResult r) {
     // drain_mu_ is guaranteed to be inside wait() before we notify.
     { std::lock_guard<std::mutex> lock(drain_mu_); }
     idle_cv_.notify_all();
+  }
+}
+
+std::string SimFarm::introspect() const {
+  // Live snapshot, callable from any thread while the farm runs. Reads
+  // atomics and takes only short leaf locks (queue shards, the result
+  // feed, farm_mu_, memo_mu_) — never metrics_mu_, never a worker join.
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  const double now = now_us();
+  os << "{\"ts_us\": " << now << ", \"stopping\": "
+     << (stopping_.load(std::memory_order_acquire) ? "true" : "false")
+     << ", \"inflight\": " << inflight_.load(std::memory_order_relaxed);
+
+  os << ", \"queue\": {\"depth\": " << queue_.depth()
+     << ", \"submitted\": " << queue_.jobs_submitted()
+     << ", \"rejected\": " << queue_.jobs_rejected() << ", \"classes\": [";
+  const auto shards = queue_.introspect_shards();
+  for (std::size_t c = 0; c < shards.size(); ++c) {
+    if (c > 0) {
+      os << ", ";
+    }
+    os << "{\"class\": \"" << priority_name(static_cast<Priority>(c))
+       << "\", \"depth\": " << queue_.depth(static_cast<Priority>(c))
+       << ", \"shards\": [";
+    for (std::size_t s = 0; s < shards[c].size(); ++s) {
+      const AdmissionQueue::ShardDepth& sd = shards[c][s];
+      const double age =
+          sd.depth > 0 ? std::max(0.0, now - sd.oldest_queued_us) : 0.0;
+      os << (s > 0 ? ", " : "") << "{\"depth\": " << sd.depth
+         << ", \"oldest_age_us\": " << age << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+
+  os << ", \"workers\": [";
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const Worker& wk = *workers_[w];
+    const char* state = wk.dead.load(std::memory_order_acquire) ? "dead"
+                        : wk.idle.load(std::memory_order_relaxed) ? "idle"
+                                                                  : "busy";
+    os << (w > 0 ? ", " : "") << "{\"worker\": " << w << ", \"state\": \""
+       << state << "\", \"job\": "
+       << wk.current_job.load(std::memory_order_relaxed) << ", \"span\": \""
+       << hex_id(wk.current_span.load(std::memory_order_relaxed))
+       << "\", \"heartbeat\": "
+       << wk.heartbeat.load(std::memory_order_relaxed) << "}";
+  }
+  os << "]";
+
+  os << ", \"results\": {\"published\": " << results_.size()
+     << ", \"feed_fill\": " << results_.feed_fill()
+     << ", \"feed_capacity\": " << results_.feed_capacity()
+     << ", \"feed_dropped\": " << results_.completions_dropped() << "}";
+
+  {
+    std::lock_guard<std::mutex> lock(farm_mu_);
+    os << ", \"counters\": {\"reclaims\": " << reclaims_
+       << ", \"quarantined\": " << quarantine_.size() << "}";
+  }
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    os << ", \"memo\": {\"hits\": " << memo_hits_
+       << ", \"misses\": " << memo_misses_
+       << ", \"size\": " << memo_lru_.size() << "}";
+  }
+  if (opt_.tracer != nullptr) {
+    os << ", \"trace\": {\"traces\": " << opt_.tracer->traces_started()
+       << ", \"spans\": " << opt_.tracer->spans_recorded()
+       << ", \"dropped\": " << opt_.tracer->spans_dropped() << "}";
+  }
+  if (recorder_) {
+    os << ", \"flight\": {\"events\": " << recorder_->events_recorded()
+       << ", \"overwritten\": " << recorder_->events_overwritten() << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+void SimFarm::write_introspect_file() const {
+  std::ofstream out(opt_.introspect_path, std::ios::trunc);
+  if (out) {
+    out << introspect() << "\n";
+  }
+}
+
+void SimFarm::introspector_main() {
+  const auto interval = std::chrono::microseconds(
+      static_cast<std::int64_t>(opt_.introspect_interval_ms * 1e3));
+  std::unique_lock<std::mutex> lock(intro_mu_);
+  while (!intro_stop_) {
+    intro_cv_.wait_for(lock, interval, [&] { return intro_stop_; });
+    if (intro_stop_) {
+      break;
+    }
+    lock.unlock();
+    write_introspect_file();
+    lock.lock();
   }
 }
 
@@ -875,6 +1146,17 @@ void SimFarm::reclaim_dead_workers(bool allow_respawn) {
         // Reclaim: back to the front of its class, resuming from the
         // detach-time checkpoint (graceful kill) or from scratch (hard
         // kill dropped the session).
+        const double rnow = now_us();
+        if (opt_.tracer != nullptr && orphan->trace.sampled()) {
+          opt_.tracer->span(orphan->trace, opt_.tracer->alloc_span_id(),
+                            orphan->trace.span_id, "farm.reclaim",
+                            static_cast<std::uint32_t>(orphan->attempts),
+                            /*tid=*/90, rnow, rnow,
+                            {{"worker", std::to_string(w)},
+                             {"resumable", orphan->session ? "1" : "0"}});
+        }
+        flight(workers_.size(), *orphan, obs::FlightEventKind::kReclaim, w,
+               orphan->session ? 1 : 0);
         queue_.requeue(std::move(*orphan), now_us(),
                        RequeuePosition::kFront);
         {

@@ -86,6 +86,25 @@
 //   fail or get cancelled — and a farm.worker.utilization gauge at
 //   shutdown; plus farm.slice spans on per-worker ChromeTrace tracks
 //   (tid 100+worker) with farm.preempt instants.
+//
+// Distributed tracing + flight recorder + introspection (DESIGN.md
+// §15, all off by default and provably free when off):
+//   - FarmOptions::tracer samples submissions and threads a
+//     TraceContext through the job's whole life — submit, per-shard
+//     enqueue/dequeue, one farm.exec segment per dispatch (attach and
+//     slice children), retry/backoff, supervisor reclaim, publish — so
+//     one job renders as one connected span tree across workers,
+//     retries, and preemptions (export via Tracer::write_jsonl /
+//     export_chrome; checked by obs::trace_validate).
+//   - FarmOptions::flight_recorder_depth arms a bounded per-worker
+//     ring of structured events; every kFailed result carries the
+//     failing worker's recent events for its job in
+//     failure.flight_recording, next to the replay tuple.
+//   - introspect() returns a JSON snapshot (per-shard queue depths +
+//     oldest-ticket age, worker states + current span, inflight /
+//     memo / result-feed counters) from any thread, and
+//     introspect_interval_ms arms a thread that writes it to
+//     introspect_path periodically.
 #pragma once
 
 #include <array>
@@ -105,6 +124,7 @@
 #include "farm/admission.h"
 #include "farm/result_store.h"
 #include "farm/session.h"
+#include "obs/flight_recorder.h"
 
 namespace tmsim::obs {
 class ChromeTrace;
@@ -216,6 +236,20 @@ struct FarmOptions {
   /// Observability sinks (borrowed; must outlive the farm).
   obs::MetricsRegistry* metrics = nullptr;
   obs::ChromeTrace* timeline = nullptr;
+  /// Distributed tracing (DESIGN.md §15; borrowed, must outlive the
+  /// farm). Sampling rate and span bounds live in the Tracer's own
+  /// options; null (the default) costs one branch per site.
+  obs::Tracer* tracer = nullptr;
+  /// Flight-recorder depth in events per ring (one ring per worker
+  /// plus one for the supervisor/shutdown paths). 0 (default) disables
+  /// the recorder; when armed, every kFailed result carries a JSONL
+  /// dump of the failing worker's recent events for that job in
+  /// failure.flight_recording.
+  std::size_t flight_recorder_depth = 0;
+  /// Periodic introspection: every interval a snapshot thread writes
+  /// introspect() to `introspect_path`. 0 (default) disables it.
+  double introspect_interval_ms = 0.0;
+  std::string introspect_path = "farm_introspect.json";
 };
 
 class SimFarm {
@@ -270,6 +304,19 @@ class SimFarm {
   const FarmOptions& options() const { return opt_; }
   std::size_t queue_depth() const { return queue_.depth(); }
 
+  /// Live JSON snapshot of the farm (DESIGN.md §15): per-shard queue
+  /// depths and oldest-ticket age, worker states (busy/idle/dead) with
+  /// current job and span, inflight / reclaim / quarantine / memo /
+  /// result-feed counters, and tracer/recorder totals when armed.
+  /// Callable from any thread at any time; touches only atomics and
+  /// short leaf locks (never metrics_mu_).
+  std::string introspect() const;
+
+  /// The armed flight recorder, or null (test/diagnostic access).
+  const obs::FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+
  private:
   struct CachedEngine {
     std::string key;
@@ -306,6 +353,9 @@ class SimFarm {
     std::atomic<bool> lose_session{false};
     std::atomic<bool> dead{false};
     std::atomic<std::uint64_t> current_job{0};
+    /// Currently open farm.exec span id (0 when idle) — surfaced by
+    /// introspect() so a stuck worker names the span it is stuck in.
+    std::atomic<std::uint64_t> current_span{0};
     std::optional<QueuedJob> orphan;      ///< guarded by farm_mu_
     // Supervisor-private heartbeat bookkeeping (single-threaded: the
     // supervisor, then — after it is joined — shutdown).
@@ -349,6 +399,19 @@ class SimFarm {
   void publish(std::size_t w, QueuedJob& job, JobResult r);
   void publish_cancelled(std::size_t w, QueuedJob& job, CancelCause cause);
   double retry_backoff_us(const JobSpec& spec, std::size_t attempt) const;
+  /// Tracing helpers (DESIGN.md §15): one farm.exec segment span per
+  /// dispatch, opened before the memo check and closed — with its
+  /// outcome — on *every* exit path, so worker death never leaves an
+  /// unclosed span. No-ops without a tracer / for unsampled jobs.
+  void open_exec_span(std::size_t w, QueuedJob& job);
+  void close_exec_span(std::size_t w, QueuedJob& job, const char* outcome);
+  /// Appends a flight-recorder event to ring `ring` (no-op when the
+  /// recorder is off). Ring workers_.size() belongs to the
+  /// supervisor/shutdown paths.
+  void flight(std::size_t ring, const QueuedJob& job,
+              obs::FlightEventKind kind, std::uint64_t a, std::uint64_t b);
+  void introspector_main();
+  void write_introspect_file() const;
   ControlShard& control_shard(std::uint64_t job_id) {
     return control_[job_id % kControlShards];
   }
@@ -414,6 +477,14 @@ class SimFarm {
   std::mutex sup_mu_;
   std::condition_variable sup_cv_;
   bool sup_stop_ = false;
+
+  // Flight recorder (flight_recorder_depth > 0) and the periodic
+  // introspection snapshot thread (introspect_interval_ms > 0).
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::thread introspector_;
+  std::mutex intro_mu_;
+  std::condition_variable intro_cv_;
+  bool intro_stop_ = false;
 };
 
 }  // namespace tmsim::farm

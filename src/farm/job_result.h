@@ -96,6 +96,13 @@ struct JobFailure {
   /// is poison — quarantined with its replay tuple instead of
   /// crash-looping through the pool.
   bool quarantined = false;
+  /// Black-box dump (DESIGN.md §15): the failing worker's recent
+  /// flight-recorder events (JSONL, oldest first, filtered to this
+  /// job), filled next to the replay tuple when the farm runs with a
+  /// flight recorder. Empty when the recorder is off. Like `message`
+  /// and `replay`, diagnostic only — never part of the equivalence
+  /// surface results_equivalent() compares.
+  std::string flight_recording;
 };
 
 /// Latency summary for one packet class (mirrors traffic::LatencySummary

@@ -101,4 +101,14 @@ std::uint64_t ResultStore::completions_dropped() const {
   return dropped_;
 }
 
+std::size_t ResultStore::feed_fill() const {
+  std::lock_guard<std::mutex> lock(feed_mu_);
+  return feed_.fill();
+}
+
+std::size_t ResultStore::feed_capacity() const {
+  std::lock_guard<std::mutex> lock(feed_mu_);
+  return feed_.capacity();
+}
+
 }  // namespace tmsim::farm

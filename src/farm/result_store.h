@@ -58,6 +58,11 @@ class ResultStore {
   std::vector<std::uint64_t> drain_completions();
   std::uint64_t completions_dropped() const;
 
+  /// Completion-feed occupancy (notifications waiting to be drained)
+  /// and capacity — surfaced by SimFarm::introspect().
+  std::size_t feed_fill() const;
+  std::size_t feed_capacity() const;
+
  private:
   struct Stored {
     std::uint64_t seq = 0;  ///< completion order stamp

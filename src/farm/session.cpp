@@ -165,6 +165,10 @@ SystemCycle SimSession::advance(SystemCycle quantum) {
   }
   const SystemCycle before = cycles_done_;
   if (spec_.kind == JobKind::kHostedFpga) {
+    const DeltaCycle deltas_before =
+        design_->configured()
+            ? design_->simulation().engine().total_delta_cycles()
+            : 0;
     const SystemCycle target =
         std::min<SystemCycle>(cycles_done_ + quantum, spec_.cycles);
     // Incremental so that slicing adds no bus accesses of its own: the
@@ -172,16 +176,23 @@ SystemCycle SimSession::advance(SystemCycle quantum) {
     // budget is cut. The counter sync runs exactly once, at completion.
     host_->run_incremental(target);
     cycles_done_ = host_->cycles_simulated();
+    last_slice_deltas_ =
+        design_->configured()
+            ? design_->simulation().engine().total_delta_cycles() -
+                  deltas_before
+            : 0;
     if (done() && !hw_synced_) {
       host_->sync_hw_counters();
       hw_synced_ = true;
     }
   } else {
     TMSIM_CHECK_MSG(sim_ != nullptr, "advance() needs an attached engine");
+    const DeltaCycle deltas_before = sim_->total_delta_cycles();
     const SystemCycle n =
         std::min<SystemCycle>(quantum, spec_.cycles - cycles_done_);
     harness_->run(n);
     cycles_done_ = sim_->cycle();
+    last_slice_deltas_ = sim_->total_delta_cycles() - deltas_before;
   }
   return cycles_done_ - before;
 }

@@ -108,6 +108,13 @@ class SimSession {
   bool done() const;
   SystemCycle cycles_done() const { return cycles_done_; }
 
+  /// Delta cycles burned by the most recent advance() — the engine's
+  /// convergence cost for that slice, surfaced so the farm can attach
+  /// it to slice trace spans and flight-recorder samples (DESIGN.md
+  /// §15). 0 before the first advance and for hosted jobs whose design
+  /// is not yet configured.
+  DeltaCycle last_slice_deltas() const { return last_slice_deltas_; }
+
   /// Hosted jobs: true when the hardened host gave up with a structured
   /// FaultReport — the farm escalates this to FailureKind::kFaultAbort.
   /// Core jobs: always false.
@@ -130,6 +137,7 @@ class SimSession {
 
   JobSpec spec_;
   SystemCycle cycles_done_ = 0;
+  DeltaCycle last_slice_deltas_ = 0;
   std::shared_ptr<const std::atomic<bool>> cancel_;
 
   // Core-traffic state.

@@ -66,6 +66,29 @@ void ChromeTrace::instant(
   events_.push_back(Event{name, 'i', ts_us, 0.0, tid, render_args(args)});
 }
 
+void ChromeTrace::async_begin(const std::string& name, const std::string& cat,
+                              std::uint64_t id, double ts_us,
+                              std::uint32_t tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, 'b', ts_us, 0.0, tid, "", cat, id});
+}
+
+void ChromeTrace::async_end(const std::string& name, const std::string& cat,
+                            std::uint64_t id, double ts_us,
+                            std::uint32_t tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, 'e', ts_us, 0.0, tid, "", cat, id});
+}
+
+void ChromeTrace::flow(char phase, const std::string& name, std::uint64_t id,
+                       double ts_us, std::uint32_t tid) {
+  if (phase != 's' && phase != 't' && phase != 'f') {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, phase, ts_us, 0.0, tid, "", "flow", id});
+}
+
 void ChromeTrace::name_thread(std::uint32_t tid, const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{name, 'M', 0.0, 0.0, tid, ""});
@@ -94,8 +117,22 @@ void ChromeTrace::write_json(std::ostream& os) const {
        << e.phase << "\", \"ts\": " << fmt_us(e.ts_us);
     if (e.phase == 'X') {
       os << ", \"dur\": " << fmt_us(e.dur_us);
-    } else {
+    } else if (e.phase == 'i') {
       os << ", \"s\": \"t\"";
+    }
+    if (!e.cat.empty()) {
+      os << ", \"cat\": \"" << json_escape(e.cat) << "\"";
+    }
+    if (e.phase == 'b' || e.phase == 'e' || e.phase == 's' || e.phase == 't' ||
+        e.phase == 'f') {
+      char idbuf[24];
+      std::snprintf(idbuf, sizeof idbuf, "%llx",
+                    static_cast<unsigned long long>(e.id));
+      os << ", \"id\": \"" << idbuf << "\"";
+      if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+        // Bind flow arrows to the enclosing slice rather than the next one.
+        os << ", \"bp\": \"e\"";
+      }
     }
     os << ", \"pid\": 0, \"tid\": " << e.tid;
     if (!e.args_json.empty()) {

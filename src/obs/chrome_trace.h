@@ -51,6 +51,20 @@ class ChromeTrace {
       const std::string& name, double ts_us, std::uint32_t tid,
       const std::vector<std::pair<std::string, std::string>>& args = {});
 
+  /// Async span half ("ph":"b"/"e"): an interval that may start and end
+  /// on different threads. The viewer matches begin/end on (cat, id,
+  /// name), so all three must agree across the pair.
+  void async_begin(const std::string& name, const std::string& cat,
+                   std::uint64_t id, double ts_us, std::uint32_t tid);
+  void async_end(const std::string& name, const std::string& cat,
+                 std::uint64_t id, double ts_us, std::uint32_t tid);
+
+  /// Flow event ("ph":"s"/"t"/"f" for start/step/finish): draws an
+  /// arrow chain between the slices enclosing each event, keyed on
+  /// `id`. `phase` must be 's', 't', or 'f'.
+  void flow(char phase, const std::string& name, std::uint64_t id,
+            double ts_us, std::uint32_t tid);
+
   /// Names track `tid` in the viewer (emits a thread_name metadata event).
   void name_thread(std::uint32_t tid, const std::string& name);
 
@@ -62,11 +76,13 @@ class ChromeTrace {
  private:
   struct Event {
     std::string name;
-    char phase;  // 'X', 'i', 'M'
+    char phase;  // 'X', 'i', 'M', async 'b'/'e', flow 's'/'t'/'f'
     double ts_us;
     double dur_us;
     std::uint32_t tid;
     std::string args_json;  // pre-rendered {"k":"v",...} or ""
+    std::string cat;        // async/flow category ("" elsewhere)
+    std::uint64_t id = 0;   // async/flow correlation id
   };
 
   static std::string render_args(

@@ -1,0 +1,108 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+namespace tmsim::obs {
+
+const char* flight_event_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kDispatch:
+      return "dispatch";
+    case FlightEventKind::kAttach:
+      return "attach";
+    case FlightEventKind::kSlice:
+      return "slice";
+    case FlightEventKind::kPreempt:
+      return "preempt";
+    case FlightEventKind::kRetry:
+      return "retry";
+    case FlightEventKind::kKill:
+      return "kill";
+    case FlightEventKind::kReclaim:
+      return "reclaim";
+    case FlightEventKind::kPublish:
+      return "publish";
+    case FlightEventKind::kCancel:
+      return "cancel";
+    case FlightEventKind::kMetric:
+      return "metric";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t num_rings, std::size_t depth)
+    : depth_(depth == 0 ? 1 : depth) {
+  rings_.reserve(num_rings == 0 ? 1 : num_rings);
+  for (std::size_t i = 0; i < (num_rings == 0 ? 1 : num_rings); ++i) {
+    rings_.push_back(std::make_unique<Ring>());
+    rings_.back()->buf.reserve(depth_);
+  }
+}
+
+void FlightRecorder::record(std::size_t ring_idx, const FlightEvent& event) {
+  if (ring_idx >= rings_.size()) {
+    ring_idx = rings_.size() - 1;
+  }
+  Ring& ring = *rings_[ring_idx];
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.buf.size() < depth_) {
+    ring.buf.push_back(event);
+  } else {
+    ring.buf[ring.next] = event;
+    overwritten_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring.next = (ring.next + 1) % depth_;
+  ++ring.total;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot(std::size_t ring_idx) const {
+  if (ring_idx >= rings_.size()) {
+    return {};
+  }
+  const Ring& ring = *rings_[ring_idx];
+  std::lock_guard<std::mutex> lock(ring.mu);
+  std::vector<FlightEvent> out;
+  out.reserve(ring.buf.size());
+  if (ring.buf.size() < depth_) {
+    out = ring.buf;  // not yet wrapped: insertion order is time order
+  } else {
+    for (std::size_t i = 0; i < depth_; ++i) {
+      out.push_back(ring.buf[(ring.next + i) % depth_]);
+    }
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump_jsonl(std::size_t ring_idx,
+                                       std::uint64_t job_filter) const {
+  std::string out;
+  for (const FlightEvent& e : snapshot(ring_idx)) {
+    if (job_filter != 0 && e.job_id != 0 && e.job_id != job_filter) {
+      continue;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"ts\": %.3f, \"event\": \"%s\", \"job\": %llu, "
+                  "\"trace\": \"%016llx\", \"span\": %llu, \"attempt\": %u, "
+                  "\"a\": %llu, \"b\": %llu}\n",
+                  e.ts_us, flight_event_name(e.kind),
+                  static_cast<unsigned long long>(e.job_id),
+                  static_cast<unsigned long long>(e.trace_id),
+                  static_cast<unsigned long long>(e.span_id), e.attempt,
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+    out += buf;
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::events_recorded() const {
+  return recorded_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::events_overwritten() const {
+  return overwritten_.load(std::memory_order_relaxed);
+}
+
+}  // namespace tmsim::obs

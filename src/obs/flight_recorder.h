@@ -1,0 +1,88 @@
+// Black-box flight recorder (DESIGN.md §15).
+//
+// A set of bounded rings of fixed-size structured events, one ring per
+// writer (the farm gives each worker its own, plus one shared ring for
+// the supervisor/shutdown paths). Writers append span edges and key
+// metric samples as they work; the rings silently overwrite the oldest
+// events, so the recorder costs O(depth) memory forever. When a job
+// fails, the farm dumps the failing worker's ring — filtered to that
+// job — into `JobFailure::flight_recording` next to the replay tuple:
+// the crash site ships its own black box.
+//
+// Each ring has its own mutex; with one writer per ring it is
+// uncontended on the hot path and only fought over at dump time.
+// Recording is independent of trace sampling — unsampled jobs still
+// leave flight events (with trace/span ids 0), so a failure always has
+// a story even at 1-in-N sampling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tmsim::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kDispatch = 1,  ///< worker popped the job; a = slices so far, b = attempt
+  kAttach,        ///< session attached; a = resumed (0/1), b = cache hits
+  kSlice,         ///< run slice done; a = cycles advanced, b = delta cycles
+  kPreempt,       ///< preempted + requeued; a = cycles done, b = cycles total
+  kRetry,         ///< transient failure requeued; a = new attempt, b = kind
+  kKill,          ///< chaos/worker kill observed; a = lose_session (0/1)
+  kReclaim,       ///< supervisor reclaimed the job from a dead worker; a = worker
+  kPublish,       ///< terminal result published; a = status code
+  kCancel,        ///< cancel/deadline observed; a = cause code
+  kMetric,        ///< free-form sample; a/b meaning given by context
+};
+
+const char* flight_event_name(FlightEventKind kind);
+
+struct FlightEvent {
+  double ts_us = 0.0;
+  std::uint64_t job_id = 0;
+  std::uint64_t trace_id = 0;  ///< 0 when the job is unsampled
+  std::uint64_t span_id = 0;   ///< innermost open span at record time
+  std::uint32_t attempt = 0;
+  FlightEventKind kind = FlightEventKind::kMetric;
+  std::uint64_t a = 0;  ///< kind-specific payload (see enum comments)
+  std::uint64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  /// `num_rings` independent rings of `depth` events each.
+  FlightRecorder(std::size_t num_rings, std::size_t depth);
+
+  std::size_t num_rings() const { return rings_.size(); }
+  std::size_t depth() const { return depth_; }
+
+  void record(std::size_t ring, const FlightEvent& event);
+
+  /// The ring's events, oldest first.
+  std::vector<FlightEvent> snapshot(std::size_t ring) const;
+
+  /// JSONL render of the ring (oldest first). `job_filter != 0` keeps
+  /// only that job's events plus ring-wide markers (job_id 0).
+  std::string dump_jsonl(std::size_t ring, std::uint64_t job_filter = 0) const;
+
+  std::uint64_t events_recorded() const;
+  std::uint64_t events_overwritten() const;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<FlightEvent> buf;  // capacity == depth, wraps at next
+    std::size_t next = 0;
+    std::uint64_t total = 0;
+  };
+
+  std::size_t depth_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> overwritten_{0};
+};
+
+}  // namespace tmsim::obs

@@ -151,6 +151,32 @@ TEST(BenchSchema, FarmThroughputRecordCarriesTheScalingSweeps) {
   EXPECT_GT(metrics.at("memo_hits"), 0.0);
 }
 
+TEST(BenchSchema, ObsOverheadRecordKeepsSamplingCheap) {
+  const std::filesystem::path path =
+      std::filesystem::path(TMSIM_SOURCE_DIR) / "BENCH_obs_overhead.json";
+  ASSERT_TRUE(std::filesystem::exists(path))
+      << "run build/bench/obs_overhead from the repo root";
+  const auto metrics = parse_metrics(slurp(path));
+  for (const std::string m :
+       {"jobs_per_sec_off", "jobs_per_sec_sampled", "jobs_per_sec_full",
+        "overhead_sampled_pct", "overhead_full_pct", "traces_sampled",
+        "traces_full", "spans_full", "spans_dropped_full"}) {
+    ASSERT_TRUE(metrics.count(m)) << m;
+  }
+  for (const std::string m :
+       {"jobs_per_sec_off", "jobs_per_sec_sampled", "jobs_per_sec_full"}) {
+    EXPECT_GT(metrics.at(m), 0.0) << m;
+  }
+  // The §15 headline: 1-in-64 head sampling is cheap enough to leave on.
+  EXPECT_LT(metrics.at("overhead_sampled_pct"), 5.0);
+  // And the lit runs genuinely traced — the overhead numbers would be
+  // meaningless if sampling had quietly recorded nothing.
+  EXPECT_GT(metrics.at("traces_sampled"), 0.0);
+  EXPECT_GT(metrics.at("traces_full"), metrics.at("traces_sampled"));
+  EXPECT_GT(metrics.at("spans_full"), metrics.at("traces_full"));
+  EXPECT_EQ(metrics.at("spans_dropped_full"), 0.0);
+}
+
 TEST(BenchSchema, FarmLoadgenRecordShowsADeepSustainedBacklog) {
   const std::filesystem::path path =
       std::filesystem::path(TMSIM_SOURCE_DIR) / "BENCH_farm_loadgen.json";

@@ -12,6 +12,7 @@
 // injected faults are as reproducible as the simulations they disturb.
 #include <atomic>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "farm/farm.h"
 #include "farm/session.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tmsim::farm {
 namespace {
@@ -104,6 +106,7 @@ TEST(FarmChaos, NoJobLeftBehindUnderInjectedFaultsAndWorkerKills) {
   }
 
   obs::MetricsRegistry metrics;
+  obs::Tracer tracer;  // full-rate: every chaos victim leaves a trace
   FarmOptions opt;
   opt.num_workers = 4;
   opt.queue_capacity = kSpecs;
@@ -111,6 +114,8 @@ TEST(FarmChaos, NoJobLeftBehindUnderInjectedFaultsAndWorkerKills) {
   opt.retry_backoff_base_us = 50.0;
   opt.supervisor_interval_ms = 2.0;  // aggressive reclaim/respawn cadence
   opt.metrics = &metrics;
+  opt.tracer = &tracer;
+  opt.flight_recorder_depth = 256;
 
   // Kill actions must fire once per *job*, not once per (job, slice):
   // reclaim preserves the slice counter, so a slice-keyed kill would
@@ -172,6 +177,11 @@ TEST(FarmChaos, NoJobLeftBehindUnderInjectedFaultsAndWorkerKills) {
       EXPECT_EQ(r->failure.kind, FailureKind::kEngineError);
       EXPECT_EQ(r->failure.attempts, 1u);
       EXPECT_EQ(r->failure.replay, specs[i].serialize());
+      // Every surfaced failure ships its black box (DESIGN.md §15): the
+      // failing worker's recent events for this job, next to the replay.
+      EXPECT_FALSE(r->failure.flight_recording.empty()) << specs[i].name;
+      EXPECT_NE(r->failure.flight_recording.find("\"event\": \"publish\""),
+                std::string::npos);
       ++failed;
       continue;
     }
@@ -207,6 +217,15 @@ TEST(FarmChaos, NoJobLeftBehindUnderInjectedFaultsAndWorkerKills) {
   EXPECT_EQ(metrics.counter_value("farm.jobs.failed", "reason=engine_error"),
             n_permanent);
   EXPECT_TRUE(farm.quarantined().empty());
+
+  // Whatever the chaos did — retries, kills, reclaims, hard restarts —
+  // every job's span chain is still one valid connected tree per trace.
+  EXPECT_EQ(tracer.traces_started(), kSpecs);
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+  std::istringstream is(os.str());
+  const auto verdict = obs::trace_validate(is);
+  EXPECT_EQ(verdict, std::nullopt) << *verdict;
 }
 
 }  // namespace

@@ -1,0 +1,268 @@
+// Tracer + trace_validate unit tests: sampling arithmetic, the no-op
+// guarantee for unsampled contexts, the span-storage bound, the JSONL
+// export format, the validator's accept/reject matrix (the trace
+// sibling of vcd_validate's), and the Chrome flow/async export.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "obs/chrome_trace.h"
+
+namespace tmsim::obs {
+namespace {
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Tracer, HeadSamplingIsOneInN) {
+  Tracer::Options opt;
+  opt.sample_every = 4;
+  Tracer tracer(opt);
+  std::size_t sampled = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (tracer.should_sample()) {
+      ++sampled;
+    }
+  }
+  EXPECT_EQ(sampled, 4u);
+  EXPECT_EQ(tracer.samples_seen(), 16u);
+}
+
+TEST(Tracer, SampleEveryZeroTracesNothing) {
+  Tracer::Options opt;
+  opt.sample_every = 0;
+  Tracer tracer(opt);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(tracer.should_sample());
+  }
+}
+
+TEST(Tracer, StartTraceDerivesDistinctNonzeroIds) {
+  Tracer tracer;
+  const TraceContext a = tracer.start_trace(0x1234);
+  const TraceContext b = tracer.start_trace(0x1234);  // same key, new nonce
+  EXPECT_TRUE(a.sampled());
+  EXPECT_TRUE(b.sampled());
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_NE(a.span_id, b.span_id);
+  EXPECT_EQ(a.parent_span_id, 0u);
+  EXPECT_EQ(tracer.traces_started(), 2u);
+}
+
+TEST(Tracer, UnsampledContextIsANoOp) {
+  Tracer tracer;
+  const TraceContext unsampled;  // trace_id 0
+  tracer.span(unsampled, 1, 0, "ghost", 0, 0, 0.0, 1.0);
+  EXPECT_EQ(tracer.spans_recorded(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Tracer, MaxSpansBoundsStorageAndCountsDrops) {
+  Tracer::Options opt;
+  opt.max_spans = 2;
+  Tracer tracer(opt);
+  const TraceContext ctx = tracer.start_trace(7);
+  for (int i = 0; i < 5; ++i) {
+    tracer.span(ctx, tracer.alloc_span_id(), ctx.span_id, "s", 0, 0,
+                static_cast<double>(i), static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(tracer.spans_recorded(), 2u);
+  EXPECT_EQ(tracer.spans_dropped(), 3u);
+  EXPECT_EQ(tracer.snapshot().size(), 2u);
+}
+
+TEST(Tracer, WriteJsonlRoundTripsThroughValidator) {
+  Tracer tracer;
+  const TraceContext ctx = tracer.start_trace(42);
+  const std::uint64_t exec = tracer.alloc_span_id();
+  tracer.span(ctx, exec, ctx.span_id, "farm.exec", 1, 100, 10.0, 20.0,
+              {{"outcome", "done"}});
+  tracer.span(ctx, tracer.alloc_span_id(), exec, "farm.slice", 1, 100, 11.0,
+              19.0);
+  tracer.span(ctx, ctx.span_id, 0, "farm.job", 0, 90, 0.0, 21.0,
+              {{"name", "j"}});
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+  const std::string out = os.str();
+  EXPECT_EQ(count_of(out, "\n"), 3u);
+  EXPECT_NE(out.find("\"name\": \"farm.exec\""), std::string::npos);
+  EXPECT_NE(out.find("\"args\": {\"outcome\": \"done\"}"), std::string::npos);
+  std::istringstream is(out);
+  EXPECT_EQ(trace_validate(is), std::nullopt);
+}
+
+// The validator's reject matrix, each case a minimal literal log.
+TEST(TraceValidate, AcceptsAnEmptyLog) {
+  std::istringstream is("");
+  EXPECT_EQ(trace_validate(is), std::nullopt);
+}
+
+TEST(TraceValidate, RejectsMissingField) {
+  std::istringstream is(
+      "{\"trace\": \"0a\", \"span\": 1, \"parent\": 0, \"attempt\": 0, "
+      "\"ts\": 0.0, \"dur\": 1.0}\n");  // no name
+  const auto err = trace_validate(is);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("missing required field"), std::string::npos);
+}
+
+TEST(TraceValidate, RejectsUnclosedSpan) {
+  std::istringstream is(
+      "{\"trace\": \"0a\", \"span\": 1, \"parent\": 0, \"name\": \"r\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 5.0, \"dur\": -1.0}\n");
+  const auto err = trace_validate(is);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("not closed"), std::string::npos);
+}
+
+TEST(TraceValidate, RejectsSpanIdZero) {
+  std::istringstream is(
+      "{\"trace\": \"0a\", \"span\": 0, \"parent\": 0, \"name\": \"r\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 0.0, \"dur\": 1.0}\n");
+  const auto err = trace_validate(is);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("span id 0"), std::string::npos);
+}
+
+TEST(TraceValidate, RejectsDuplicateSpanIds) {
+  std::istringstream is(
+      "{\"trace\": \"0a\", \"span\": 1, \"parent\": 0, \"name\": \"r\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 0.0, \"dur\": 9.0}\n"
+      "{\"trace\": \"0a\", \"span\": 1, \"parent\": 1, \"name\": \"c\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 1.0, \"dur\": 1.0}\n");
+  const auto err = trace_validate(is);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("duplicate span id"), std::string::npos);
+}
+
+TEST(TraceValidate, RejectsTwoRoots) {
+  std::istringstream is(
+      "{\"trace\": \"0a\", \"span\": 1, \"parent\": 0, \"name\": \"r\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 0.0, \"dur\": 9.0}\n"
+      "{\"trace\": \"0a\", \"span\": 2, \"parent\": 0, \"name\": \"r2\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 1.0, \"dur\": 1.0}\n");
+  const auto err = trace_validate(is);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("second root"), std::string::npos);
+}
+
+TEST(TraceValidate, RejectsMissingParent) {
+  std::istringstream is(
+      "{\"trace\": \"0a\", \"span\": 1, \"parent\": 0, \"name\": \"r\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 0.0, \"dur\": 9.0}\n"
+      "{\"trace\": \"0a\", \"span\": 2, \"parent\": 7, \"name\": \"c\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 1.0, \"dur\": 1.0}\n");
+  const auto err = trace_validate(is);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("parent span 7 missing"), std::string::npos);
+}
+
+TEST(TraceValidate, RejectsChildStartingBeforeItsParent) {
+  std::istringstream is(
+      "{\"trace\": \"0a\", \"span\": 1, \"parent\": 0, \"name\": \"r\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 5.0, \"dur\": 9.0}\n"
+      "{\"trace\": \"0a\", \"span\": 2, \"parent\": 1, \"name\": \"c\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 1.0, \"dur\": 1.0}\n");
+  const auto err = trace_validate(is);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("before its parent"), std::string::npos);
+}
+
+TEST(TraceValidate, RejectsCrossAttemptParenting) {
+  std::istringstream is(
+      "{\"trace\": \"0a\", \"span\": 1, \"parent\": 0, \"name\": \"r\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 0.0, \"dur\": 9.0}\n"
+      "{\"trace\": \"0a\", \"span\": 2, \"parent\": 1, \"name\": \"e1\", "
+      "\"attempt\": 1, \"tid\": 0, \"ts\": 1.0, \"dur\": 1.0}\n"
+      "{\"trace\": \"0a\", \"span\": 3, \"parent\": 2, \"name\": \"e2\", "
+      "\"attempt\": 2, \"tid\": 0, \"ts\": 2.0, \"dur\": 1.0}\n");
+  const auto err = trace_validate(is);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("attempt 2 span parented to attempt 1"),
+            std::string::npos);
+}
+
+TEST(TraceValidate, RejectsDisconnectedSpans) {
+  // Two spans forming their own cycle-free island under the same trace:
+  // both have parents, neither is reachable from the root.
+  std::istringstream is(
+      "{\"trace\": \"0a\", \"span\": 1, \"parent\": 0, \"name\": \"r\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 0.0, \"dur\": 9.0}\n"
+      "{\"trace\": \"0a\", \"span\": 2, \"parent\": 3, \"name\": \"a\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 1.0, \"dur\": 1.0}\n"
+      "{\"trace\": \"0a\", \"span\": 3, \"parent\": 2, \"name\": \"b\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 1.0, \"dur\": 1.0}\n");
+  const auto err = trace_validate(is);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("disconnected"), std::string::npos);
+}
+
+TEST(TraceValidate, TracesAreValidatedIndependently) {
+  // A valid trace next to a rootless one: the bad one is named.
+  std::istringstream is(
+      "{\"trace\": \"aa\", \"span\": 1, \"parent\": 0, \"name\": \"r\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 0.0, \"dur\": 9.0}\n"
+      "{\"trace\": \"bb\", \"span\": 2, \"parent\": 2, \"name\": \"x\", "
+      "\"attempt\": 0, \"tid\": 0, \"ts\": 0.0, \"dur\": 1.0}\n");
+  const auto err = trace_validate(is);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("bb"), std::string::npos);
+  EXPECT_NE(err->find("no root"), std::string::npos);
+}
+
+TEST(ChromeTrace, AsyncAndFlowEventsRender) {
+  ChromeTrace trace;
+  trace.async_begin("farm.job", "trace", 0xabcd, 1.0, 90);
+  trace.async_end("farm.job", "trace", 0xabcd, 9.0, 90);
+  trace.flow('s', "farm.submit", 0xabcd, 1.0, 90);
+  trace.flow('t', "farm.exec", 0xabcd, 3.0, 100);
+  trace.flow('f', "farm.publish", 0xabcd, 8.0, 101);
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"e\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"t\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(out.find("\"cat\": \"trace\""), std::string::npos);
+  EXPECT_NE(out.find("\"id\": \"abcd\""), std::string::npos);
+  // Flow steps bind to the *enclosing* slice end (Chrome's bp: "e").
+  EXPECT_EQ(count_of(out, "\"bp\": \"e\""), 3u);
+  EXPECT_EQ(count_of(out, "{"), count_of(out, "}"));
+}
+
+TEST(Tracer, ExportChromeDrawsOneLanePerTrace) {
+  Tracer tracer;
+  const TraceContext a = tracer.start_trace(1);
+  const TraceContext b = tracer.start_trace(2);
+  tracer.span(a, a.span_id, 0, "farm.job", 0, 90, 0.0, 10.0);
+  tracer.span(a, tracer.alloc_span_id(), a.span_id, "farm.exec", 1, 100, 1.0,
+              9.0);
+  tracer.span(b, b.span_id, 0, "farm.job", 0, 90, 2.0, 5.0);
+  ChromeTrace trace;
+  tracer.export_chrome(trace);
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string out = os.str();
+  // One async bracket per trace, a flow chain across each trace's spans.
+  EXPECT_EQ(count_of(out, "\"ph\": \"b\""), 2u);
+  EXPECT_EQ(count_of(out, "\"ph\": \"e\""), 2u);
+  EXPECT_EQ(count_of(out, "\"ph\": \"s\""), 2u);
+  EXPECT_EQ(count_of(out, "\"ph\": \"f\""), 1u);  // trace b has one span
+  EXPECT_EQ(count_of(out, "{"), count_of(out, "}"));
+}
+
+}  // namespace
+}  // namespace tmsim::obs
