@@ -26,6 +26,23 @@ class StatAccumulator {
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
 
+  /// Rebuilds an accumulator from its observable surface (count/sum/
+  /// min/max) — the wire codec needs this to round-trip JobResults
+  /// bit-exactly. An empty accumulator (count == 0) restores to the
+  /// pristine sentinel state regardless of the min/max arguments, so
+  /// restore(a.count(), a.sum(), a.min(), a.max()) == a for any `a`.
+  static StatAccumulator restore(std::size_t count, double sum, double min,
+                                 double max) {
+    StatAccumulator a;
+    if (count > 0) {
+      a.count_ = count;
+      a.sum_ = sum;
+      a.min_ = min;
+      a.max_ = max;
+    }
+    return a;
+  }
+
  private:
   std::size_t count_ = 0;
   double sum_ = 0.0;

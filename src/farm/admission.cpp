@@ -107,7 +107,8 @@ void AdmissionQueue::enqueue(QueuedJob job, RequeuePosition pos) {
 }
 
 SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us,
-                                     const AcceptHook& on_accept) {
+                                     const AcceptHook& on_accept,
+                                     const obs::TraceContext* remote) {
   SubmitOutcome out;
   out.queue_capacity = capacity_;
   // Validate outside any lock: validation walks GT stream paths and must
@@ -165,12 +166,27 @@ SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us,
   job.queued_us = now_us;
   // Head-sample *before* the fingerprint hash: unsampled jobs (the
   // common case at 1-in-N) skip all tracing work, not just storage.
-  if (tracer_ != nullptr && tracer_->should_sample()) {
+  // Remote submissions carrying a client trace are always sampled —
+  // the client already opened its half of the trace.
+  const bool remote_traced = remote != nullptr && remote->trace_id != 0;
+  if (tracer_ != nullptr && (remote_traced || tracer_->should_sample())) {
     job.trace = tracer_->start_trace(job.spec.fingerprint());
-    tracer_->span(job.trace, tracer_->alloc_span_id(), job.trace.span_id,
-                  "farm.submit", 0, kQueueTid, now_us, now_us,
-                  {{"job", std::to_string(job.job_id)},
-                   {"name", job.spec.name}});
+    if (remote_traced) {
+      // Span *links*, not parentage: the client's trace is a separate
+      // tree (trace_validate wants exactly one root per trace), so the
+      // wire crossing is recorded as link attributes on the submit span.
+      tracer_->span(job.trace, tracer_->alloc_span_id(), job.trace.span_id,
+                    "farm.submit", 0, kQueueTid, now_us, now_us,
+                    {{"job", std::to_string(job.job_id)},
+                     {"name", job.spec.name},
+                     {"link.client_trace", std::to_string(remote->trace_id)},
+                     {"link.client_span", std::to_string(remote->span_id)}});
+    } else {
+      tracer_->span(job.trace, tracer_->alloc_span_id(), job.trace.span_id,
+                    "farm.submit", 0, kQueueTid, now_us, now_us,
+                    {{"job", std::to_string(job.job_id)},
+                     {"name", job.spec.name}});
+    }
   }
   if (job.spec.deadline_ms > 0) {
     job.deadline_at_us =
@@ -179,6 +195,7 @@ SubmitOutcome AdmissionQueue::submit(JobSpec spec, double now_us,
   submitted_.fetch_add(1, std::memory_order_relaxed);
   out.accepted = true;
   out.job_id = job.job_id;
+  out.trace = job.trace;
   // The accept hook runs before the job is visible to any popper (and
   // with no queue locks held), closing the submit/pop TOCTOU without a
   // queue-wide mutex.

@@ -94,6 +94,10 @@ struct SubmitOutcome {
   /// kQueueFull only: deterministic resubmission hint (see header).
   /// 0 on every other outcome.
   double retry_after_us = 0.0;
+  /// Tracing identity assigned at admission (trace_id 0 when the job was
+  /// not sampled). Lets a network front-end report the server-side trace
+  /// back to the remote submitter.
+  obs::TraceContext trace;
 };
 
 /// One queued unit of work. `session` is null for a fresh submission (or
@@ -168,8 +172,14 @@ class AdmissionQueue {
   /// Validates and either enqueues (assigning a job id and stamping the
   /// deadline) or rejects. Never blocks. `on_accept`, when given, runs
   /// after the id is assigned and before the job is visible to poppers.
+  /// A non-null `remote` marks the submission as arriving over the wire
+  /// with that client-side trace identity: the job is then *always*
+  /// sampled (the client already paid for a trace; dropping the server
+  /// half would orphan it) and the client's ids are recorded as span
+  /// link attributes on the submit span.
   SubmitOutcome submit(JobSpec spec, double now_us,
-                       const AcceptHook& on_accept = {});
+                       const AcceptHook& on_accept = {},
+                       const obs::TraceContext* remote = nullptr);
 
   /// Re-enqueues admitted work. Exempt from the capacity bound and
   /// deliberately allowed after stop() — admitted work must always be

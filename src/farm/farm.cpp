@@ -127,7 +127,8 @@ void SimFarm::update_queue_gauges() {
   }
 }
 
-SubmitOutcome SimFarm::submit(const JobSpec& spec) {
+SubmitOutcome SimFarm::submit(const JobSpec& spec,
+                              const obs::TraceContext* remote) {
   SubmitOutcome out;
   const double now = now_us();
   if (stopping_.load(std::memory_order_acquire)) {
@@ -149,7 +150,8 @@ SubmitOutcome SimFarm::submit(const JobSpec& spec) {
                           ControlShard& shard = control_shard(id);
                           std::lock_guard<std::mutex> lock(shard.mu);
                           shard.map.emplace(id, std::move(ctl));
-                        });
+                        },
+                        remote);
   }
   if (opt_.metrics) {
     std::lock_guard<std::mutex> lock(metrics_mu_);
@@ -997,8 +999,21 @@ std::string SimFarm::introspect() const {
     os << ", \"flight\": {\"events\": " << recorder_->events_recorded()
        << ", \"overwritten\": " << recorder_->events_overwritten() << "}";
   }
+  {
+    // External ingress (tmsim-farmd): listener/connection/outbox/spill
+    // state, appended verbatim so one snapshot covers the whole daemon.
+    std::lock_guard<std::mutex> lock(ingress_mu_);
+    if (ingress_provider_) {
+      os << ", \"net\": " << ingress_provider_();
+    }
+  }
   os << "}";
   return os.str();
+}
+
+void SimFarm::set_ingress_provider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(ingress_mu_);
+  ingress_provider_ = std::move(provider);
 }
 
 void SimFarm::write_introspect_file() const {

@@ -264,7 +264,12 @@ class SimFarm {
   /// Never blocks: either the job is queued (outcome.job_id) or the
   /// outcome says why not — kQueueFull outcomes carry the backpressure
   /// context (depth, capacity, deterministic retry-after hint).
-  SubmitOutcome submit(const JobSpec& spec);
+  /// A non-null `remote` marks a submission that arrived over the wire
+  /// with that client-side trace context — the job is then always
+  /// sampled and the client ids ride on the submit span as link
+  /// attributes (see AdmissionQueue::submit).
+  SubmitOutcome submit(const JobSpec& spec,
+                       const obs::TraceContext* remote = nullptr);
 
   /// Requests cooperative cancellation. kRequested means the job will
   /// resolve to kCancelled at its next slice/period boundary (or next
@@ -311,6 +316,15 @@ class SimFarm {
   /// Callable from any thread at any time; touches only atomics and
   /// short leaf locks (never metrics_mu_).
   std::string introspect() const;
+
+  /// Installs (or clears, with an empty function) an external-ingress
+  /// introspection provider. When set, introspect() appends its return
+  /// value verbatim as the snapshot's "net" object — tmsim-farmd uses
+  /// this to surface listener/connection/outbox/spill state in the same
+  /// snapshot (and the same periodic file) as the farm internals. The
+  /// provider must return a complete JSON value and must not call back
+  /// into the farm.
+  void set_ingress_provider(std::function<std::string()> provider);
 
   /// The armed flight recorder, or null (test/diagnostic access).
   const obs::FlightRecorder* flight_recorder() const {
@@ -477,6 +491,11 @@ class SimFarm {
   std::mutex sup_mu_;
   std::condition_variable sup_cv_;
   bool sup_stop_ = false;
+
+  // External-ingress introspection provider (tmsim-farmd). Guarded by
+  // its own leaf mutex so introspect() stays callable from any thread.
+  mutable std::mutex ingress_mu_;
+  std::function<std::string()> ingress_provider_;
 
   // Flight recorder (flight_recorder_depth > 0) and the periodic
   // introspection snapshot thread (introspect_interval_ms > 0).

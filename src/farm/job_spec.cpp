@@ -101,7 +101,11 @@ const char* priority_name(Priority p) {
 
 std::string JobSpec::serialize() const {
   std::ostringstream os;
-  os << "name=" << name;
+  // Format-version token first, always: decoders on the far side of the
+  // wire (or a future release) must be able to reject a spec they do
+  // not understand before trusting any other token.
+  os << "v=" << kSpecFormatVersion;
+  os << " name=" << name;
   os << " kind=" << job_kind_name(kind);
   os << " priority=" << priority_name(priority);
   os << " width=" << net.width << " height=" << net.height;
@@ -156,7 +160,14 @@ JobSpec JobSpec::deserialize(const std::string& text) {
     TMSIM_CHECK_MSG(eq != std::string::npos, "job spec token without '='");
     const std::string key = tok.substr(0, eq);
     const std::string val = tok.substr(eq + 1);
-    if (key == "name") {
+    if (key == "v") {
+      // Absent `v` means version 1 (pre-versioning specs); any other
+      // version is a structured reject, never a best-effort parse.
+      if (parse_u64(val) != kSpecFormatVersion) {
+        throw ContextualError("unsupported job spec format version",
+                              {{"v", val}});
+      }
+    } else if (key == "name") {
       spec.name = val;
     } else if (key == "kind") {
       if (val == "core") {

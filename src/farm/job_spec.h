@@ -50,6 +50,13 @@ inline constexpr std::size_t kNumPriorities = 3;
 const char* job_kind_name(JobKind k);
 const char* priority_name(Priority p);
 
+/// Format version of the stable serialized form. Emitted as the leading
+/// `v=` token by serialize(); deserialize() accepts exactly this version
+/// (a missing token means version 1 — the pre-versioning format) and
+/// rejects anything else with a structured error, so a decoder never
+/// half-parses a spec written by a future release.
+inline constexpr std::uint64_t kSpecFormatVersion = 1;
+
 /// The traffic offered to the network (a declarative superset of what
 /// TrafficHarness / ArmHost::Workload configure imperatively).
 struct WorkloadSpec {

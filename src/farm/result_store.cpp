@@ -43,6 +43,7 @@ bool ResultStore::put(JobResult result) {
     }
     feed_.push(fpga::TimedWord{seq, static_cast<std::uint32_t>(id)});
   }
+  feed_cv_.notify_all();
   return dropped_one;
 }
 
@@ -91,6 +92,19 @@ std::vector<std::uint64_t> ResultStore::drain_completions() {
   std::vector<std::uint64_t> ids;
   ids.reserve(feed_.fill());
   while (!feed_.empty()) {
+    ids.push_back(feed_.pop().data);
+  }
+  return ids;
+}
+
+std::vector<std::uint64_t> ResultStore::next_batch(
+    std::size_t max_ids, std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(feed_mu_);
+  feed_cv_.wait_for(lock, timeout, [&] { return !feed_.empty(); });
+  std::vector<std::uint64_t> ids;
+  ids.reserve(std::min(feed_.fill(),
+                       max_ids == 0 ? feed_.fill() : max_ids));
+  while (!feed_.empty() && (max_ids == 0 || ids.size() < max_ids)) {
     ids.push_back(feed_.pop().data);
   }
   return ids;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -58,6 +59,16 @@ class ResultStore {
   std::vector<std::uint64_t> drain_completions();
   std::uint64_t completions_dropped() const;
 
+  /// Deadline-bounded blocking drain for streaming consumers: waits up
+  /// to `timeout` for at least one completion notification, then
+  /// returns up to `max_ids` of them, oldest first (same drop-oldest
+  /// accounting as drain_completions). Returns an empty vector on
+  /// timeout — never throws, never blocks past the deadline. A
+  /// `max_ids` of 0 means "no batch bound". Wakes immediately when a
+  /// notification is already pending.
+  std::vector<std::uint64_t> next_batch(std::size_t max_ids,
+                                        std::chrono::microseconds timeout);
+
   /// Completion-feed occupancy (notifications waiting to be drained)
   /// and capacity — surfaced by SimFarm::introspect().
   std::size_t feed_fill() const;
@@ -83,6 +94,7 @@ class ResultStore {
   std::atomic<std::uint64_t> seq_{0};
 
   mutable std::mutex feed_mu_;
+  std::condition_variable feed_cv_;
   fpga::CyclicBuffer feed_;
   std::uint64_t dropped_ = 0;
 };

@@ -1,0 +1,81 @@
+// tmsim-farmd: the networked front-end to one simulation farm. Binds a
+// loopback listener, serves the wire protocol (DESIGN.md §16), and
+// drains gracefully on SIGINT/SIGTERM — every accepted job resolves and
+// connected subscribers receive their remaining results before exit.
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <semaphore>
+#include <string>
+
+#include "farmd/server.h"
+#include "obs/metrics.h"
+
+namespace {
+
+// Signal → main-thread handoff. A semaphore is async-signal-safe enough
+// for this use (release is a futex post on Linux).
+std::binary_semaphore g_stop{0};
+
+void on_signal(int) { g_stop.release(); }
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--workers N] [--queue N] "
+               "[--spill-dir PATH]\n"
+               "  --port N       listen port on 127.0.0.1 (default 0 = "
+               "ephemeral)\n"
+               "  --workers N    farm worker threads (default 2)\n"
+               "  --queue N      admission queue capacity (default 64)\n"
+               "  --spill-dir P  spill segment directory (default "
+               "farmd_spill)\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tmsim::farmd::FarmdOptions opt;
+  opt.farm.num_workers = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_val = i + 1 < argc;
+    if (arg == "--port" && has_val) {
+      opt.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--workers" && has_val) {
+      opt.farm.num_workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--queue" && has_val) {
+      opt.farm.queue_capacity =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--spill-dir" && has_val) {
+      opt.spill_dir = argv[++i];
+    } else {
+      usage(argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  tmsim::obs::MetricsRegistry metrics;
+  opt.farm.metrics = &metrics;
+  try {
+    tmsim::farmd::FarmdServer server(opt);
+    std::printf("tmsim-farmd listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    g_stop.acquire();
+
+    std::printf("tmsim-farmd draining...\n");
+    std::fflush(stdout);
+    server.shutdown();
+    std::printf("tmsim-farmd stopped\n%s\n", server.ingress_json().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tmsim-farmd: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

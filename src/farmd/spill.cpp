@@ -1,0 +1,229 @@
+#include "farmd/spill.h"
+
+#include <filesystem>
+#include <vector>
+
+#include "common/error.h"
+#include "net/wire.h"
+
+namespace tmsim::farmd {
+
+namespace {
+
+std::vector<std::uint8_t> encode_record(const SpillRecord& rec) {
+  net::WireWriter w;
+  w.u64(rec.remote_id);
+  w.str(rec.client);
+  w.u64(rec.trace_id);
+  w.u64(rec.span_id);
+  w.str(rec.spec_text);
+  return w.take();
+}
+
+SpillRecord decode_record(const std::vector<std::uint8_t>& payload) {
+  net::WireReader r(payload);
+  SpillRecord rec;
+  rec.remote_id = r.u64();
+  rec.client = r.str();
+  rec.trace_id = r.u64();
+  rec.span_id = r.u64();
+  rec.spec_text = r.str();
+  r.expect_end();
+  return rec;
+}
+
+}  // namespace
+
+SpillQueue::SpillQueue(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+  for (std::size_t c = 0; c < farm::kNumPriorities; ++c) {
+    const std::string path =
+        dir_ + "/spill-" +
+        farm::priority_name(static_cast<farm::Priority>(c)) + ".seg";
+    open_segment(segments_[c], path);
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    pending_total_ += segments_[c].pending;
+    appended_ += segments_[c].pending;  // recovered records count as appends
+  }
+}
+
+SpillQueue::~SpillQueue() { stop(); }
+
+void SpillQueue::open_segment(Segment& seg, const std::string& path) {
+  seg.path = path;
+  if (!std::filesystem::exists(path)) {
+    std::ofstream create(path, std::ios::binary);
+    TMSIM_CHECK_MSG(create.good(), "cannot create spill segment");
+  }
+  seg.file.open(path, std::ios::in | std::ios::out | std::ios::binary);
+  TMSIM_CHECK_MSG(seg.file.good(), "cannot open spill segment");
+  // Recovery scan: walk length-prefixed records from the start, stop at
+  // the first torn/corrupt one and truncate it away — everything before
+  // it is pending again (at-least-once across restarts).
+  std::uint64_t off = 0;
+  std::uint64_t count = 0;
+  const std::uint64_t size = std::filesystem::file_size(path);
+  while (off + 8 <= size) {
+    std::uint8_t head[8];
+    seg.file.seekg(static_cast<std::streamoff>(off));
+    seg.file.read(reinterpret_cast<char*>(head), sizeof head);
+    if (!seg.file.good()) {
+      break;
+    }
+    net::WireReader hr(head, sizeof head);
+    const std::uint32_t len = hr.u32();
+    const std::uint32_t crc = hr.u32();
+    if (len > net::kMaxPayload || off + 8 + len > size) {
+      break;  // torn tail
+    }
+    std::vector<std::uint8_t> payload(len);
+    seg.file.read(reinterpret_cast<char*>(payload.data()),
+                  static_cast<std::streamsize>(len));
+    if (!seg.file.good() || net::crc32(payload.data(), len) != crc) {
+      break;
+    }
+    off += 8 + len;
+    ++count;
+  }
+  seg.file.clear();
+  if (off < size) {
+    seg.file.close();
+    std::filesystem::resize_file(path, off);
+    seg.file.open(path, std::ios::in | std::ios::out | std::ios::binary);
+    TMSIM_CHECK_MSG(seg.file.good(), "cannot reopen spill segment");
+  }
+  seg.read_off = 0;
+  seg.write_off = off;
+  seg.pending = count;
+}
+
+void SpillQueue::append(farm::Priority cls, const SpillRecord& rec) {
+  Segment& seg = segments_[static_cast<std::size_t>(cls)];
+  const std::vector<std::uint8_t> payload = encode_record(rec);
+  net::WireWriter head;
+  head.u32(static_cast<std::uint32_t>(payload.size()));
+  head.u32(net::crc32(payload.data(), payload.size()));
+  {
+    std::lock_guard<std::mutex> lock(seg.mu);
+    seg.file.clear();
+    seg.file.seekp(static_cast<std::streamoff>(seg.write_off));
+    seg.file.write(reinterpret_cast<const char*>(head.bytes().data()),
+                   static_cast<std::streamsize>(head.bytes().size()));
+    seg.file.write(reinterpret_cast<const char*>(payload.data()),
+                   static_cast<std::streamsize>(payload.size()));
+    seg.file.flush();
+    TMSIM_CHECK_MSG(seg.file.good(), "spill segment write failed");
+    seg.write_off += 8 + payload.size();
+    ++seg.pending;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    ++pending_total_;
+    ++appended_;
+  }
+  cv_.notify_all();
+}
+
+std::optional<SpillRecord> SpillQueue::take_from(Segment& seg) {
+  std::lock_guard<std::mutex> lock(seg.mu);
+  if (seg.pending == 0) {
+    return std::nullopt;
+  }
+  seg.file.clear();
+  seg.file.seekg(static_cast<std::streamoff>(seg.read_off));
+  std::uint8_t head[8];
+  seg.file.read(reinterpret_cast<char*>(head), sizeof head);
+  TMSIM_CHECK_MSG(seg.file.good(), "spill segment read failed");
+  net::WireReader hr(head, sizeof head);
+  const std::uint32_t len = hr.u32();
+  const std::uint32_t crc = hr.u32();
+  std::vector<std::uint8_t> payload(len);
+  seg.file.read(reinterpret_cast<char*>(payload.data()),
+                static_cast<std::streamsize>(len));
+  TMSIM_CHECK_MSG(seg.file.good(), "spill segment read failed");
+  TMSIM_CHECK_MSG(net::crc32(payload.data(), len) == crc,
+                  "spill record CRC mismatch");
+  seg.read_off += 8 + len;
+  --seg.pending;
+  if (seg.pending == 0 && seg.read_off == seg.write_off &&
+      seg.write_off > 0) {
+    // Fully drained: shrink the segment back to zero so the file never
+    // grows without bound across spill waves.
+    seg.file.close();
+    std::filesystem::resize_file(seg.path, 0);
+    seg.file.open(seg.path,
+                  std::ios::in | std::ios::out | std::ios::binary);
+    TMSIM_CHECK_MSG(seg.file.good(), "cannot reopen spill segment");
+    seg.read_off = 0;
+    seg.write_off = 0;
+  }
+  return decode_record(payload);
+}
+
+std::optional<SpillRecord> SpillQueue::take_highest() {
+  for (std::size_t c = 0; c < farm::kNumPriorities; ++c) {
+    std::optional<SpillRecord> rec = take_from(segments_[c]);
+    if (rec.has_value()) {
+      std::lock_guard<std::mutex> lock(wait_mu_);
+      --pending_total_;
+      ++readmitted_;
+      return rec;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SpillRecord> SpillQueue::take(farm::Priority cls) {
+  std::optional<SpillRecord> rec =
+      take_from(segments_[static_cast<std::size_t>(cls)]);
+  if (rec.has_value()) {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    --pending_total_;
+    ++readmitted_;
+  }
+  return rec;
+}
+
+std::uint64_t SpillQueue::pending(farm::Priority cls) const {
+  const Segment& seg = segments_[static_cast<std::size_t>(cls)];
+  std::lock_guard<std::mutex> lock(seg.mu);
+  return seg.pending;
+}
+
+bool SpillQueue::wait_pending(std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  cv_.wait_for(lock, timeout,
+               [&] { return pending_total_ > 0 || stopped_; });
+  return pending_total_ > 0;
+}
+
+void SpillQueue::stop() {
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool SpillQueue::empty() const {
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  return pending_total_ == 0;
+}
+
+SpillQueue::Stats SpillQueue::stats() const {
+  Stats s;
+  for (const Segment& seg : segments_) {
+    std::lock_guard<std::mutex> lock(seg.mu);
+    s.pending += seg.pending;
+    if (seg.pending > 0) {
+      ++s.segments;
+      s.bytes += seg.write_off - seg.read_off;
+    }
+  }
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  s.appended = appended_;
+  s.readmitted = readmitted_;
+  return s;
+}
+
+}  // namespace tmsim::farmd

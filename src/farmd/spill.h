@@ -1,0 +1,110 @@
+// SpillQueue: tmsim-farmd's disk-backed admission overflow (DESIGN.md
+// §16). When the farm's bounded admission queue rejects with
+// kQueueFull, the daemon does not push the shedding decision to remote
+// clients — it appends the spec to an append-only per-class segment
+// file and a refill thread readmits spilled work FIFO-per-class as
+// capacity frees up. Millions of queued specs then cost disk, not RAM,
+// and admission (not completion) is what the SubmitReply guarantees.
+//
+// Record format (one per spilled submission, length-prefixed and
+// CRC-guarded like wire frames):
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//   payload: u64 remote_id | str client | u64 trace_id | u64 span_id |
+//            str spec_text          (wire.h primitives, little-endian)
+//
+// One segment file per priority class (`spill-<class>.seg`) keeps the
+// per-class FIFO trivially: the file *is* the queue. take() reads at
+// the class's read offset; the offset only moves forward; when a class
+// fully drains, its segment is truncated back to zero bytes so long-
+// running daemons never grow files without bound. On construction any
+// existing segments are scanned and their records recovered as pending
+// (at-least-once across a daemon restart: a record is only truncated
+// away after its whole class drained).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "farm/job_spec.h"
+
+namespace tmsim::farmd {
+
+struct SpillRecord {
+  std::uint64_t remote_id = 0;
+  std::string client;          ///< owning client name (result routing)
+  std::uint64_t trace_id = 0;  ///< client-side trace link
+  std::uint64_t span_id = 0;
+  std::string spec_text;       ///< JobSpec::serialize()
+};
+
+class SpillQueue {
+ public:
+  /// Opens (creating if needed) the spill directory and recovers any
+  /// records left in existing segments.
+  explicit SpillQueue(std::string dir);
+  ~SpillQueue();
+  SpillQueue(const SpillQueue&) = delete;
+  SpillQueue& operator=(const SpillQueue&) = delete;
+
+  /// Appends one record to its class segment (durable before return:
+  /// the stream is flushed). Wakes take_highest() waiters.
+  void append(farm::Priority cls, const SpillRecord& rec);
+
+  /// Oldest record of the highest-priority non-empty class; nullopt
+  /// when everything is drained. FIFO within a class is the file order.
+  std::optional<SpillRecord> take_highest();
+
+  /// Oldest record of one class (nullopt if its segment is drained).
+  std::optional<SpillRecord> take(farm::Priority cls);
+
+  /// Records spilled and not yet taken for one class. Reads under the
+  /// class segment mutex, so it is ordered against concurrent takes.
+  std::uint64_t pending(farm::Priority cls) const;
+
+  /// Blocks until a record is pending, `stop()` was called, or the
+  /// timeout elapses. Returns pending-ness at wakeup.
+  bool wait_pending(std::chrono::microseconds timeout);
+  void stop();
+
+  bool empty() const;
+
+  struct Stats {
+    std::uint64_t pending = 0;    ///< records spilled, not yet taken
+    std::uint64_t bytes = 0;      ///< pending payload bytes on disk
+    std::uint64_t appended = 0;   ///< lifetime appends (incl. recovered)
+    std::uint64_t readmitted = 0; ///< lifetime takes
+    std::uint64_t segments = 0;   ///< segment files with pending records
+  };
+  Stats stats() const;
+
+ private:
+  struct Segment {
+    mutable std::mutex mu;
+    std::fstream file;
+    std::string path;
+    std::uint64_t read_off = 0;
+    std::uint64_t write_off = 0;
+    std::uint64_t pending = 0;
+  };
+
+  void open_segment(Segment& seg, const std::string& path);
+  std::optional<SpillRecord> take_from(Segment& seg);
+
+  std::string dir_;
+  Segment segments_[farm::kNumPriorities];
+
+  mutable std::mutex wait_mu_;
+  std::condition_variable cv_;
+  std::uint64_t pending_total_ = 0;  ///< guarded by wait_mu_
+  bool stopped_ = false;
+  std::uint64_t appended_ = 0;
+  std::uint64_t readmitted_ = 0;
+};
+
+}  // namespace tmsim::farmd

@@ -1,0 +1,235 @@
+#include "net/client.h"
+
+#include "common/error.h"
+
+namespace tmsim::net {
+
+FarmClient::FarmClient(std::uint16_t port, std::string client_name)
+    : name_(std::move(client_name)),
+      sock_(Socket::connect_local(port)) {
+  // Handshake runs synchronously on the caller's thread, before the
+  // reader exists — the first frame on the wire is always Hello, the
+  // first frame back always HelloAck (or Error, which throws here).
+  HelloMsg hello;
+  hello.client_name = name_;
+  sock_.send_frame(FrameType::kHello, hello.encode());
+  std::optional<Frame> ack = sock_.recv_frame();
+  if (!ack.has_value()) {
+    throw Error("server closed the connection during the handshake");
+  }
+  if (ack->type == FrameType::kError) {
+    const ErrorMsg err = ErrorMsg::decode(ack->payload);
+    throw ContextualError("server rejected the handshake",
+                          {{"detail", err.detail}});
+  }
+  TMSIM_CHECK_MSG(ack->type == FrameType::kHelloAck,
+                  "handshake: expected HelloAck");
+  const HelloAckMsg m = HelloAckMsg::decode(ack->payload);
+  resumed_ = m.resumed != 0;
+  reader_ = std::thread([this] { reader_main(); });
+}
+
+FarmClient::~FarmClient() { close(); }
+
+void FarmClient::reader_main() {
+  std::string reason = "connection closed";
+  try {
+    for (;;) {
+      std::optional<Frame> frame = sock_.recv_frame();
+      if (!frame.has_value()) {
+        break;  // clean EOF
+      }
+      switch (frame->type) {
+        case FrameType::kResult: {
+          ResultMsg m = ResultMsg::decode(frame->payload);
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            results_.push_back(std::move(m));
+          }
+          cv_.notify_all();
+          break;
+        }
+        case FrameType::kGoodbye:
+          reason = "server said goodbye: " +
+                   GoodbyeMsg::decode(frame->payload).reason;
+          goto done;
+        default: {
+          // Every other frame is a reply carrying a leading req_id —
+          // including Error frames, which resolve (and fail) the
+          // matching waiter instead of killing the connection.
+          WireReader r(frame->payload);
+          const std::uint64_t req_id = r.u64();
+          std::lock_guard<std::mutex> lock(mu_);
+          const auto it = pending_.find(req_id);
+          if (it != pending_.end()) {
+            it->second = std::move(*frame);
+            cv_.notify_all();
+          }
+          // A reply nobody waits for is dropped — the waiter may have
+          // given up; the protocol has no request it must not lose.
+          break;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    reason = e.what();
+  }
+done:
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    death_reason_ = reason;
+  }
+  dead_.store(true, std::memory_order_release);
+  cv_.notify_all();
+}
+
+std::uint64_t FarmClient::send_request(
+    FrameType type, const std::vector<std::uint8_t>& payload) {
+  // The req_id is already inside `payload`; the caller registered it.
+  std::lock_guard<std::mutex> lock(send_mu_);
+  sock_.send_frame(type, payload);
+  return 0;
+}
+
+Frame FarmClient::wait_reply(std::uint64_t req_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return pending_.at(req_id).has_value() ||
+           dead_.load(std::memory_order_acquire);
+  });
+  auto node = pending_.extract(req_id);
+  if (!node.mapped().has_value()) {
+    throw ContextualError("connection died while waiting for a reply",
+                          {{"reason", death_reason_}});
+  }
+  return std::move(*node.mapped());
+}
+
+std::uint64_t FarmClient::submit_async(const farm::JobSpec& spec,
+                                       const obs::TraceContext* trace) {
+  SubmitMsg m;
+  m.req_id = next_req_.fetch_add(1, std::memory_order_relaxed);
+  if (trace != nullptr) {
+    m.client_trace_id = trace->trace_id;
+    m.client_span_id = trace->span_id;
+  }
+  m.spec_text = spec.serialize();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(m.req_id, std::nullopt);
+  }
+  send_request(FrameType::kSubmit, m.encode());
+  return m.req_id;
+}
+
+SubmitReplyMsg FarmClient::wait_submit_reply(std::uint64_t req_id) {
+  const Frame f = wait_reply(req_id);
+  if (f.type == FrameType::kError) {
+    const ErrorMsg err = ErrorMsg::decode(f.payload);
+    throw ContextualError("submit failed",
+                          {{"code", std::to_string(err.code)},
+                           {"detail", err.detail}});
+  }
+  TMSIM_CHECK_MSG(f.type == FrameType::kSubmitReply,
+                  "unexpected reply type to submit");
+  return SubmitReplyMsg::decode(f.payload);
+}
+
+SubmitReplyMsg FarmClient::submit(const farm::JobSpec& spec,
+                                  const obs::TraceContext* trace) {
+  return wait_submit_reply(submit_async(spec, trace));
+}
+
+void FarmClient::subscribe() {
+  SubscribeMsg m;
+  m.req_id = next_req_.fetch_add(1, std::memory_order_relaxed);
+  send_request(FrameType::kSubscribe, m.encode());
+}
+
+std::optional<ResultMsg> FarmClient::next_result(
+    std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout, [&] {
+    return !results_.empty() || dead_.load(std::memory_order_acquire);
+  });
+  if (!results_.empty()) {
+    ResultMsg m = std::move(results_.front());
+    results_.pop_front();
+    return m;
+  }
+  if (dead_.load(std::memory_order_acquire)) {
+    throw ContextualError("connection died with no queued results",
+                          {{"reason", death_reason_}});
+  }
+  return std::nullopt;
+}
+
+CancelReplyMsg FarmClient::cancel(std::uint64_t remote_id) {
+  CancelMsg m;
+  m.req_id = next_req_.fetch_add(1, std::memory_order_relaxed);
+  m.remote_id = remote_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(m.req_id, std::nullopt);
+  }
+  send_request(FrameType::kCancel, m.encode());
+  const Frame f = wait_reply(m.req_id);
+  TMSIM_CHECK_MSG(f.type == FrameType::kCancelReply,
+                  "unexpected reply type to cancel");
+  return CancelReplyMsg::decode(f.payload);
+}
+
+FetchReplyMsg FarmClient::fetch(std::uint64_t remote_id) {
+  FetchMsg m;
+  m.req_id = next_req_.fetch_add(1, std::memory_order_relaxed);
+  m.remote_id = remote_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(m.req_id, std::nullopt);
+  }
+  send_request(FrameType::kFetch, m.encode());
+  const Frame f = wait_reply(m.req_id);
+  TMSIM_CHECK_MSG(f.type == FrameType::kFetchReply,
+                  "unexpected reply type to fetch");
+  return FetchReplyMsg::decode(f.payload);
+}
+
+std::string FarmClient::introspect() {
+  IntrospectMsg m;
+  m.req_id = next_req_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(m.req_id, std::nullopt);
+  }
+  send_request(FrameType::kIntrospect, m.encode());
+  const Frame f = wait_reply(m.req_id);
+  TMSIM_CHECK_MSG(f.type == FrameType::kIntrospectReply,
+                  "unexpected reply type to introspect");
+  return IntrospectReplyMsg::decode(f.payload).json;
+}
+
+void FarmClient::close() {
+  if (closed_.exchange(true)) {
+    if (reader_.joinable()) {
+      reader_.join();
+    }
+    return;
+  }
+  if (!dead_.load(std::memory_order_acquire)) {
+    try {
+      GoodbyeMsg bye;
+      bye.reason = "client closing";
+      std::lock_guard<std::mutex> lock(send_mu_);
+      sock_.send_frame(FrameType::kGoodbye, bye.encode());
+    } catch (const std::exception&) {
+      // Best-effort: the peer may already be gone.
+    }
+  }
+  sock_.shutdown_both();
+  if (reader_.joinable()) {
+    reader_.join();
+  }
+  sock_.close();
+}
+
+}  // namespace tmsim::net

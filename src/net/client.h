@@ -1,0 +1,113 @@
+// FarmClient: the client half of the tmsim wire protocol — one TCP
+// connection to a tmsim-farmd, a background reader thread that demuxes
+// replies (by req_id) from streamed Result frames, and a small blocking
+// API on top:
+//
+//   FarmClient c(port, "loadgen-0");
+//   c.subscribe();
+//   auto r = c.submit(spec);                 // blocking submit
+//   std::uint64_t req = c.submit_async(spec);  // pipelined submit
+//   auto reply = c.wait_submit_reply(req);
+//   while (auto res = c.next_result(1s)) { ... }  // streaming iterator
+//
+// Thread model: any number of caller threads may submit/fetch/cancel
+// concurrently (frame writes serialize on a send mutex; replies demux by
+// req_id), plus the internal reader thread. next_result() may be called
+// from one consumer thread at a time.
+//
+// Disconnect semantics (DESIGN.md §16): when the connection dies, every
+// blocked wait throws Error and alive() turns false. Accepted jobs are
+// *not* lost — the server keeps their results; a new FarmClient with
+// the same client name resumes the stream (undelivered results are
+// re-pushed on subscribe) and fetch() recovers anything else.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "farm/job_spec.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/trace.h"
+
+namespace tmsim::net {
+
+class FarmClient {
+ public:
+  /// Connects to 127.0.0.1:port, performs the Hello/HelloAck handshake
+  /// (blocking), and starts the reader thread. `client_name` is the
+  /// durable identity results are routed by — reconnecting with the
+  /// same name resumes the previous session's result stream.
+  FarmClient(std::uint16_t port, std::string client_name);
+  ~FarmClient();
+  FarmClient(const FarmClient&) = delete;
+  FarmClient& operator=(const FarmClient&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// True from the HelloAck: the server still had state for this name.
+  bool resumed_session() const { return resumed_; }
+  bool alive() const { return !dead_.load(std::memory_order_acquire); }
+
+  /// Blocking submit: sends the spec, waits for the reply. `trace` (may
+  /// be null) is the client-side trace context to link server-side.
+  SubmitReplyMsg submit(const farm::JobSpec& spec,
+                        const obs::TraceContext* trace = nullptr);
+
+  /// Pipelined submit: returns the req_id immediately; pair with
+  /// wait_submit_reply(). Thousands may be in flight at once — this is
+  /// what lets one client saturate the admission path over one socket.
+  std::uint64_t submit_async(const farm::JobSpec& spec,
+                             const obs::TraceContext* trace = nullptr);
+  SubmitReplyMsg wait_submit_reply(std::uint64_t req_id);
+
+  /// Asks the server to stream Result frames for this client's jobs
+  /// (including any undelivered backlog from a previous session with
+  /// this name). Fire-and-forget.
+  void subscribe();
+
+  /// Next streamed result, FIFO, waiting up to `timeout`. nullopt on
+  /// timeout; throws when the connection died with nothing queued.
+  std::optional<ResultMsg> next_result(std::chrono::microseconds timeout);
+
+  CancelReplyMsg cancel(std::uint64_t remote_id);
+  FetchReplyMsg fetch(std::uint64_t remote_id);
+  /// Server snapshot: SimFarm::introspect() with the daemon's net state.
+  std::string introspect();
+
+  /// Orderly close: Goodbye (best-effort), socket shutdown, reader
+  /// join. Idempotent; the destructor calls it.
+  void close();
+
+ private:
+  void reader_main();
+  std::uint64_t send_request(FrameType type,
+                             const std::vector<std::uint8_t>& payload);
+  Frame wait_reply(std::uint64_t req_id);
+
+  std::string name_;
+  Socket sock_;
+  bool resumed_ = false;
+
+  std::mutex send_mu_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::optional<Frame>> pending_;
+  std::deque<ResultMsg> results_;
+  std::string death_reason_;
+
+  std::atomic<std::uint64_t> next_req_{1};
+  std::atomic<bool> dead_{false};
+  std::atomic<bool> closed_{false};
+  std::thread reader_;
+};
+
+}  // namespace tmsim::net

@@ -1,0 +1,204 @@
+#include "net/socket.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace tmsim::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw ContextualError(what, {{"errno", std::to_string(errno)},
+                               {"msg", std::strerror(errno)}});
+}
+
+sockaddr_in local_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
+              std::memory_order_release);
+  }
+  return *this;
+}
+
+Socket Socket::connect_local(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno("socket() failed");
+  }
+  Socket s(fd);
+  const sockaddr_in addr = local_addr(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throw_errno("connect() to 127.0.0.1 failed");
+  }
+  // Frames are small and latency-sensitive (submit/reply round trips);
+  // never wait for Nagle coalescing on loopback.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return s;
+}
+
+void Socket::send_all(const void* data, std::size_t len) {
+  const int fd = this->fd();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("send() failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::send_frame(FrameType type,
+                        const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> bytes = encode_frame(type, payload);
+  send_all(bytes.data(), bytes.size());
+}
+
+bool Socket::recv_exact(void* data, std::size_t len) {
+  const int fd = this->fd();
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("recv() failed");
+    }
+    if (n == 0) {
+      if (got == 0) {
+        return false;  // clean EOF at a message boundary
+      }
+      throw Error("peer closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<Frame> Socket::recv_frame() {
+  std::uint8_t header[kHeaderBytes];
+  if (!recv_exact(header, sizeof header)) {
+    return std::nullopt;
+  }
+  const std::uint32_t payload_len = decode_header(header);
+  std::vector<std::uint8_t> whole(kHeaderBytes + payload_len + kCrcBytes);
+  std::memcpy(whole.data(), header, sizeof header);
+  if (payload_len + kCrcBytes > 0 &&
+      !recv_exact(whole.data() + kHeaderBytes, payload_len + kCrcBytes)) {
+    throw Error("peer closed mid-frame");
+  }
+  return decode_frame(whole.data(), whole.size());
+}
+
+void Socket::shutdown_both() noexcept {
+  const int fd = this->fd();
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void Socket::close() noexcept {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw_errno("socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = local_addr(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int e = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = e;
+    throw_errno("bind() to 127.0.0.1 failed");
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int e = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = e;
+    throw_errno("listen() failed");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Listener::~Listener() {
+  shutdown();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Socket> Listener::accept_next() {
+  for (;;) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+      const int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Socket(cfd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    // EBADF / EINVAL after shutdown(): the orderly stop signal.
+    return std::nullopt;
+  }
+}
+
+void Listener::shutdown() noexcept {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+}  // namespace tmsim::net

@@ -1,0 +1,89 @@
+// Thin RAII wrappers over POSIX TCP sockets (loopback-oriented): a
+// Socket that sends/receives exactly-N bytes with EINTR handling and a
+// framed read built on the wire header, and a Listener bound to
+// 127.0.0.1 (port 0 → ephemeral, the tests' and benches' default) whose
+// shutdown() wakes a blocked accept() so server threads can be joined.
+//
+// Errors are reported as common Error exceptions; a cleanly closed peer
+// surfaces as an empty optional from recv_frame(), never as an
+// exception — disconnects are a normal event in the farmd lifecycle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace tmsim::net {
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to 127.0.0.1:port. Throws on failure.
+  static Socket connect_local(std::uint16_t port);
+
+  bool valid() const { return fd() >= 0; }
+  int fd() const { return fd_.load(std::memory_order_acquire); }
+
+  /// Sends all `len` bytes (EINTR-safe, MSG_NOSIGNAL). Throws when the
+  /// peer is gone — the caller owns disconnect handling.
+  void send_all(const void* data, std::size_t len);
+  void send_frame(FrameType type, const std::vector<std::uint8_t>& payload);
+
+  /// Receives exactly `len` bytes. Returns false on clean EOF *before
+  /// the first byte*; throws on EOF mid-buffer or any socket error.
+  bool recv_exact(void* data, std::size_t len);
+
+  /// Reads one complete frame (header + payload + CRC) and decodes it.
+  /// nullopt on clean EOF at a frame boundary; throws on a torn frame,
+  /// bad magic/version/CRC, or socket error.
+  std::optional<Frame> recv_frame();
+
+  /// shutdown(SHUT_RDWR): wakes any thread blocked in recv on this
+  /// socket (used to stop reader threads), keeps the fd for close().
+  /// Safe to call from a thread other than the reader — but only while
+  /// the caller holds a reference that keeps close() from running (a
+  /// closed fd number may be recycled by the kernel at any time).
+  void shutdown_both() noexcept;
+  void close() noexcept;
+
+ private:
+  /// Atomic so a cross-thread shutdown_both() never races the owner's
+  /// close(); the fd is loaded once per I/O call.
+  std::atomic<int> fd_{-1};
+};
+
+class Listener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Throws on
+  /// failure; port() reports the actual bound port.
+  explicit Listener(std::uint16_t port);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. nullopt when the listener was shut
+  /// down (the accept loop's exit signal).
+  std::optional<Socket> accept_next();
+
+  /// Wakes a blocked accept_next() and makes all future accepts fail.
+  void shutdown() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace tmsim::net

@@ -1,0 +1,600 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace tmsim::net {
+
+namespace {
+
+/// CRC-32 table for poly 0xEDB88320, built once.
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint64_t f64_bits(double v) {
+  std::uint64_t u;
+  static_assert(sizeof u == sizeof v);
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+double bits_f64(std::uint64_t u) {
+  double v;
+  std::memcpy(&v, &u, sizeof v);
+  return v;
+}
+
+void encode_accumulator(WireWriter& w, const analysis::StatAccumulator& a) {
+  w.u64(a.count());
+  w.f64(a.sum());
+  w.f64(a.min());
+  w.f64(a.max());
+}
+
+analysis::StatAccumulator decode_accumulator(WireReader& r) {
+  const std::uint64_t count = r.u64();
+  const double sum = r.f64();
+  const double min = r.f64();
+  const double max = r.f64();
+  return analysis::StatAccumulator::restore(count, sum, min, max);
+}
+
+void encode_class(WireWriter& w, const farm::ClassResult& c) {
+  w.u64(c.delivered);
+  encode_accumulator(w, c.network);
+  encode_accumulator(w, c.access);
+  encode_accumulator(w, c.total);
+}
+
+farm::ClassResult decode_class(WireReader& r) {
+  farm::ClassResult c;
+  c.delivered = r.u64();
+  c.network = decode_accumulator(r);
+  c.access = decode_accumulator(r);
+  c.total = decode_accumulator(r);
+  return c;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  const std::uint32_t* t = crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloAck: return "hello_ack";
+    case FrameType::kSubmit: return "submit";
+    case FrameType::kSubmitReply: return "submit_reply";
+    case FrameType::kCancel: return "cancel";
+    case FrameType::kCancelReply: return "cancel_reply";
+    case FrameType::kFetch: return "fetch";
+    case FrameType::kFetchReply: return "fetch_reply";
+    case FrameType::kSubscribe: return "subscribe";
+    case FrameType::kResult: return "result";
+    case FrameType::kIntrospect: return "introspect";
+    case FrameType::kIntrospectReply: return "introspect_reply";
+    case FrameType::kError: return "error";
+    case FrameType::kGoodbye: return "goodbye";
+  }
+  return "?";
+}
+
+// --- primitives ------------------------------------------------------------
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::f64(double v) { u64(f64_bits(v)); }
+
+void WireWriter::str(const std::string& s) {
+  TMSIM_CHECK_MSG(s.size() < kMaxPayload, "string exceeds the frame bound");
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::uint8_t WireReader::u8() {
+  TMSIM_CHECK_MSG(pos_ + 1 <= len_, "wire decode: truncated u8");
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+  TMSIM_CHECK_MSG(pos_ + 2 <= len_, "wire decode: truncated u16");
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  TMSIM_CHECK_MSG(pos_ + 4 <= len_, "wire decode: truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  TMSIM_CHECK_MSG(pos_ + 8 <= len_, "wire decode: truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+double WireReader::f64() { return bits_f64(u64()); }
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  TMSIM_CHECK_MSG(n <= remaining(), "wire decode: truncated string");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void WireReader::expect_end() const {
+  TMSIM_CHECK_MSG(pos_ == len_, "wire decode: trailing bytes in payload");
+}
+
+// --- framing ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(
+    FrameType type, const std::vector<std::uint8_t>& payload) {
+  TMSIM_CHECK_MSG(payload.size() <= kMaxPayload,
+                  "frame payload exceeds kMaxPayload");
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size() + kCrcBytes);
+  WireWriter w;
+  w.u32(kMagic);
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(0);  // flags, reserved
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  // CRC covers everything after the magic: version, type, flags, length,
+  // payload — so a corrupt header field is as fatal as corrupt payload.
+  const std::uint32_t crc = crc32(out.data() + 4, out.size() - 4);
+  WireWriter cw;
+  cw.u32(crc);
+  const auto& cb = cw.bytes();
+  out.insert(out.end(), cb.begin(), cb.end());
+  return out;
+}
+
+std::uint32_t decode_header(const std::uint8_t header[kHeaderBytes]) {
+  WireReader r(header, kHeaderBytes);
+  const std::uint32_t magic = r.u32();
+  if (magic != kMagic) {
+    throw ContextualError("wire: bad frame magic",
+                          {{"magic", std::to_string(magic)}});
+  }
+  const std::uint8_t version = r.u8();
+  if (version != kWireVersion) {
+    throw ContextualError(
+        "wire: unsupported protocol version",
+        {{"got", std::to_string(version)},
+         {"want", std::to_string(kWireVersion)}});
+  }
+  r.u8();   // type — validated by the message decoder
+  r.u16();  // flags
+  const std::uint32_t len = r.u32();
+  if (len > kMaxPayload) {
+    throw ContextualError("wire: frame payload over bound",
+                          {{"len", std::to_string(len)}});
+  }
+  return len;
+}
+
+Frame decode_frame(const std::uint8_t* data, std::size_t len) {
+  TMSIM_CHECK_MSG(len >= kHeaderBytes + kCrcBytes,
+                  "wire: frame shorter than header+crc");
+  const std::uint32_t payload_len = decode_header(data);
+  TMSIM_CHECK_MSG(len == kHeaderBytes + payload_len + kCrcBytes,
+                  "wire: frame length mismatch");
+  const std::uint32_t want =
+      crc32(data + 4, kHeaderBytes - 4 + payload_len);
+  WireReader cr(data + kHeaderBytes + payload_len, kCrcBytes);
+  const std::uint32_t got = cr.u32();
+  if (want != got) {
+    throw ContextualError("wire: frame CRC mismatch",
+                          {{"want", std::to_string(want)},
+                           {"got", std::to_string(got)}});
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(data[5]);
+  f.payload.assign(data + kHeaderBytes,
+                   data + kHeaderBytes + payload_len);
+  return f;
+}
+
+// --- messages --------------------------------------------------------------
+
+std::vector<std::uint8_t> HelloMsg::encode() const {
+  WireWriter w;
+  w.str(client_name);
+  return w.take();
+}
+
+HelloMsg HelloMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  HelloMsg m;
+  m.client_name = r.str();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> HelloAckMsg::encode() const {
+  WireWriter w;
+  w.u64(session_ordinal);
+  w.u64(resumed);
+  return w.take();
+}
+
+HelloAckMsg HelloAckMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  HelloAckMsg m;
+  m.session_ordinal = r.u64();
+  m.resumed = r.u64();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> SubmitMsg::encode() const {
+  WireWriter w;
+  w.u64(req_id);
+  w.u64(client_trace_id);
+  w.u64(client_span_id);
+  w.str(spec_text);
+  return w.take();
+}
+
+SubmitMsg SubmitMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  SubmitMsg m;
+  m.req_id = r.u64();
+  m.client_trace_id = r.u64();
+  m.client_span_id = r.u64();
+  m.spec_text = r.str();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> SubmitReplyMsg::encode() const {
+  WireWriter w;
+  w.u64(req_id);
+  w.u8(accepted);
+  w.u8(spilled);
+  w.u64(remote_id);
+  w.u8(reason);
+  w.str(detail);
+  w.u64(queue_depth);
+  w.u64(queue_capacity);
+  w.f64(retry_after_us);
+  w.u64(server_trace_id);
+  return w.take();
+}
+
+SubmitReplyMsg SubmitReplyMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  SubmitReplyMsg m;
+  m.req_id = r.u64();
+  m.accepted = r.u8();
+  m.spilled = r.u8();
+  m.remote_id = r.u64();
+  m.reason = r.u8();
+  m.detail = r.str();
+  m.queue_depth = r.u64();
+  m.queue_capacity = r.u64();
+  m.retry_after_us = r.f64();
+  m.server_trace_id = r.u64();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> CancelMsg::encode() const {
+  WireWriter w;
+  w.u64(req_id);
+  w.u64(remote_id);
+  return w.take();
+}
+
+CancelMsg CancelMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  CancelMsg m;
+  m.req_id = r.u64();
+  m.remote_id = r.u64();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> CancelReplyMsg::encode() const {
+  WireWriter w;
+  w.u64(req_id);
+  w.u8(outcome);
+  return w.take();
+}
+
+CancelReplyMsg CancelReplyMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  CancelReplyMsg m;
+  m.req_id = r.u64();
+  m.outcome = r.u8();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> FetchMsg::encode() const {
+  WireWriter w;
+  w.u64(req_id);
+  w.u64(remote_id);
+  return w.take();
+}
+
+FetchMsg FetchMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  FetchMsg m;
+  m.req_id = r.u64();
+  m.remote_id = r.u64();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> FetchReplyMsg::encode() const {
+  WireWriter w;
+  w.u64(req_id);
+  w.u8(state);
+  w.u8(result.has_value() ? 1 : 0);
+  if (result.has_value()) {
+    encode_result(w, *result);
+  }
+  return w.take();
+}
+
+FetchReplyMsg FetchReplyMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  FetchReplyMsg m;
+  m.req_id = r.u64();
+  m.state = r.u8();
+  if (r.u8() != 0) {
+    m.result = decode_result(r);
+  }
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> SubscribeMsg::encode() const {
+  WireWriter w;
+  w.u64(req_id);
+  return w.take();
+}
+
+SubscribeMsg SubscribeMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  SubscribeMsg m;
+  m.req_id = r.u64();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> ResultMsg::encode() const {
+  WireWriter w;
+  w.u64(remote_id);
+  encode_result(w, result);
+  return w.take();
+}
+
+ResultMsg ResultMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  ResultMsg m;
+  m.remote_id = r.u64();
+  m.result = decode_result(r);
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> IntrospectMsg::encode() const {
+  WireWriter w;
+  w.u64(req_id);
+  return w.take();
+}
+
+IntrospectMsg IntrospectMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  IntrospectMsg m;
+  m.req_id = r.u64();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> IntrospectReplyMsg::encode() const {
+  WireWriter w;
+  w.u64(req_id);
+  w.str(json);
+  return w.take();
+}
+
+IntrospectReplyMsg IntrospectReplyMsg::decode(
+    const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  IntrospectReplyMsg m;
+  m.req_id = r.u64();
+  m.json = r.str();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> ErrorMsg::encode() const {
+  WireWriter w;
+  w.u64(req_id);
+  w.u8(code);
+  w.str(detail);
+  return w.take();
+}
+
+ErrorMsg ErrorMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  ErrorMsg m;
+  m.req_id = r.u64();
+  m.code = r.u8();
+  m.detail = r.str();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> GoodbyeMsg::encode() const {
+  WireWriter w;
+  w.str(reason);
+  return w.take();
+}
+
+GoodbyeMsg GoodbyeMsg::decode(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  GoodbyeMsg m;
+  m.reason = r.str();
+  r.expect_end();
+  return m;
+}
+
+// --- JobResult codec -------------------------------------------------------
+
+void encode_result(WireWriter& w, const farm::JobResult& r) {
+  w.u64(r.job_id);
+  w.u64(r.spec_fingerprint);
+  w.str(r.name);
+  w.u8(static_cast<std::uint8_t>(r.status));
+  w.str(r.error);
+  w.u64(r.cycles_simulated);
+  encode_class(w, r.gt);
+  encode_class(w, r.be);
+  w.u64(r.flits_injected);
+  w.u64(r.flits_delivered);
+  w.u8(r.overloaded ? 1 : 0);
+  const fpga::FaultReport& fr = r.fault_report;
+  w.u64(fr.rng_mirror_fixes);
+  w.u64(fr.config_retries);
+  w.u64(fr.ctrl_retries);
+  w.u64(fr.load_replays);
+  w.u64(fr.load_words_resynced);
+  w.u64(fr.hw_rejected_words);
+  w.u64(fr.retrieve_retries);
+  w.u64(fr.reacks);
+  w.u64(fr.read_disagreements);
+  w.u64(fr.spurious_overruns_ignored);
+  w.u64(fr.status_clears);
+  w.u64(fr.busy_polls);
+  w.u64(fr.watchdog_trips);
+  w.u8(fr.aborted ? 1 : 0);
+  w.str(fr.abort_reason);
+  encode_accumulator(w, r.access_delay);
+  w.u64(r.state_digest);
+  const farm::JobFailure& f = r.failure;
+  w.u8(static_cast<std::uint8_t>(f.kind));
+  w.str(f.message);
+  w.u64(f.at_cycle);
+  w.u64(f.last_checkpoint_cycle);
+  w.u64(f.last_checkpoint_digest);
+  w.u64(f.attempts);
+  w.str(f.replay);
+  w.u8(f.quarantined ? 1 : 0);
+  w.str(f.flight_recording);
+  w.u8(static_cast<std::uint8_t>(r.cancel_cause));
+  w.u8(r.memo_hit ? 1 : 0);
+  w.u64(r.preemptions);
+  w.u64(r.slices);
+  w.u64(r.last_worker);
+  w.f64(r.queue_seconds);
+  w.f64(r.exec_seconds);
+  w.f64(r.turnaround_seconds);
+}
+
+farm::JobResult decode_result(WireReader& r) {
+  farm::JobResult out;
+  out.job_id = r.u64();
+  out.spec_fingerprint = r.u64();
+  out.name = r.str();
+  out.status = static_cast<farm::JobStatus>(r.u8());
+  out.error = r.str();
+  out.cycles_simulated = r.u64();
+  out.gt = decode_class(r);
+  out.be = decode_class(r);
+  out.flits_injected = r.u64();
+  out.flits_delivered = r.u64();
+  out.overloaded = r.u8() != 0;
+  fpga::FaultReport& fr = out.fault_report;
+  fr.rng_mirror_fixes = r.u64();
+  fr.config_retries = r.u64();
+  fr.ctrl_retries = r.u64();
+  fr.load_replays = r.u64();
+  fr.load_words_resynced = r.u64();
+  fr.hw_rejected_words = r.u64();
+  fr.retrieve_retries = r.u64();
+  fr.reacks = r.u64();
+  fr.read_disagreements = r.u64();
+  fr.spurious_overruns_ignored = r.u64();
+  fr.status_clears = r.u64();
+  fr.busy_polls = r.u64();
+  fr.watchdog_trips = r.u64();
+  fr.aborted = r.u8() != 0;
+  fr.abort_reason = r.str();
+  out.access_delay = decode_accumulator(r);
+  out.state_digest = r.u64();
+  farm::JobFailure& f = out.failure;
+  f.kind = static_cast<farm::FailureKind>(r.u8());
+  f.message = r.str();
+  f.at_cycle = r.u64();
+  f.last_checkpoint_cycle = r.u64();
+  f.last_checkpoint_digest = r.u64();
+  f.attempts = r.u64();
+  f.replay = r.str();
+  f.quarantined = r.u8() != 0;
+  f.flight_recording = r.str();
+  out.cancel_cause = static_cast<farm::CancelCause>(r.u8());
+  out.memo_hit = r.u8() != 0;
+  out.preemptions = r.u64();
+  out.slices = r.u64();
+  out.last_worker = r.u64();
+  out.queue_seconds = r.f64();
+  out.exec_seconds = r.f64();
+  out.turnaround_seconds = r.f64();
+  return out;
+}
+
+}  // namespace tmsim::net

@@ -1,0 +1,301 @@
+// tmsim wire protocol (DESIGN.md §16): the versioned, length-prefixed,
+// CRC-guarded binary framing that lets many client processes feed one
+// simulation farm over a byte stream.
+//
+// ## Framing
+//
+// Every frame is:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//   0       4     magic "TMSF" (0x54 0x4d 0x53 0x46 on the wire)
+//   4       1     wire version (kWireVersion; mismatch → structured
+//                 error + connection close, never a best-effort parse)
+//   5       1     frame type (FrameType)
+//   6       2     flags (reserved, 0; u16 little-endian)
+//   8       4     payload length N (u32 LE; bounded by kMaxPayload)
+//   12      N     payload (typed fields, see the message structs)
+//   12+N    4     CRC-32 (poly 0xEDB88320, LE) over bytes [4, 12+N) —
+//                 everything after the magic, before the CRC
+//
+// All integers are little-endian fixed-width. Doubles travel as their
+// IEEE-754 bit pattern in a u64 — the differential proof demands
+// *bit-identical* results across the socket, so no decimal round trip
+// is ever allowed on the result path. Strings are u32 length + raw
+// bytes (no terminator).
+//
+// ## Conversation
+//
+// Client connects, sends Hello, receives HelloAck (which echoes the
+// negotiated wire version and assigns a session ordinal). After that
+// the client sends requests (Submit / Cancel / Fetch / Subscribe /
+// Introspect / Goodbye), each carrying a client-chosen `req_id`;
+// every reply echoes the req_id so one connection can have many
+// requests in flight. Result frames (pushed after Subscribe) carry no
+// req_id — they are a stream, routed by remote job id. Error frames
+// answer anything malformed that still had a parsable req_id; frames
+// too broken to trust (bad magic / version / CRC) kill the connection.
+//
+// JobSpecs travel as their stable text serialization (which carries
+// its own `v=` format version — two independent version gates, wire
+// and spec). JobResults travel as a full binary codec over the entire
+// result struct; decode(encode(r)) compares equivalent AND equal on
+// every scheduling field.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "farm/admission.h"
+#include "farm/job_result.h"
+#include "obs/trace.h"
+
+namespace tmsim::net {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint32_t kMagic = 0x46534d54u;  // "TMSF" little-endian
+/// Frame payload bound: large enough for any JobResult (flight
+/// recordings included), small enough that a corrupt length field can
+/// never make a reader allocate unbounded memory.
+inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+inline constexpr std::size_t kHeaderBytes = 12;  ///< magic..length
+inline constexpr std::size_t kCrcBytes = 4;
+
+/// CRC-32 (IEEE 802.3, poly 0xEDB88320), the guard on every frame.
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kSubmit = 3,
+  kSubmitReply = 4,
+  kCancel = 5,
+  kCancelReply = 6,
+  kFetch = 7,       ///< STATUS: poll one remote job
+  kFetchReply = 8,
+  kSubscribe = 9,   ///< STREAM_RESULTS: push Result frames from now on
+  kResult = 10,     ///< server → client stream (no req_id)
+  kIntrospect = 11,
+  kIntrospectReply = 12,
+  kError = 13,      ///< structured error (parse failures, bad requests)
+  kGoodbye = 14,    ///< either side: orderly close after in-flight work
+};
+
+const char* frame_type_name(FrameType t);
+
+// ---------------------------------------------------------------------------
+// Encode/decode primitives. WireWriter appends little-endian fields to a
+// byte buffer; WireReader consumes them and *throws Error* on any
+// truncation or bound violation — a frame that decodes at all decodes
+// completely.
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bit pattern in a u64 — bit-exact, no decimal round trip.
+  void f64(double v);
+  void str(const std::string& s);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+  explicit WireReader(const std::vector<std::uint8_t>& v)
+      : WireReader(v.data(), v.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+
+  std::size_t remaining() const { return len_ - pos_; }
+  /// Throws unless the payload was consumed exactly — a decoder that
+  /// leaves trailing bytes mis-parsed something.
+  void expect_end() const;
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Frame assembly / parsing.
+
+/// One parsed frame: type + raw payload (message structs decode from it).
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes a complete frame (header + payload + CRC), wire-ready.
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       const std::vector<std::uint8_t>& payload);
+
+/// Parses one complete frame from `data` (which must hold exactly
+/// header+payload+crc as returned by a framed read). Throws Error on bad
+/// magic, wrong wire version, oversized length, or CRC mismatch.
+Frame decode_frame(const std::uint8_t* data, std::size_t len);
+
+/// Header pre-parse for streaming readers: validates magic/version and
+/// the length bound, returns the payload length so the caller knows how
+/// many more bytes to read (payload + 4 CRC bytes follow the header).
+std::uint32_t decode_header(const std::uint8_t header[kHeaderBytes]);
+
+// ---------------------------------------------------------------------------
+// Messages. Each struct has encode() → payload bytes and a static
+// decode(payload) that throws Error on malformed input.
+
+struct HelloMsg {
+  std::string client_name;
+  std::vector<std::uint8_t> encode() const;
+  static HelloMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+struct HelloAckMsg {
+  std::uint64_t session_ordinal = 0;  ///< server-assigned, for logs
+  std::uint64_t resumed = 0;          ///< 1 when the name had prior state
+  std::vector<std::uint8_t> encode() const;
+  static HelloAckMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+struct SubmitMsg {
+  std::uint64_t req_id = 0;
+  /// Client-side trace identity (0s = untraced). Carried across the
+  /// wire so the server-side trace records the link.
+  std::uint64_t client_trace_id = 0;
+  std::uint64_t client_span_id = 0;
+  std::string spec_text;  ///< JobSpec::serialize() (self-versioned)
+  std::vector<std::uint8_t> encode() const;
+  static SubmitMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+struct SubmitReplyMsg {
+  std::uint64_t req_id = 0;
+  std::uint8_t accepted = 0;
+  /// 1 when the farm queue was full and the spec went to the spill
+  /// segment instead (still accepted=1: admission is guaranteed, only
+  /// delayed). Mirrors the backpressure contract without pushing the
+  /// shedding decision to every remote client.
+  std::uint8_t spilled = 0;
+  std::uint64_t remote_id = 0;  ///< server-scoped job handle
+  std::uint8_t reason = 0;      ///< farm::RejectReason on rejects
+  std::string detail;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_capacity = 0;
+  double retry_after_us = 0.0;
+  std::uint64_t server_trace_id = 0;  ///< server-side trace (0 = unsampled)
+  std::vector<std::uint8_t> encode() const;
+  static SubmitReplyMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+struct CancelMsg {
+  std::uint64_t req_id = 0;
+  std::uint64_t remote_id = 0;
+  std::vector<std::uint8_t> encode() const;
+  static CancelMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+struct CancelReplyMsg {
+  std::uint64_t req_id = 0;
+  std::uint8_t outcome = 0;  ///< farm::CancelResult
+  std::vector<std::uint8_t> encode() const;
+  static CancelReplyMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+enum class RemoteJobState : std::uint8_t {
+  kUnknown = 0,   ///< not a job of this client
+  kQueued = 1,    ///< admitted to the farm, not yet terminal
+  kSpilled = 2,   ///< waiting in the spill segment
+  kTerminal = 3,  ///< result available (carried in the reply)
+};
+
+struct FetchMsg {
+  std::uint64_t req_id = 0;
+  std::uint64_t remote_id = 0;
+  std::vector<std::uint8_t> encode() const;
+  static FetchMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+struct FetchReplyMsg {
+  std::uint64_t req_id = 0;
+  std::uint8_t state = 0;  ///< RemoteJobState
+  /// Present iff state == kTerminal.
+  std::optional<farm::JobResult> result;
+  std::vector<std::uint8_t> encode() const;
+  static FetchReplyMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+struct SubscribeMsg {
+  std::uint64_t req_id = 0;
+  std::vector<std::uint8_t> encode() const;
+  static SubscribeMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+struct ResultMsg {
+  std::uint64_t remote_id = 0;
+  farm::JobResult result;
+  std::vector<std::uint8_t> encode() const;
+  static ResultMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+struct IntrospectMsg {
+  std::uint64_t req_id = 0;
+  std::vector<std::uint8_t> encode() const;
+  static IntrospectMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+struct IntrospectReplyMsg {
+  std::uint64_t req_id = 0;
+  std::string json;
+  std::vector<std::uint8_t> encode() const;
+  static IntrospectReplyMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+enum class WireErrorCode : std::uint8_t {
+  kNone = 0,
+  kMalformedFrame = 1,   ///< payload did not decode
+  kUnknownType = 2,      ///< frame type this server does not speak
+  kBadSpec = 3,          ///< JobSpec text failed to parse/validate
+  kNotSubscribed = 4,
+  kProtocol = 5,         ///< out-of-order conversation (e.g. no Hello)
+};
+
+struct ErrorMsg {
+  std::uint64_t req_id = 0;  ///< 0 when the offending frame had none
+  std::uint8_t code = 0;     ///< WireErrorCode
+  std::string detail;
+  std::vector<std::uint8_t> encode() const;
+  static ErrorMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+struct GoodbyeMsg {
+  std::string reason;
+  std::vector<std::uint8_t> encode() const;
+  static GoodbyeMsg decode(const std::vector<std::uint8_t>& p);
+};
+
+// ---------------------------------------------------------------------------
+// JobResult binary codec — the full struct, scheduling record included,
+// doubles as bit patterns. encode_result/decode_result are also used by
+// the Fetch path and by tests to prove bit-exact round trips.
+
+void encode_result(WireWriter& w, const farm::JobResult& r);
+farm::JobResult decode_result(WireReader& r);
+
+}  // namespace tmsim::net

@@ -177,6 +177,29 @@ TEST(BenchSchema, ObsOverheadRecordKeepsSamplingCheap) {
   EXPECT_EQ(metrics.at("spans_dropped_full"), 0.0);
 }
 
+TEST(BenchSchema, FarmNetgenRecordProvesMultiProcessIngest) {
+  const std::filesystem::path path =
+      std::filesystem::path(TMSIM_SOURCE_DIR) / "BENCH_farm_netgen.json";
+  ASSERT_TRUE(std::filesystem::exists(path))
+      << "run build/bench/farm_netgen from the repo root";
+  const auto metrics = parse_metrics(slurp(path));
+  for (const std::string m :
+       {"submits_per_sec", "results_per_sec", "p50_e2e", "p99_e2e", "jobs",
+        "clients", "spilled", "rejects", "outbox_dropped", "ledger_ok"}) {
+    ASSERT_TRUE(metrics.count(m)) << m;
+  }
+  // The §16 headline: separate client *processes* fed one daemon over
+  // TCP, every submit landed (spill absorbed the overflow instead of
+  // rejecting), and every result streamed back.
+  EXPECT_GE(metrics.at("clients"), 2.0);
+  EXPECT_GT(metrics.at("submits_per_sec"), 0.0);
+  EXPECT_GT(metrics.at("results_per_sec"), 0.0);
+  EXPECT_GT(metrics.at("p99_e2e"), 0.0);
+  EXPECT_EQ(metrics.at("rejects"), 0.0);
+  EXPECT_EQ(metrics.at("outbox_dropped"), 0.0);
+  EXPECT_EQ(metrics.at("ledger_ok"), 1.0);
+}
+
 TEST(BenchSchema, FarmLoadgenRecordShowsADeepSustainedBacklog) {
   const std::filesystem::path path =
       std::filesystem::path(TMSIM_SOURCE_DIR) / "BENCH_farm_loadgen.json";

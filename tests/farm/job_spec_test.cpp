@@ -6,8 +6,11 @@
 
 #include <set>
 #include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
 
 namespace tmsim::farm {
 namespace {
@@ -73,6 +76,53 @@ TEST(JobSpec, FingerprintIsStableAndSensitive) {
   b = rich_spec();
   b.priority = Priority::kInteractive;
   EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(JobSpec, FormatVersionLeadsTheSerializedFormAndGates) {
+  // The stable form is self-versioned: `v=<kSpecFormatVersion>` is the
+  // first token, so a decoder can gate before parsing anything else.
+  const JobSpec spec = rich_spec();
+  const std::string text = spec.serialize();
+  EXPECT_EQ(text.rfind("v=" + std::to_string(kSpecFormatVersion), 0), 0u)
+      << text;
+  EXPECT_EQ(JobSpec::deserialize(text), spec);
+
+  // A missing `v` token is the pre-versioning format — version 1, still
+  // accepted (old queue dumps and replay tuples keep working).
+  JobSpec named;
+  named.name = "legacy";
+  const std::string legacy = "name=legacy";
+  EXPECT_EQ(JobSpec::deserialize(legacy).name, named.name);
+
+  // Any other version is rejected outright — never half-parsed.
+  EXPECT_THROW(JobSpec::deserialize("v=2 name=future"), std::exception);
+  EXPECT_THROW(JobSpec::deserialize("v=0 name=ancient"), std::exception);
+  EXPECT_THROW(JobSpec::deserialize("v=junk name=x"), std::exception);
+}
+
+TEST(JobSpec, DeserializeFuzzNeverCrashes) {
+  // Deterministic mutation fuzz over the serialized form: any corrupted
+  // spec text either round-trips to a valid spec or throws — the parser
+  // must never crash or accept garbage silently.
+  const std::string good = rich_spec().serialize();
+  SplitMix64 rng(0x5bec);
+  int threw = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string bad = good;
+    const std::size_t edits = 1 + rng.next_below(3);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t off = rng.next_below(bad.size());
+      bad[off] = static_cast<char>(32 + rng.next_below(95));
+    }
+    try {
+      const JobSpec parsed = JobSpec::deserialize(bad);
+      // If it parsed, its canonical form must itself round-trip.
+      EXPECT_EQ(JobSpec::deserialize(parsed.serialize()), parsed);
+    } catch (const std::exception&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, 0) << "the fuzz stopped fuzzing";
 }
 
 TEST(JobSpec, DeserializeRejectsUnknownKeysAndGarbage) {

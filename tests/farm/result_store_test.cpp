@@ -6,6 +6,8 @@
 // completions: a slow consumer must not stall a worker.
 #include "farm/result_store.h"
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -50,6 +52,47 @@ TEST(ResultStore, FeedOverflowDropsOldestAndCounts) {
   EXPECT_FALSE(store.put(result_with_id(8)));
   EXPECT_EQ(store.drain_completions(), (std::vector<std::uint64_t>{8}));
   EXPECT_EQ(store.completions_dropped(), 3u);  // unchanged
+}
+
+TEST(ResultStore, NextBatchBlocksUntilCompletionOrDeadline) {
+  using namespace std::chrono_literals;
+  ResultStore store(/*completion_feed_depth=*/8);
+
+  // Empty feed: the deadline-bounded wait returns empty, not never.
+  EXPECT_TRUE(store.next_batch(0, 1ms).empty());
+
+  // Ready notifications return immediately, FIFO, bounded by max_ids.
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    store.put(result_with_id(id));
+  }
+  EXPECT_EQ(store.next_batch(3, 0us), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(store.next_batch(0, 0us), (std::vector<std::uint64_t>{4, 5}));
+  EXPECT_TRUE(store.next_batch(0, 0us).empty());
+
+  // A put() from another thread wakes a blocked next_batch before its
+  // deadline — this is what lets the farmd result pump sleep instead of
+  // polling.
+  std::thread producer([&] {
+    std::this_thread::sleep_for(5ms);
+    store.put(result_with_id(42));
+  });
+  const std::vector<std::uint64_t> woke = store.next_batch(0, 10s);
+  producer.join();
+  EXPECT_EQ(woke, (std::vector<std::uint64_t>{42}));
+
+  // Drop-oldest accounting is unchanged by the blocking API: overflow
+  // past the feed depth still counts, and get() still has everything.
+  for (std::uint64_t id = 100; id < 112; ++id) {
+    store.put(result_with_id(id));
+  }
+  EXPECT_EQ(store.completions_dropped(), 4u);
+  const std::vector<std::uint64_t> tail = store.next_batch(0, 0us);
+  ASSERT_EQ(tail.size(), 8u);
+  EXPECT_EQ(tail.front(), 104u);
+  EXPECT_EQ(tail.back(), 111u);
+  for (std::uint64_t id = 100; id < 112; ++id) {
+    EXPECT_TRUE(store.get(id).has_value()) << id;
+  }
 }
 
 TEST(ResultStore, FarmSurfacesFeedDropsAsMetric) {
