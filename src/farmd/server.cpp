@@ -16,6 +16,12 @@ FarmdServer::FarmdServer(FarmdOptions opt)
       farm_(opt_.farm),
       spill_(opt_.spill_dir),
       listener_(opt_.port) {
+  // Recovered spill records keep the remote ids the previous daemon
+  // run assigned; fresh ids must start above them, or a new submission
+  // could collide with a recovered job and readmit() would rewire that
+  // job's result routing to the wrong client.
+  next_remote_.store(spill_.max_recovered_remote_id() + 1,
+                     std::memory_order_relaxed);
   farm_.set_ingress_provider([this] { return ingress_json(); });
   pump_thread_ = std::thread([this] { pump_main(); });
   refill_thread_ = std::thread([this] { refill_main(); });
@@ -33,9 +39,38 @@ void FarmdServer::bump(const char* counter, std::uint64_t n) {
 
 // --- accept / connection lifecycle -----------------------------------------
 
+void FarmdServer::reap_finished_readers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (finished_conn_ids_.empty()) {
+      return;
+    }
+    for (auto it = conn_threads_.begin(); it != conn_threads_.end();) {
+      const auto fit = std::find(finished_conn_ids_.begin(),
+                                 finished_conn_ids_.end(), it->get_id());
+      if (fit != finished_conn_ids_.end()) {
+        finished_conn_ids_.erase(fit);
+        done.push_back(std::move(*it));
+        it = conn_threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside conns_mu_: the exiting reader parks its id as its very
+  // last action, so these joins only wait for a function return.
+  for (std::thread& t : done) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
 void FarmdServer::accept_main() {
   for (;;) {
     std::optional<net::Socket> sock = listener_.accept_next();
+    reap_finished_readers();
     if (!sock.has_value()) {
       return;  // listener shut down
     }
@@ -55,26 +90,47 @@ void FarmdServer::accept_main() {
   }
 }
 
+std::shared_ptr<FarmdServer::ClientState> FarmdServer::client_for_name(
+    const std::string& name, bool* resumed) {
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  auto it = clients_.find(name);
+  if (it != clients_.end()) {
+    if (resumed != nullptr) {
+      *resumed = true;
+    }
+    return it->second;
+  }
+  auto client = std::make_shared<ClientState>();
+  client->name = name;
+  clients_.emplace(name, client);
+  client->writer = std::thread([this, client] { writer_main(client); });
+  if (resumed != nullptr) {
+    *resumed = false;
+  }
+  return client;
+}
+
 bool FarmdServer::handle_hello(Conn& conn, const net::Frame& frame) {
   const net::HelloMsg hello = net::HelloMsg::decode(frame.payload);
   TMSIM_CHECK_MSG(!hello.client_name.empty(), "client name must not be empty");
-  std::shared_ptr<ClientState> client;
+  if (stopping_.load(std::memory_order_acquire)) {
+    // Draining: a session created now could slip past shutdown()'s
+    // writer-join passes and leak an unjoinable thread. Refuse with a
+    // Goodbye (the client's handshake throws); the re-join pass after
+    // readers are joined covers the narrow race where stopping_ flips
+    // right after this check.
+    net::GoodbyeMsg bye;
+    bye.reason = "server draining";
+    send_frame(conn, net::FrameType::kGoodbye, bye.encode());
+    return false;
+  }
   bool resumed = false;
+  std::shared_ptr<ClientState> client =
+      client_for_name(hello.client_name, &resumed);
   std::uint64_t ordinal = 0;
   std::shared_ptr<Conn> displaced;
   {
     std::lock_guard<std::mutex> lock(clients_mu_);
-    auto it = clients_.find(hello.client_name);
-    if (it == clients_.end()) {
-      client = std::make_shared<ClientState>();
-      client->name = hello.client_name;
-      clients_.emplace(hello.client_name, client);
-      client->writer = std::thread(
-          [this, client] { writer_main(client); });
-    } else {
-      client = it->second;
-      resumed = true;
-    }
     ordinal = next_ordinal_++;
   }
   // Takeover: the name is the session. A new connection for an active
@@ -110,8 +166,7 @@ void FarmdServer::conn_main(std::shared_ptr<Conn> conn) {
         send_error(*conn, 0, net::WireErrorCode::kProtocol,
                    "expected hello, got " +
                        std::string(net::frame_type_name(first->type)));
-      } else {
-        handle_hello(*conn, *first);
+      } else if (handle_hello(*conn, *first)) {
         // Publish the connection as the client's active one only after
         // the ack — the writer never races the handshake.
         {
@@ -156,8 +211,14 @@ void FarmdServer::conn_main(std::shared_ptr<Conn> conn) {
             // the client and keep the connection — the framing layer
             // (CRC) already proved the bytes arrived as sent, so this
             // is a client bug, not line noise.
-            std::lock_guard<std::mutex> lock(net_mu_);
-            ++wire_errors_;
+            {
+              std::lock_guard<std::mutex> lock(net_mu_);
+              ++wire_errors_;
+            }
+            // The error send happens outside net_mu_: a client that
+            // stops reading (full send buffer) while triggering decode
+            // errors must block only its own connection, not every
+            // submit counter and introspection snapshot in the daemon.
             try {
               net::ErrorMsg err;
               err.code =
@@ -209,6 +270,14 @@ void FarmdServer::conn_main(std::shared_ptr<Conn> conn) {
     ++conns_closed_;
   }
   bump("net.connections.closed");
+  // Park this thread's id for the accept loop to reap — without this a
+  // long-running daemon accumulates one exited-but-unjoined thread per
+  // connection ever accepted. Must be the very last action: the reaper
+  // may join this thread the moment the id is visible.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    finished_conn_ids_.push_back(std::this_thread::get_id());
+  }
 }
 
 void FarmdServer::send_frame(Conn& conn,
@@ -235,9 +304,33 @@ void FarmdServer::send_error(Conn& conn, std::uint64_t req_id,
 // --- request handlers ------------------------------------------------------
 
 void FarmdServer::handle_submit(Conn& conn, const net::Frame& frame) {
+  // In-flight accounting pairs with shutdown(): the increment is
+  // seq_cst-ordered before the stopping_ load, and shutdown() stores
+  // stopping_ before waiting for the count to drain — so every submit
+  // either sees stopping_ and refuses, or finishes (spill append
+  // included) before shutdown checks spill emptiness. Without this, a
+  // submit racing shutdown could append a record *after* the drain
+  // check and be answered accepted=1 yet never run.
+  submits_inflight_.fetch_add(1, std::memory_order_seq_cst);
+  struct InflightGuard {
+    std::atomic<std::uint64_t>& count;
+    ~InflightGuard() { count.fetch_sub(1, std::memory_order_seq_cst); }
+  } inflight{submits_inflight_};
   const net::SubmitMsg m = net::SubmitMsg::decode(frame.payload);
   net::SubmitReplyMsg reply;
   reply.req_id = m.req_id;
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    reply.accepted = 0;
+    reply.reason = static_cast<std::uint8_t>(farm::RejectReason::kStopped);
+    reply.detail = "server draining";
+    send_frame(conn, net::FrameType::kSubmitReply, reply.encode());
+    bump("net.submits.rejected");
+    {
+      std::lock_guard<std::mutex> lock(net_mu_);
+      ++submits_rejected_;
+    }
+    return;
+  }
   farm::JobSpec spec;
   try {
     spec = farm::JobSpec::deserialize(m.spec_text);
@@ -548,6 +641,27 @@ void FarmdServer::readmit(const SpillRecord& rec, farm::Priority cls) {
   // fail short of disk corruption (which the record CRC already
   // excludes).
   const farm::JobSpec spec = farm::JobSpec::deserialize(rec.spec_text);
+  // A record recovered from a previous daemon run has no jobs_ entry —
+  // the table died with the process. Rebuild the routing state from the
+  // record itself: resolve (or create) the owning client from the
+  // stored name, so the result reaches a client that reconnects under
+  // it exactly like a live submission's would. Live submissions always
+  // have an entry (handle_submit creates it before the append), so this
+  // only fires for recovered work.
+  bool known = false;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    known = jobs_.find(rec.remote_id) != jobs_.end();
+  }
+  if (!known) {
+    std::shared_ptr<ClientState> owner = client_for_name(rec.client, nullptr);
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    RemoteJob job;
+    job.owner = std::move(owner);
+    job.cls = cls;
+    job.spilled = true;
+    jobs_.emplace(rec.remote_id, job);
+  }
   obs::TraceContext remote_ctx;
   remote_ctx.trace_id = rec.trace_id;
   remote_ctx.span_id = rec.span_id;
@@ -749,15 +863,27 @@ void FarmdServer::shutdown() {
   if (shut_down_.exchange(true)) {
     return;
   }
-  stopping_.store(true, std::memory_order_release);
-  // 1. No new connections (existing ones keep working until the end —
-  //    a submit that lands now still gets the farm's kStopped reject
-  //    once the farm stops; until then it is served normally).
+  stopping_.store(true, std::memory_order_seq_cst);
+  // 1. No new connections, sessions, or submits (Hellos and Submits
+  //    that arrive from here on are refused — Goodbye and kStopped
+  //    respectively; cancel/fetch/introspect keep working until the
+  //    connections close at the end).
   listener_.shutdown();
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  // 2. Drain the spill backlog through the refill thread: every
+  // 2. Wait out submits already past their stopping_ check — they may
+  //    still append spill records, and a record that lands after the
+  //    emptiness check below would be answered accepted=1 yet never
+  //    readmitted this run. Bounded: a client that wedges a reply send
+  //    can stall its handler, and then the record is simply left on
+  //    disk for restart recovery (which rebuilds its routing state).
+  const auto submit_deadline = std::chrono::steady_clock::now() + 5s;
+  while (submits_inflight_.load(std::memory_order_seq_cst) != 0 &&
+         std::chrono::steady_clock::now() < submit_deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  //    Drain the spill backlog through the refill thread: every
   //    accepted-and-spilled spec gets admitted before the farm stops.
   for (;;) {
     bool holding = false;
@@ -850,6 +976,21 @@ void FarmdServer::shutdown() {
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.clear();
+    finished_conn_ids_.clear();
+  }
+  // A Hello that raced the stopping_ flag may have created a client —
+  // and its writer thread — after step 4's join pass. Every reader is
+  // joined now, so the client map is final: join any straggler writer
+  // (writers_stop_ is already set, so it exits on its first predicate
+  // check). Without this pass, ~ClientState would destroy a joinable
+  // std::thread and terminate the process.
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    for (const auto& [name, c] : clients_) {
+      if (c->writer.joinable()) {
+        c->writer.join();
+      }
+    }
   }
   farm_.set_ingress_provider({});
   farm_.shutdown();

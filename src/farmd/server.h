@@ -148,6 +148,16 @@ class FarmdServer {
   void pump_main();
   void refill_main();
 
+  /// Looks up (or creates, spawning its writer thread) the ClientState
+  /// for a durable client name. Used by Hello and by the refill thread
+  /// when a recovered spill record names a client with no state yet.
+  std::shared_ptr<ClientState> client_for_name(const std::string& name,
+                                               bool* resumed);
+  /// Joins reader threads whose conn_main already returned (they park
+  /// their ids in finished_conn_ids_ on the way out), so a long-running
+  /// daemon does not accumulate one unjoined thread per connection.
+  void reap_finished_readers();
+
   bool handle_hello(Conn& conn, const net::Frame& frame);
   void handle_submit(Conn& conn, const net::Frame& frame);
   void handle_cancel(Conn& conn, const net::Frame& frame);
@@ -206,6 +216,11 @@ class FarmdServer {
   std::uint64_t results_streamed_ = 0;
   std::uint64_t wire_errors_ = 0;
 
+  /// Submit handlers currently between their stopping_ check and their
+  /// reply (seq_cst-paired with shutdown()'s stopping_ store, so the
+  /// drain can wait out any submit that might still spill a record).
+  std::atomic<std::uint64_t> submits_inflight_{0};
+
   std::atomic<bool> stopping_{false};
   std::atomic<bool> refill_stop_{false};
   std::atomic<bool> pump_stop_{false};
@@ -218,6 +233,9 @@ class FarmdServer {
   std::mutex conns_mu_;
   std::vector<std::thread> conn_threads_;
   std::vector<std::shared_ptr<Conn>> conns_;
+  /// Thread ids of readers that finished (guarded by conns_mu_); the
+  /// accept loop joins and drops them via reap_finished_readers().
+  std::vector<std::thread::id> finished_conn_ids_;
 };
 
 }  // namespace tmsim::farmd

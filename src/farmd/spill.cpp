@@ -82,6 +82,16 @@ void SpillQueue::open_segment(Segment& seg, const std::string& path) {
     if (!seg.file.good() || net::crc32(payload.data(), len) != crc) {
       break;
     }
+    try {
+      // Recovered ids feed the daemon's remote-id seeding; a CRC-valid
+      // record that still fails to decode is treated as the torn tail.
+      const SpillRecord rec = decode_record(payload);
+      if (rec.remote_id > max_recovered_remote_id_) {
+        max_recovered_remote_id_ = rec.remote_id;
+      }
+    } catch (const std::exception&) {
+      break;
+    }
     off += 8 + len;
     ++count;
   }

@@ -74,6 +74,15 @@ class SpillQueue {
 
   bool empty() const;
 
+  /// Largest remote_id among the records recovered at construction (0
+  /// when nothing was recovered). The daemon seeds fresh remote ids
+  /// above this so a new submission can never collide with — and steal
+  /// the result routing of — a recovered job. Set once in the
+  /// constructor; immutable after.
+  std::uint64_t max_recovered_remote_id() const {
+    return max_recovered_remote_id_;
+  }
+
   struct Stats {
     std::uint64_t pending = 0;    ///< records spilled, not yet taken
     std::uint64_t bytes = 0;      ///< pending payload bytes on disk
@@ -98,6 +107,7 @@ class SpillQueue {
 
   std::string dir_;
   Segment segments_[farm::kNumPriorities];
+  std::uint64_t max_recovered_remote_id_ = 0;
 
   mutable std::mutex wait_mu_;
   std::condition_variable cv_;

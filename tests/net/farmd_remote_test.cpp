@@ -6,6 +6,7 @@
 // spill segment with zero losses. Runs under TSan via the `net` ctest
 // label (tsan preset), which makes the daemon's reader/writer/pump/
 // refill locking discipline a checked property.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -380,6 +381,84 @@ TEST(FarmdRemote, CapacityOneQueueAdmitsTenThousandSpecsThroughSpill) {
   EXPECT_EQ(metrics.counter_value("net.outbox.dropped"), 0u);
   EXPECT_EQ(metrics.counter_value("net.spill.readmitted"),
             metrics.counter_value("net.submits.spilled"));
+  EXPECT_TRUE(server.spill().empty());
+}
+
+TEST(FarmdRemote, RestartRecoveryReadmitsSpilledRecordsToTheirClient) {
+  // A daemon that dies with spilled-but-unadmitted records must, on
+  // restart, (a) run them and route their results to the client name
+  // each record stores, and (b) never hand a recovered remote id to a
+  // fresh submission — a collision would rewire the new job's result
+  // to the recovered one's farm id. Simulate the crashed run by
+  // writing records through SpillQueue directly into the daemon's
+  // spill dir (graceful shutdown always drains, so only a crash leaves
+  // records behind).
+  const std::string dir = scratch_dir("restart");
+  constexpr std::size_t kRecovered = 6;
+  std::vector<farm::JobSpec> specs;
+  std::vector<farm::JobResult> standalone;
+  std::map<std::uint64_t, std::size_t> recovered_to_spec;
+  std::uint64_t max_recovered = 0;
+  {
+    SpillQueue crashed(dir);
+    for (std::size_t i = 0; i < kRecovered; ++i) {
+      specs.push_back(random_spec(5000 + i));
+      standalone.push_back(farm::run_job_standalone(specs.back()));
+      ASSERT_EQ(standalone.back().status, farm::JobStatus::kDone);
+      SpillRecord rec;
+      rec.remote_id = 40 + 3 * i;  // the previous run's id space
+      rec.client = "phoenix";
+      rec.spec_text = specs.back().serialize();
+      crashed.append(specs.back().priority, rec);
+      recovered_to_spec.emplace(rec.remote_id, i);
+      max_recovered = std::max(max_recovered, rec.remote_id);
+    }
+  }  // "crash": the records stay on disk
+
+  obs::MetricsRegistry metrics;
+  FarmdOptions opt;
+  opt.spill_dir = dir;  // NOT scratched again: this is the restart
+  opt.farm.num_workers = 2;
+  opt.farm.queue_capacity = 16;
+  opt.farm.metrics = &metrics;
+  FarmdServer server(opt);
+
+  net::FarmClient client(server.port(), "phoenix");
+  client.subscribe();
+
+  // Fresh remote ids are seeded above the recovered ones.
+  const farm::JobSpec fresh_spec = random_spec(5100);
+  const farm::JobResult fresh_standalone =
+      farm::run_job_standalone(fresh_spec);
+  const net::SubmitReplyMsg fresh = client.submit(fresh_spec);
+  ASSERT_TRUE(fresh.accepted) << fresh.detail;
+  EXPECT_GT(fresh.remote_id, max_recovered)
+      << "a fresh submission collided with the recovered id space";
+
+  std::map<std::uint64_t, farm::JobResult> results;
+  drain_results(client, kRecovered + 1, results);
+  ASSERT_EQ(results.size(), kRecovered + 1) << "recovered jobs were lost";
+  for (const auto& [remote_id, i] : recovered_to_spec) {
+    ASSERT_NE(results.count(remote_id), 0u)
+        << "recovered job " << remote_id << " never streamed";
+    const farm::JobResult& result = results.at(remote_id);
+    ASSERT_EQ(result.status, farm::JobStatus::kDone)
+        << specs[i].name << ": " << result.error;
+    std::string why;
+    EXPECT_TRUE(farm::results_equivalent(standalone[i], result, &why))
+        << specs[i].name << ": " << why;
+  }
+  ASSERT_NE(results.count(fresh.remote_id), 0u);
+  std::string why;
+  EXPECT_TRUE(
+      farm::results_equivalent(fresh_standalone, results.at(fresh.remote_id),
+                               &why))
+      << why;
+  // At least the recovered records went through readmit (the fresh
+  // submit may also have spilled behind them, per FIFO-through-spill).
+  EXPECT_GE(metrics.counter_value("net.spill.readmitted"), kRecovered);
+  client.close();
+  server.shutdown();
   EXPECT_TRUE(server.spill().empty());
 }
 

@@ -39,6 +39,7 @@ SpillRecord rec(std::uint64_t id, const std::string& client = "c0") {
 TEST(Spill, FifoWithinClassAndPriorityAcrossClasses) {
   SpillQueue q(scratch("fifo"));
   EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.max_recovered_remote_id(), 0u);  // nothing recovered
   q.append(farm::Priority::kNormal, rec(1));
   q.append(farm::Priority::kNormal, rec(2));
   q.append(farm::Priority::kInteractive, rec(3));
@@ -82,8 +83,10 @@ TEST(Spill, RecoversPendingRecordsAcrossReopen) {
   SpillQueue q2(dir);
   // Recovery is at-least-once from the segment start: the already-taken
   // records reappear (the daemon's remote-job table dedups them); order
-  // is still the append order.
+  // is still the append order. The largest recovered remote id is
+  // surfaced so the daemon can seed fresh ids above it.
   EXPECT_EQ(q2.pending(farm::Priority::kNormal), 5u);
+  EXPECT_EQ(q2.max_recovered_remote_id(), 5u);
   std::vector<std::uint64_t> order;
   while (auto r = q2.take(farm::Priority::kNormal)) {
     order.push_back(r->remote_id);
@@ -107,6 +110,7 @@ TEST(Spill, TornTailIsTruncatedNotMisparsed) {
 
   SpillQueue q(dir);
   EXPECT_EQ(q.pending(farm::Priority::kNormal), 1u);
+  EXPECT_EQ(q.max_recovered_remote_id(), 1u);  // the torn record's id is not
   EXPECT_EQ(q.take(farm::Priority::kNormal)->remote_id, 1u);
   EXPECT_FALSE(q.take(farm::Priority::kNormal).has_value());
 
