@@ -16,6 +16,8 @@ const char* scheduler_kind_name(SchedulerKind k) {
       return "round_robin";
     case SchedulerKind::kWorklist:
       return "worklist";
+    case SchedulerKind::kCompiled:
+      return "compiled";
   }
   return "unknown";
 }
@@ -145,6 +147,19 @@ EngineCheckpoint save_checkpoint(const Engine& eng) {
     ck.block_states.push_back(eng.block_state(b));
   }
   ck.digest = states_digest(ck.block_states);
+  ck.sched = eng.scheduler_checkpoint();
+  // Internal combinational link values ride along (ascending link id) so
+  // the scheduler's quiescence flags stay sound after the restore — a
+  // block the fast path skips never rewrites its outputs.
+  for (LinkId l = 0; l < model.num_links(); ++l) {
+    const LinkInfo& info = model.link(l);
+    if (info.kind == LinkKind::kCombinational && info.writer.has_value() &&
+        !info.readers.empty()) {
+      ck.link_ids.push_back(l);
+      ck.link_values.push_back(eng.link_value(l));
+    }
+  }
+  ck.link_digest = states_digest(ck.link_values);
   return ck;
 }
 
@@ -162,8 +177,24 @@ void restore_checkpoint(Engine& eng, const EngineCheckpoint& ck) {
         "checkpoint digest mismatch: snapshot corrupted in flight",
         {{"cycle", std::to_string(ck.cycle)}});
   }
+  // A hand-built checkpoint may omit the link snapshot entirely (both
+  // fields defaulted); anything else must verify.
+  const bool has_link_snapshot =
+      !ck.link_ids.empty() || ck.link_digest != 0;
+  if (has_link_snapshot &&
+      (ck.link_ids.size() != ck.link_values.size() ||
+       states_digest(ck.link_values) != ck.link_digest)) {
+    throw ContextualError(
+        "checkpoint link-value digest mismatch: snapshot corrupted in flight",
+        {{"cycle", std::to_string(ck.cycle)}});
+  }
   for (BlockId b = 0; b < model.num_blocks(); ++b) {
     eng.load_block_state(b, ck.block_states[b]);
+  }
+  for (std::size_t i = 0; i < ck.link_ids.size(); ++i) {
+    if (ck.link_ids[i] < model.num_links()) {
+      eng.load_link_value(ck.link_ids[i], ck.link_values[i]);
+    }
   }
   // Verify the loads landed bit-for-bit — the same mirror-vs-hardware
   // cross-check the hardened host applies to its commit counters.
@@ -172,6 +203,9 @@ void restore_checkpoint(Engine& eng, const EngineCheckpoint& ck) {
         "restored engine state does not match the checkpoint digest",
         {{"cycle", std::to_string(ck.cycle)}});
   }
+  // Scheduler bookkeeping rides along so the resumed engine replays the
+  // same StepStats stream; a mismatched/empty snapshot canonicalizes.
+  eng.restore_scheduler_state(ck.sched);
   eng.rebase(ck.cycle, ck.total_delta_cycles);
 }
 
@@ -189,6 +223,10 @@ void reset_engine(Engine& eng) {
   for (BlockId b = 0; b < model.num_blocks(); ++b) {
     eng.load_block_state(b, model.block(b).logic->reset_state());
   }
+  // Power-on scheduling state too: cursors back to their seeded offsets,
+  // quiescence flags cleared — a reused farm engine must not leak the
+  // previous tenant's scheduling stats into the next job's stream.
+  eng.restore_scheduler_state({});
   eng.rebase(0, 0);
 }
 

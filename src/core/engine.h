@@ -45,9 +45,20 @@ enum class SchedulePolicy : std::uint8_t {
 ///    is invisible. Results are bit-identical to kRoundRobin by the
 ///    engine contract (tests/integration/sched_equivalence_test.cpp
 ///    proves it differentially); only StepStats may differ.
+///  - kCompiled: static. A build-time analysis pass
+///    (src/analysis/static_schedule.h) condenses the combinational link
+///    graph's strongly-connected components, topologically orders the
+///    condensation, and emits a fixed op list executed verbatim every
+///    system cycle — no HBR bookkeeping, no unstable bitmap, no
+///    worklist for acyclic regions; true combinational cycles settle in
+///    a scoped worklist confined to their SCC under the usual
+///    convergence budget. Bit-identical to the dynamic schedulers by
+///    the same differential proof (plus the 3-way `ctest -L compiled`
+///    suite); only StepStats may differ.
 enum class SchedulerKind : std::uint8_t {
   kRoundRobin = 0,
   kWorklist = 1,
+  kCompiled = 2,
 };
 
 const char* scheduler_kind_name(SchedulerKind k);
@@ -109,6 +120,11 @@ struct StepStats {
   /// Barrier spin-loop iterations summed over shards (sharded only) —
   /// the wait-skew signal Manticore-style instrumentation watches.
   std::uint64_t barrier_spins = 0;
+
+  /// Whole-struct equality: what the checkpoint/restore stats-stream
+  /// tests diff (barrier_spins is wall-clock noise on the sharded
+  /// engine, so those tests compare the deterministic fields).
+  friend bool operator==(const StepStats&, const StepStats&) = default;
 };
 
 class Engine;
@@ -164,11 +180,50 @@ class SimObserver {
 /// bit-identically. `digest` (FNV-1a over the serialized states) lets
 /// the restore side verify integrity the same way the hardened host
 /// verifies its commit-counter mirrors (§8).
+/// Scheduler-canonical bookkeeping carried alongside the architectural
+/// state (DESIGN.md §17). None of it can affect results — that is the
+/// engine contract — but it does affect *StepStats*: the round-robin
+/// cursor persists across cycles, and the worklist's quiescence flags
+/// decide which blocks get skipped. A farm job preempted on one worker
+/// and resumed on another must replay the same scheduling stats stream
+/// it would have produced uninterrupted, so checkpoints carry this too.
+/// Deliberately excluded from the checkpoint digest: it is not
+/// architectural state.
+///
+/// The encoding is engine-agnostic: one cursor per shard (sequential
+/// engines have one "shard") and the quiescence flags in model block
+/// order. A restore into an engine whose shape does not match — or from
+/// a default-constructed (empty) snapshot — canonicalizes instead:
+/// cursors back to their seeded initial offsets, flags cleared. The
+/// compiled scheduler has no entry here at all: a static schedule
+/// carries zero dynamic scheduling state, which is what makes its
+/// preemption trivially invisible.
+struct SchedulerCheckpoint {
+  std::vector<std::size_t> rr_cursors;  ///< one per shard
+  std::vector<char> state_fixed;        ///< worklist flags, model order
+  std::vector<char> pending_input;      ///< worklist flags, model order
+
+  bool empty() const {
+    return rr_cursors.empty() && state_fixed.empty() && pending_input.empty();
+  }
+};
+
 struct EngineCheckpoint {
   SystemCycle cycle = 0;
   DeltaCycle total_delta_cycles = 0;
   std::vector<BitVector> block_states;  ///< one per block, model order
   std::uint64_t digest = 0;             ///< FNV-1a over the states
+  SchedulerCheckpoint sched;            ///< stats-stream resume state
+  /// Committed values of the internal combinational links (ids ascending,
+  /// values parallel). Derived state — recomputable from block states by
+  /// one settle — but carried so the worklist quiescence flags in `sched`
+  /// stay sound after a restore: a skipped block does not rewrite its
+  /// outputs, so the restored engine must already hold them. Guarded by
+  /// its own digest; excluded from `digest`, which stays the pure
+  /// architectural-state witness the differential harnesses compare.
+  std::vector<LinkId> link_ids;
+  std::vector<BitVector> link_values;
+  std::uint64_t link_digest = 0;
 
   bool empty() const { return block_states.empty(); }
 };
@@ -196,6 +251,17 @@ class Engine {
   /// Overwrites a block's committed state (reset preloading, testing).
   virtual void load_block_state(BlockId block, const BitVector& value) = 0;
 
+  /// Overwrites the reader-visible value of an internal combinational
+  /// link (checkpoint restore). The default is a no-op, which is correct
+  /// for engines that recompute every link from committed state each
+  /// cycle; engines with cross-cycle fast paths that *reuse* link values
+  /// (the worklist quiescence skip) must override so a restored snapshot
+  /// is self-consistent.
+  virtual void load_link_value(LinkId link, const BitVector& value) {
+    (void)link;
+    (void)value;
+  }
+
   /// Simulates one system cycle.
   virtual StepStats step() = 0;
 
@@ -208,6 +274,19 @@ class Engine {
   /// checkpoint machinery (restore_checkpoint below). Only call between
   /// steps. Does not touch state or link memory.
   virtual void rebase(SystemCycle cycle, DeltaCycle total_deltas) = 0;
+
+  /// Snapshot of the scheduler-canonical bookkeeping (cursor, quiescence
+  /// flags) in the engine-agnostic SchedulerCheckpoint encoding. The
+  /// default (an empty snapshot) is correct for engines with no dynamic
+  /// scheduling state.
+  virtual SchedulerCheckpoint scheduler_checkpoint() const { return {}; }
+
+  /// Restores (or canonicalizes, for an empty/mismatched snapshot) the
+  /// scheduler bookkeeping. Only call between steps. Never affects
+  /// results — only the StepStats stream.
+  virtual void restore_scheduler_state(const SchedulerCheckpoint& sched) {
+    (void)sched;
+  }
 
   /// Attaches an observer (nullptr detaches). Not owned; must outlive
   /// the engine or be detached first. Engines only touch it between

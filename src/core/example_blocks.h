@@ -75,6 +75,12 @@ class PipeBlock : public SimBlock {
   }
   std::string type_name() const override { return "pipe"; }
 
+  /// G reads registered state only — the F input never feeds the output
+  /// combinationally, so the static schedule may cut the in→out edge.
+  bool output_depends_on_input(std::size_t, std::size_t) const override {
+    return false;
+  }
+
  private:
   std::size_t width_;
   std::uint64_t addend_;
@@ -109,6 +115,70 @@ class CombAdderBlock : public SimBlock {
  private:
   std::size_t width_;
   std::uint64_t addend_;
+};
+
+/// Two-input combinational OR, fanned out on two identical outputs
+/// (combinational links take a single reader, so fan-out means duplicate
+/// output ports). OR is monotone: any feedback ring of these reaches a
+/// unique fixed point regardless of evaluation order, which makes it the
+/// block of choice for differential tests over true combinational cycles
+/// — every scheduler must converge to the same values.
+class Or2Block : public SimBlock {
+ public:
+  explicit Or2Block(std::size_t width) : width_(width) {}
+
+  std::size_t state_width() const override { return 0; }
+  std::size_t num_inputs() const override { return 2; }
+  std::size_t input_width(std::size_t) const override { return width_; }
+  std::size_t num_outputs() const override { return 2; }
+  std::size_t output_width(std::size_t) const override { return width_; }
+  BitVector reset_state() const override { return BitVector(0); }
+
+  void evaluate(const BitVector&, std::span<const BitVector> inputs,
+                BitVector&, std::span<BitVector> outputs) const override {
+    const std::uint64_t v = inputs[0].get_field(0, width_) |
+                            inputs[1].get_field(0, width_);
+    outputs[0].set_field(0, width_, v);
+    outputs[1].set_field(0, width_, v);
+  }
+  std::string type_name() const override { return "or2"; }
+
+ private:
+  std::size_t width_;
+};
+
+/// Two-input XOR (plus a per-instance tweak constant), fanned out on two
+/// identical outputs. XOR changes its output whenever either input
+/// changes, which makes ladders of these the adversarial workload for
+/// event-driven scheduling: each value change re-triggers downstream
+/// evaluation, while a static schedule evaluates each block exactly once.
+class Xor2Block : public SimBlock {
+ public:
+  Xor2Block(std::size_t width, std::uint64_t tweak)
+      : width_(width), tweak_(tweak) {}
+
+  std::size_t state_width() const override { return 0; }
+  std::size_t num_inputs() const override { return 2; }
+  std::size_t input_width(std::size_t) const override { return width_; }
+  std::size_t num_outputs() const override { return 2; }
+  std::size_t output_width(std::size_t) const override { return width_; }
+  BitVector reset_state() const override { return BitVector(0); }
+
+  void evaluate(const BitVector&, std::span<const BitVector> inputs,
+                BitVector&, std::span<BitVector> outputs) const override {
+    const std::uint64_t mask =
+        width_ == 64 ? ~0ull : ((1ull << width_) - 1);
+    const std::uint64_t v = (inputs[0].get_field(0, width_) ^
+                             inputs[1].get_field(0, width_) ^ tweak_) &
+                            mask;
+    outputs[0].set_field(0, width_, v);
+    outputs[1].set_field(0, width_, v);
+  }
+  std::string type_name() const override { return "xor2"; }
+
+ private:
+  std::size_t width_;
+  std::uint64_t tweak_;
 };
 
 /// Combinational inverter (1 bit): a ring of two oscillates and must trip

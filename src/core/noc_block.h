@@ -56,6 +56,16 @@ class RouterBlock : public SimBlock {
                 std::span<BitVector> outputs) const override;
   std::string type_name() const override { return "noc_router"; }
 
+  /// §4.2 Fig. 4: every router output — forwarded flits, credit returns,
+  /// local delivery, the NI echo credit — is G(state): computed from the
+  /// registered state word alone (compute_grants / compute_outputs take
+  /// only the decoded state). Inputs feed F (next state) exclusively, so
+  /// the static schedule may cut every in→out edge; this is what makes
+  /// the NoC's combinational link graph acyclic at build time.
+  bool output_depends_on_input(std::size_t, std::size_t) const override {
+    return false;
+  }
+
   const noc::RouterEnv& env() const { return env_; }
 
  private:

@@ -30,7 +30,14 @@ SequentialSimulator::SequentialSimulator(const SystemModel& model,
     state_.load_old(b, model.block(b).logic->reset_state());
   }
   unstable_.assign(model.num_blocks(), 0);
-  rr_next_ = schedule_rr_offset(schedule_seed, model.num_blocks());
+  evaluated_.assign(model.num_blocks(), 0);
+  rr_init_ = schedule_rr_offset(schedule_seed, model.num_blocks());
+  rr_next_ = rr_init_;
+  if (scheduler_ == SchedulerKind::kCompiled &&
+      policy_ == SchedulePolicy::kDynamic) {
+    // The whole point of kCompiled: pay for the schedule once, here.
+    compiled_ = analysis::build_compiled_schedule(model);
+  }
   if (scheduler_ == SchedulerKind::kWorklist) {
     worklist_.reserve(model.num_blocks());
     // A block is skippable only when every link it touches is
@@ -61,6 +68,36 @@ void SequentialSimulator::rebase(SystemCycle cycle, DeltaCycle total_deltas) {
   total_delta_cycles_ = total_deltas;
 }
 
+SchedulerCheckpoint SequentialSimulator::scheduler_checkpoint() const {
+  SchedulerCheckpoint s;
+  if (scheduler_ == SchedulerKind::kCompiled) {
+    return s;  // a static schedule has no dynamic scheduling state
+  }
+  s.rr_cursors.push_back(rr_next_);
+  if (scheduler_ == SchedulerKind::kWorklist) {
+    s.state_fixed = state_fixed_;
+    s.pending_input = pending_input_;
+  }
+  return s;
+}
+
+void SequentialSimulator::restore_scheduler_state(
+    const SchedulerCheckpoint& sched) {
+  const std::size_t n = model_.num_blocks();
+  // Canonicalize on shape mismatch (cross-engine restore, empty
+  // snapshot): cursor back to the seeded offset, flags conservative.
+  rr_next_ = (sched.rr_cursors.size() == 1 && sched.rr_cursors[0] < n)
+                 ? sched.rr_cursors[0]
+                 : rr_init_;
+  if (scheduler_ == SchedulerKind::kWorklist) {
+    state_fixed_ = sched.state_fixed.size() == n ? sched.state_fixed
+                                                 : std::vector<char>(n, 0);
+    pending_input_ = sched.pending_input.size() == n
+                         ? sched.pending_input
+                         : std::vector<char>(n, 0);
+  }
+}
+
 void SequentialSimulator::set_external_input(LinkId link,
                                              const BitVector& value) {
   check_external_input(model_, link);
@@ -88,9 +125,16 @@ void SequentialSimulator::load_block_state(BlockId block,
   if (scheduler_ == SchedulerKind::kWorklist && !state_fixed_.empty()) {
     // The committed state moved under the quiescence bookkeeping
     // (checkpoint restore, reset, test preloading): the block's last
-    // evaluation no longer witnesses a fixed point.
+    // evaluation no longer witnesses a fixed point. A full checkpoint
+    // restore re-applies the flags afterwards, together with the link
+    // snapshot that makes them sound again.
     state_fixed_[block] = 0;
   }
+}
+
+void SequentialSimulator::load_link_value(LinkId link, const BitVector& value) {
+  TMSIM_CHECK_MSG(link < model_.num_links(), "link index out of range");
+  links_.write(link, value);
 }
 
 StepStats SequentialSimulator::step() {
@@ -101,7 +145,8 @@ StepStats SequentialSimulator::step() {
       break;
     case SchedulePolicy::kDynamic:
       stats = scheduler_ == SchedulerKind::kWorklist ? step_dynamic_worklist()
-                                                     : step_dynamic();
+              : scheduler_ == SchedulerKind::kCompiled ? step_compiled()
+                                                       : step_dynamic();
       break;
     case SchedulePolicy::kTwoPhaseOracle:
       stats = step_two_phase();
@@ -114,13 +159,36 @@ StepStats SequentialSimulator::step() {
   return stats;
 }
 
+void SequentialSimulator::begin_eval_accounting() {
+  std::fill(evaluated_.begin(), evaluated_.end(), 0);
+  first_evals_ = 0;
+}
+
+void SequentialSimulator::note_first_eval(BlockId b) {
+  if (!evaluated_[b]) {
+    evaluated_[b] = 1;
+    ++first_evals_;
+  }
+}
+
+void SequentialSimulator::fail_convergence(const StepStats& stats,
+                                           DeltaCycle limit) {
+  ConvergenceReport report = make_convergence_report(stats, limit);
+  if (observer_) {
+    observer_->on_convergence_failure(*this, report);
+  }
+  throw ConvergenceError(std::move(report));
+}
+
 StepStats SequentialSimulator::step_static() {
   // §4.1: "The order in which the circuitry is evaluated to calculate new
   // register values can be arbitrary" — we use block index order.
   StepStats stats;
+  begin_eval_accounting();
   for (BlockId b = 0; b < model_.num_blocks(); ++b) {
     evaluate_block(b, stats);
   }
+  stats.re_evaluations = stats.delta_cycles - first_evals_;
   return stats;
 }
 
@@ -134,13 +202,22 @@ StepStats SequentialSimulator::step_dynamic() {
   std::fill(unstable_.begin(), unstable_.end(), 1);
   unstable_count_ = n;
   recent_changed_count_ = 0;
+  begin_eval_accounting();
 
   const DeltaCycle limit = max_evals_per_block_ * n;
   while (unstable_count_ > 0) {
     // "A simple round-robin scheduler will decide which non-stable router
-    //  has to be evaluated."
+    //  has to be evaluated." The scan is bounded at one full lap: if the
+    //  count says work remains but a lap over the bitmap finds no flagged
+    //  block, the two have desynced (a hostile block mutated engine
+    //  bookkeeping, memory corruption, ...) and spinning forever would
+    //  hide it — fail with the structured report instead.
+    std::size_t scanned = 0;
     while (unstable_[rr_next_] == 0) {
       rr_next_ = (rr_next_ + 1) % n;
+      if (++scanned > n) {
+        fail_convergence(stats, limit);
+      }
     }
     const BlockId b = rr_next_;
     rr_next_ = (rr_next_ + 1) % n;
@@ -157,14 +234,10 @@ StepStats SequentialSimulator::step_dynamic() {
     }
 
     if (stats.delta_cycles > limit) {
-      ConvergenceReport report = make_convergence_report(stats, limit);
-      if (observer_) {
-        observer_->on_convergence_failure(*this, report);
-      }
-      throw ConvergenceError(std::move(report));
+      fail_convergence(stats, limit);
     }
   }
-  stats.re_evaluations = stats.delta_cycles - n;
+  stats.re_evaluations = stats.delta_cycles - first_evals_;
   return stats;
 }
 
@@ -174,6 +247,7 @@ StepStats SequentialSimulator::step_dynamic_worklist() {
 
   links_.reset_all_hbr();
   recent_changed_count_ = 0;
+  begin_eval_accounting();
   worklist_.clear();
   wl_head_ = 0;
 
@@ -207,17 +281,67 @@ StepStats SequentialSimulator::step_dynamic_worklist() {
     evaluate_block(b, stats);
 
     if (stats.delta_cycles > limit) {
-      ConvergenceReport report = make_convergence_report(stats, limit);
-      if (observer_) {
-        observer_->on_convergence_failure(*this, report);
-      }
-      throw ConvergenceError(std::move(report));
+      fail_convergence(stats, limit);
     }
   }
   stats.worklist_high_water = wl_high_water_;
-  stats.re_evaluations =
-      stats.delta_cycles - (n - stats.skipped_blocks);
+  stats.re_evaluations = stats.delta_cycles - first_evals_;
   return stats;
+}
+
+StepStats SequentialSimulator::step_compiled() {
+  // The op list is the whole scheduler: no HBR resets, no unstable
+  // bitmap, no worklist. Acyclic regions evaluate in the precomputed
+  // order exactly once (plus the planned early drives); true cycles
+  // settle in their scoped SCC worklists.
+  StepStats stats;
+  recent_changed_count_ = 0;
+  begin_eval_accounting();
+  const analysis::CompiledSchedule& sched = *compiled_;
+  for (const analysis::CompiledOp& op : sched.ops) {
+    if (op.kind == analysis::CompiledOpKind::kSettle) {
+      settle_scc(op.scc, stats);
+    } else {
+      evaluate_block_compiled(op.block, stats, nullptr);
+    }
+  }
+  stats.re_evaluations = stats.delta_cycles - first_evals_;
+  return stats;
+}
+
+void SequentialSimulator::settle_scc(std::uint32_t scc_index,
+                                     StepStats& stats) {
+  const analysis::CompiledScc& scc = compiled_->sccs[scc_index];
+  const std::size_t m = scc.blocks.size();
+  scc_unstable_.assign(m, 1);
+  for (BlockId b : scc.blocks) {
+    unstable_[b] = 1;  // mirrored for the convergence report
+  }
+  std::size_t remaining = m;
+  std::size_t cursor = 0;
+  // Same convergence contract as the dynamic schedulers, scoped to the
+  // SCC: each member gets max_evals_per_block_ evaluations to settle.
+  const DeltaCycle limit = max_evals_per_block_ * m;
+  DeltaCycle spent = 0;
+  SettleCtx ctx{&scc, scc_index + 1, &scc_unstable_, &remaining};
+  while (remaining > 0) {
+    std::size_t scanned = 0;
+    while (scc_unstable_[cursor] == 0) {
+      cursor = (cursor + 1) % m;
+      if (++scanned > m) {
+        fail_convergence(stats, limit);  // bitmap/count desync
+      }
+    }
+    const std::size_t i = cursor;
+    cursor = (cursor + 1) % m;
+    scc_unstable_[i] = 0;
+    unstable_[scc.blocks[i]] = 0;
+    --remaining;
+    evaluate_block_compiled(scc.blocks[i], stats, &ctx);
+    if (++spent > limit) {
+      fail_convergence(stats, limit);
+    }
+  }
 }
 
 StepStats SequentialSimulator::step_two_phase() {
@@ -227,12 +351,13 @@ StepStats SequentialSimulator::step_two_phase() {
   // state with final link values.
   StepStats stats;
   links_.reset_all_hbr();
+  begin_eval_accounting();
   for (int pass = 0; pass < 2; ++pass) {
     for (BlockId b = 0; b < model_.num_blocks(); ++b) {
       evaluate_block(b, stats);
     }
   }
-  stats.re_evaluations = stats.delta_cycles - model_.num_blocks();
+  stats.re_evaluations = stats.delta_cycles - first_evals_;
   return stats;
 }
 
@@ -303,6 +428,76 @@ void SequentialSimulator::evaluate_block(BlockId b, StepStats& stats) {
     }
   }
 
+  note_first_eval(b);
+  ++stats.delta_cycles;
+  ++total_delta_cycles_;
+  if (trace_) {
+    trace_(cycle_, stats.delta_cycles - 1, b);
+  }
+}
+
+void SequentialSimulator::evaluate_block_compiled(BlockId b, StepStats& stats,
+                                                  const SettleCtx* ctx) {
+  // Lean twin of evaluate_block: no HBR marks, no destabilization, no
+  // worklist — the compiled op order already guarantees every input a
+  // committing evaluation consumes is final. Change detection on link
+  // writes stays (it feeds link_changes and, during a settle, the SCC's
+  // scoped destabilization).
+  const BlockInstance& blk = model_.block(b);
+  const SimBlock& logic = *blk.logic;
+  const std::size_t n_in = logic.num_inputs();
+  const std::size_t n_out = logic.num_outputs();
+
+  if (in_scratch_.size() < n_in) {
+    in_scratch_.resize(n_in, BitVector(0));
+  }
+  if (out_scratch_.size() < n_out) {
+    out_scratch_.resize(n_out, BitVector(0));
+  }
+  for (std::size_t p = 0; p < n_in; ++p) {
+    in_scratch_[p] = links_.read(blk.input_links[p]);
+  }
+  if (state_scratch_.width() != logic.state_width()) {
+    state_scratch_ = BitVector(logic.state_width());
+  }
+  for (std::size_t p = 0; p < n_out; ++p) {
+    if (out_scratch_[p].width() != logic.output_width(p)) {
+      out_scratch_[p] = BitVector(logic.output_width(p));
+    }
+  }
+
+  logic.evaluate(state_.read_old(b),
+                 std::span<const BitVector>(in_scratch_.data(), n_in),
+                 state_scratch_,
+                 std::span<BitVector>(out_scratch_.data(), n_out));
+  // A drive's state write is harmlessly overwritten by the later
+  // committing evaluation; the last write wins in the new bank.
+  state_.write_new(b, state_scratch_);
+
+  for (std::size_t p = 0; p < n_out; ++p) {
+    const LinkId l = blk.output_links[p];
+    if (!links_.write(l, out_scratch_[p])) {
+      continue;
+    }
+    ++stats.link_changes;
+    recent_changed_links_[recent_changed_count_++ % kChangedLinkHistory] = l;
+    if (ctx != nullptr && compiled_->scc_of_link[l] == ctx->scc_id) {
+      // Scoped worklist: a changed SCC-internal link re-flags exactly
+      // its (single) reader, which is itself an SCC member.
+      const BlockId r = model_.link(l).readers.front().block;
+      const auto it = std::lower_bound(ctx->scc->blocks.begin(),
+                                       ctx->scc->blocks.end(), r);
+      const std::size_t idx =
+          static_cast<std::size_t>(it - ctx->scc->blocks.begin());
+      if (!(*ctx->unstable)[idx]) {
+        (*ctx->unstable)[idx] = 1;
+        ++*ctx->remaining;
+        unstable_[r] = 1;
+      }
+    }
+  }
+
+  note_first_eval(b);
   ++stats.delta_cycles;
   ++total_delta_cycles_;
   if (trace_) {

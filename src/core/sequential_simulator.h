@@ -31,9 +31,11 @@
 #include <array>
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/static_schedule.h"
 #include "common/bit_vector.h"
 #include "common/error.h"
 #include "common/types.h"
@@ -77,6 +79,9 @@ class SequentialSimulator : public Engine {
   /// Overwrites a block's committed state (reset preloading, testing).
   void load_block_state(BlockId block, const BitVector& value) override;
 
+  /// Overwrites a link's reader-visible value (checkpoint restore).
+  void load_link_value(LinkId link, const BitVector& value) override;
+
   /// Simulates one system cycle.
   StepStats step() override;
 
@@ -87,6 +92,14 @@ class SequentialSimulator : public Engine {
   SchedulePolicy policy() const override { return policy_; }
   SchedulerKind scheduler() const { return scheduler_; }
   void rebase(SystemCycle cycle, DeltaCycle total_deltas) override;
+  SchedulerCheckpoint scheduler_checkpoint() const override;
+  void restore_scheduler_state(const SchedulerCheckpoint& sched) override;
+
+  /// The build-time schedule (kCompiled only; empty otherwise) — exposed
+  /// for tests and the schedule-inspection tooling.
+  const analysis::CompiledSchedule* compiled_schedule() const {
+    return compiled_ ? &*compiled_ : nullptr;
+  }
 
   const SystemModel& model() const override { return model_; }
   const StateMemory& state_memory() const { return state_; }
@@ -99,14 +112,33 @@ class SequentialSimulator : public Engine {
   void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
 
  private:
+  friend class SequentialSimulatorTestPeer;
+
+  /// Settle context threaded through compiled-mode evaluations while a
+  /// CompiledScc runs its scoped worklist.
+  struct SettleCtx {
+    const analysis::CompiledScc* scc = nullptr;
+    std::uint32_t scc_id = 0;      ///< scc index + 1 (scc_of_link encoding)
+    std::vector<char>* unstable = nullptr;  ///< per SCC member
+    std::size_t* remaining = nullptr;
+  };
+
   void evaluate_block(BlockId b, StepStats& stats);
+  void evaluate_block_compiled(BlockId b, StepStats& stats,
+                               const SettleCtx* ctx);
   void destabilize(BlockId b);
   bool inputs_all_read(BlockId b) const;
+  void begin_eval_accounting();
+  void note_first_eval(BlockId b);
   StepStats step_static();
   StepStats step_dynamic();
   StepStats step_dynamic_worklist();
+  StepStats step_compiled();
+  void settle_scc(std::uint32_t scc_index, StepStats& stats);
   StepStats step_two_phase();
   void end_of_cycle();
+  [[noreturn]] void fail_convergence(const StepStats& stats,
+                                     DeltaCycle limit);
 
   const SystemModel& model_;
   SchedulePolicy policy_;
@@ -126,6 +158,17 @@ class SequentialSimulator : public Engine {
   std::vector<char> unstable_;
   std::size_t unstable_count_ = 0;
   std::size_t rr_next_ = 0;
+  std::size_t rr_init_ = 0;  ///< seeded cursor; canonical restore target
+
+  // First-evaluation accounting (explicit, per cycle): re_evaluations =
+  // delta_cycles - first_evals_, computed the same way under every
+  // scheduler so a cycle that throws mid-settle can never underflow it.
+  std::vector<char> evaluated_;
+  std::size_t first_evals_ = 0;
+
+  // Compiled-schedule runtime (kCompiled only).
+  std::optional<analysis::CompiledSchedule> compiled_;
+  std::vector<char> scc_unstable_;  // scratch, sized per settling SCC
 
   // Worklist-scheduler bookkeeping (empty under kRoundRobin).
   std::vector<BlockId> worklist_;   // FIFO; consumed prefix [0, wl_head_)

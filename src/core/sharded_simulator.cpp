@@ -106,6 +106,7 @@ ShardedSimulator::ShardedSimulator(const SystemModel& model,
     auto sh = std::make_unique<Shard>(s, blocks, std::move(widths), model,
                                       materialize[s]);
     sh->unstable.assign(blocks.size(), 0);
+    sh->evaluated.assign(blocks.size(), 0);
     for (std::size_t i = 0; i < blocks.size(); ++i) {
       sh->state.load_old(i, model.block(blocks[i]).logic->reset_state());
     }
@@ -138,6 +139,22 @@ ShardedSimulator::ShardedSimulator(const SystemModel& model,
       sh->rr_next = schedule_rr_offset(
           cfg_.schedule_seed == 1 ? 1 : cfg_.schedule_seed + 0x9e37u * (s + 1),
           blocks.size());
+      sh->rr_init = sh->rr_next;
+    }
+    if (cfg_.scheduler == SchedulerKind::kCompiled &&
+        cfg_.schedule == SchedulePolicy::kDynamic) {
+      // Per-shard static schedule over the link graph restricted to this
+      // shard's membership. Cut links have one endpoint elsewhere, so
+      // they drop out of the tracked set and the emitted order treats
+      // them as registered edges; the superstep loop in cycle_compiled
+      // reconciles them through the mailbox.
+      std::vector<char> member(n, 0);
+      for (const BlockId b : blocks) {
+        member[b] = 1;
+      }
+      analysis::StaticScheduleOptions opt;
+      opt.include_blocks = &member;
+      sh->compiled.emplace(analysis::build_compiled_schedule(model, opt));
     }
     shards_.push_back(std::move(sh));
   }
@@ -244,6 +261,74 @@ void ShardedSimulator::load_block_state(BlockId block, const BitVector& value) {
   }
 }
 
+void ShardedSimulator::load_link_value(LinkId link, const BitVector& value) {
+  TMSIM_CHECK_MSG(link < model_.num_links(), "link index out of range");
+  // Workers are parked at the command barrier, so writing the
+  // authoritative copy and every reader replica directly is race-free.
+  for (const std::size_t s : link_shards_[link]) {
+    shards_[s]->links.write(link, value);
+  }
+  const std::size_t slot = slot_of_link_[link];
+  if (slot != kNoSlot) {
+    // Re-publish through the mailbox too: a restore into an engine whose
+    // previous cycle was abandoned mid-exchange would otherwise have a
+    // stale slot version overwrite the restored replica at the next
+    // poll. The delivery is idempotent — the replica already holds the
+    // value, so the poll's change detection fires no destabilization.
+    mailbox_->publish(slot, value);
+  }
+}
+
+SchedulerCheckpoint ShardedSimulator::scheduler_checkpoint() const {
+  SchedulerCheckpoint s;
+  if (cfg_.scheduler == SchedulerKind::kCompiled) {
+    return s;  // the compiled schedule carries no dynamic state
+  }
+  s.rr_cursors.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& sh : shards_) {
+    s.rr_cursors.push_back(sh->rr_next);
+  }
+  if (cfg_.scheduler == SchedulerKind::kWorklist) {
+    // Scatter the per-shard quiescence flags back to model block order so
+    // the snapshot is partition-independent.
+    s.state_fixed.assign(model_.num_blocks(), 0);
+    s.pending_input.assign(model_.num_blocks(), 0);
+    for (const std::unique_ptr<Shard>& sh : shards_) {
+      for (std::size_t i = 0; i < sh->blocks.size(); ++i) {
+        s.state_fixed[sh->blocks[i]] = sh->state_fixed[i];
+        s.pending_input[sh->blocks[i]] = sh->pending_input[i];
+      }
+    }
+  }
+  return s;
+}
+
+void ShardedSimulator::restore_scheduler_state(
+    const SchedulerCheckpoint& sched) {
+  // Workers are parked at the command barrier; direct writes are
+  // race-free. A snapshot whose shape does not match (different shard
+  // count, different model, or empty) canonicalizes: cursors back to
+  // their seeded offsets, flags cleared — committed results cannot
+  // depend on this by the engine contract, only StepStats can.
+  const bool cursors_ok = sched.rr_cursors.size() == shards_.size();
+  const bool flags_ok =
+      sched.state_fixed.size() == model_.num_blocks() &&
+      sched.pending_input.size() == model_.num_blocks();
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& sh = *shards_[si];
+    const std::size_t ln = sh.blocks.size();
+    sh.rr_next = (cursors_ok && ln > 0 && sched.rr_cursors[si] < ln)
+                     ? sched.rr_cursors[si]
+                     : sh.rr_init;
+    if (cfg_.scheduler == SchedulerKind::kWorklist) {
+      for (std::size_t i = 0; i < ln; ++i) {
+        sh.state_fixed[i] = flags_ok ? sched.state_fixed[sh.blocks[i]] : 0;
+        sh.pending_input[i] = flags_ok ? sched.pending_input[sh.blocks[i]] : 0;
+      }
+    }
+  }
+}
+
 StepStats ShardedSimulator::step() {
   barrier_->sync(0);  // release the workers into this cycle
   run_cycle(0);
@@ -309,6 +394,7 @@ StepStats ShardedSimulator::step() {
   }
 
   StepStats total;
+  std::uint64_t first_evals = 0;
   for (const std::unique_ptr<Shard>& sh : shards_) {
     total.delta_cycles += sh->stats.delta_cycles;
     total.link_changes += sh->stats.link_changes;
@@ -317,13 +403,13 @@ StepStats ShardedSimulator::step() {
     total.skipped_blocks += sh->stats.skipped_blocks;
     total.worklist_high_water =
         std::max(total.worklist_high_water, sh->stats.worklist_high_water);
+    first_evals += sh->first_evals;
   }
-  if (cfg_.schedule != SchedulePolicy::kStatic) {
-    // Blocks evaluated at least once this cycle = num_blocks minus the
-    // quiescence fast path's skips (always 0 under kRoundRobin).
-    total.re_evaluations =
-        total.delta_cycles - (model_.num_blocks() - total.skipped_blocks);
-  }
+  // Explicit first-evaluation accounting, identical under every schedule
+  // and scheduler: re-evaluations are delta cycles beyond each block's
+  // first. (The old derivation num_blocks - skipped_blocks underflowed
+  // when a cycle was abandoned before every block had evaluated.)
+  total.re_evaluations = total.delta_cycles - first_evals;
   // Every shard executes the same number of barrier-aligned supersteps.
   total.settle_rounds = shards_[0]->supersteps;
   total_delta_cycles_ += total.delta_cycles;
@@ -349,6 +435,8 @@ void ShardedSimulator::run_cycle(std::size_t s) {
   sh.error = nullptr;
   sh.report = ConvergenceReport{};
   sh.recent_changed_count = 0;
+  std::fill(sh.evaluated.begin(), sh.evaluated.end(), 0);
+  sh.first_evals = 0;
   if (observer_) {
     sh.mark_ns = steady_ns();
   }
@@ -385,6 +473,10 @@ void ShardedSimulator::cycle_static(Shard& sh) {
 }
 
 void ShardedSimulator::cycle_dynamic(Shard& sh) {
+  if (cfg_.scheduler == SchedulerKind::kCompiled) {
+    cycle_compiled(sh);
+    return;
+  }
   const bool worklist = cfg_.scheduler == SchedulerKind::kWorklist;
   if (worklist) {
     guarded(sh, [&] { seed_worklist_cycle(sh); });
@@ -493,6 +585,174 @@ void ShardedSimulator::cycle_two_phase(Shard& sh) {
   }
 }
 
+void ShardedSimulator::cycle_compiled(Shard& sh) {
+  // Compiled superstep loop: each phase A replays the shard's build-time
+  // schedule in full against the latest replica values — no HBR bits, no
+  // per-block destabilization across the cut. Phase B's deliveries mark
+  // readers unstable purely so barrier 2 can agree on "someone received
+  // a changed cut value"; the next phase A clears the bits and re-runs
+  // everything. Cross-shard combinational chains converge in one extra
+  // superstep per cut depth (a block-Jacobi sweep toward the same unique
+  // fixed point the sequential schedule reaches); a genuinely oscillating
+  // cross-shard loop ping-pongs to the superstep cap and diverges.
+  const std::size_t superstep_cap =
+      cfg_.max_evals_per_block * model_.num_blocks();
+  while (true) {
+    guarded(sh, [&] {
+      std::fill(sh.unstable.begin(), sh.unstable.end(), 0);
+      sh.unstable_count = 0;
+      run_compiled_schedule(sh);
+    });
+    if (sh.supersteps >= superstep_cap) {
+      sh.diverged = true;
+    }
+    const bool more = exchange_round(sh);
+    if (sh.cycle_failed || !more) {
+      return;
+    }
+  }
+}
+
+void ShardedSimulator::run_compiled_schedule(Shard& sh) {
+  for (const analysis::CompiledOp& op : sh.compiled->ops) {
+    if (op.kind == analysis::CompiledOpKind::kSettle) {
+      settle_scc_local(sh, op.scc);
+      if (sh.diverged) {
+        return;
+      }
+    } else {
+      // kEval and kDrive run identically at execution time; the split
+      // only matters for the emission proof (see static_schedule.h).
+      evaluate_block_compiled(sh, local_of_[op.block], nullptr);
+    }
+  }
+}
+
+void ShardedSimulator::settle_scc_local(Shard& sh, std::uint32_t scc_index) {
+  // Scoped worklist over one strongly connected component, confined to
+  // this shard (tracked links need both endpoints in the shard, so an
+  // SCC can never straddle the cut). Mirrors the sequential engine's
+  // settle_scc, with the cooperative divergence protocol instead of a
+  // throw: leave the members' unstable bits set for the merged report.
+  const analysis::CompiledScc& scc = sh.compiled->sccs[scc_index];
+  const std::size_t m = scc.blocks.size();
+  sh.scc_unstable.assign(m, 1);
+  std::size_t remaining = m;
+  for (const BlockId b : scc.blocks) {
+    sh.unstable[local_of_[b]] = 1;  // report mirror, not counted
+  }
+  const DeltaCycle limit = cfg_.max_evals_per_block * m;
+  CompiledSettleCtx ctx{&scc, scc_index + 1, &sh.scc_unstable, &remaining};
+  std::size_t cursor = 0;
+  DeltaCycle spent = 0;
+  while (remaining > 0) {
+    // Bounded cursor scan: a desynchronized remaining-count with an
+    // all-zero bitmap must fail structurally, not spin (same guard as
+    // the dense round-robin in settle_local).
+    std::size_t scanned = 0;
+    while (sh.scc_unstable[cursor] == 0) {
+      cursor = (cursor + 1) % m;
+      if (++scanned > m) {
+        sh.diverged = true;
+        return;
+      }
+    }
+    const std::size_t mi = cursor;
+    cursor = (cursor + 1) % m;
+    sh.scc_unstable[mi] = 0;
+    --remaining;
+    evaluate_block_compiled(sh, local_of_[scc.blocks[mi]], &ctx);
+    if (++spent > limit) {
+      sh.diverged = true;
+      return;
+    }
+  }
+  for (const BlockId b : scc.blocks) {
+    sh.unstable[local_of_[b]] = 0;
+  }
+}
+
+void ShardedSimulator::evaluate_block_compiled(Shard& sh, std::size_t local,
+                                               const CompiledSettleCtx* ctx) {
+  // Lean compiled-mode evaluation: no HBR marking and — crucially — no
+  // same-shard destabilization outside a settle context. The full
+  // schedule replay makes intra-shard wakeups redundant, and marking
+  // them would keep unstable_count nonzero forever (an infinite
+  // superstep loop). Cut publication is identical to evaluate_block.
+  const BlockId b = sh.blocks[local];
+  const BlockInstance& blk = model_.block(b);
+  const SimBlock& logic = *blk.logic;
+  const std::size_t n_in = logic.num_inputs();
+  const std::size_t n_out = logic.num_outputs();
+
+  if (sh.in_scratch.size() < n_in) {
+    sh.in_scratch.resize(n_in, BitVector(0));
+  }
+  if (sh.out_scratch.size() < n_out) {
+    sh.out_scratch.resize(n_out, BitVector(0));
+  }
+  for (std::size_t p = 0; p < n_in; ++p) {
+    sh.in_scratch[p] = sh.links.read(blk.input_links[p]);
+  }
+  if (sh.state_scratch.width() != logic.state_width()) {
+    sh.state_scratch = BitVector(logic.state_width());
+  }
+  for (std::size_t p = 0; p < n_out; ++p) {
+    if (sh.out_scratch[p].width() != logic.output_width(p)) {
+      sh.out_scratch[p] = BitVector(logic.output_width(p));
+    }
+  }
+
+  logic.evaluate(sh.state.read_old(local),
+                 std::span<const BitVector>(sh.in_scratch.data(), n_in),
+                 sh.state_scratch,
+                 std::span<BitVector>(sh.out_scratch.data(), n_out));
+
+  // A drive op's state write is harmlessly overwritten by the block's
+  // later committing eval (write_new overwrites; the last evaluation in
+  // the op sequence always sees all-final inputs).
+  sh.state.write_new(local, sh.state_scratch);
+
+  for (std::size_t p = 0; p < n_out; ++p) {
+    const LinkId l = blk.output_links[p];
+    const bool changed = sh.links.write(l, sh.out_scratch[p]);
+    const std::size_t slot = slot_of_link_[l];
+    if (model_.link(l).kind == LinkKind::kCombinational) {
+      if (changed) {
+        ++sh.stats.link_changes;
+        sh.recent_changed_links[sh.recent_changed_count++ %
+                                Shard::kChangedLinkHistory] = l;
+        if (ctx && sh.compiled->scc_of_link[l] == ctx->scc_id) {
+          // Intra-SCC edge changed mid-settle: wake the (single) reader.
+          const BlockId r = model_.link(l).readers.front().block;
+          const auto it = std::lower_bound(ctx->scc->blocks.begin(),
+                                           ctx->scc->blocks.end(), r);
+          const std::size_t mi =
+              static_cast<std::size_t>(it - ctx->scc->blocks.begin());
+          if (!(*ctx->unstable)[mi]) {
+            (*ctx->unstable)[mi] = 1;
+            ++*ctx->remaining;
+          }
+          sh.unstable[local_of_[r]] = 1;  // report mirror
+        }
+        if (slot != kNoSlot) {
+          mailbox_->publish(slot, sh.out_scratch[p]);
+          ++sh.stats.cut_publishes;
+        }
+      }
+    } else if (slot != kNoSlot) {
+      mailbox_->publish(slot, sh.out_scratch[p]);
+      ++sh.stats.cut_publishes;
+    }
+  }
+
+  if (!sh.evaluated[local]) {
+    sh.evaluated[local] = 1;
+    ++sh.first_evals;
+  }
+  ++sh.stats.delta_cycles;
+}
+
 bool ShardedSimulator::exchange_round(Shard& sh) {
   ++sh.supersteps;
   // Observer timing: the settle/evaluation phase ran since mark_ns; the
@@ -534,9 +794,17 @@ void ShardedSimulator::settle_local(Shard& sh) {
   const std::size_t ln = sh.blocks.size();
   const DeltaCycle budget = cfg_.max_evals_per_block * ln;
   while (sh.unstable_count > 0) {
-    // Local §4.2 round-robin over this shard's non-stable blocks.
+    // Local §4.2 round-robin over this shard's non-stable blocks. The
+    // scan is bounded: unstable_count > 0 with an all-zero bitmap is a
+    // bookkeeping desync, and a full lap proves it — fail the cycle
+    // structurally instead of spinning on the cursor forever.
+    std::size_t scanned = 0;
     while (sh.unstable[sh.rr_next] == 0) {
       sh.rr_next = (sh.rr_next + 1) % ln;
+      if (++scanned > ln) {
+        sh.diverged = true;
+        return;
+      }
     }
     const std::size_t i = sh.rr_next;
     sh.rr_next = (sh.rr_next + 1) % ln;
@@ -647,6 +915,10 @@ void ShardedSimulator::evaluate_block(Shard& sh, std::size_t local) {
     }
   }
 
+  if (!sh.evaluated[local]) {
+    sh.evaluated[local] = 1;
+    ++sh.first_evals;
+  }
   ++sh.stats.delta_cycles;
 }
 

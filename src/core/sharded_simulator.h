@@ -48,9 +48,11 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "analysis/static_schedule.h"
 #include "core/engine.h"
 #include "core/link_memory.h"
 #include "core/partition.h"
@@ -74,8 +76,11 @@ struct ShardedConfig {
   std::uint64_t schedule_seed = 1;
   /// Non-stable-block pickup within phase A of each superstep:
   /// kRoundRobin is the dense §4.2 sweep, kWorklist the event-driven
-  /// scheduler with the quiescence fast path (see SchedulerKind).
-  /// Bit-identical results either way; only StepStats may differ.
+  /// scheduler with the quiescence fast path, kCompiled a per-shard
+  /// build-time static schedule (cut links are treated as registered
+  /// edges: each superstep re-runs the full shard schedule against the
+  /// latest replica values until the exchange reports quiescence).
+  /// Bit-identical results in every case; only StepStats may differ.
   SchedulerKind scheduler = SchedulerKind::kRoundRobin;
 };
 
@@ -91,7 +96,10 @@ class ShardedSimulator : public Engine {
   const BitVector& link_value(LinkId link) const override;
   const BitVector& block_state(BlockId block) const override;
   void load_block_state(BlockId block, const BitVector& value) override;
+  void load_link_value(LinkId link, const BitVector& value) override;
   StepStats step() override;
+  SchedulerCheckpoint scheduler_checkpoint() const override;
+  void restore_scheduler_state(const SchedulerCheckpoint& sched) override;
 
   SystemCycle cycle() const override { return cycle_; }
   DeltaCycle total_delta_cycles() const override {
@@ -130,6 +138,20 @@ class ShardedSimulator : public Engine {
     std::vector<char> unstable;
     std::size_t unstable_count = 0;
     std::size_t rr_next = 0;
+    std::size_t rr_init = 0;  // seeded cursor; canonical restore target
+
+    // First-evaluation accounting (per cycle): the coordinator computes
+    // re_evaluations = Σ delta_cycles - Σ first_evals, identically under
+    // every scheduler, so a cycle abandoned mid-settle cannot underflow.
+    std::vector<char> evaluated;
+    std::size_t first_evals = 0;
+
+    // Per-shard build-time schedule (kCompiled only): the model's link
+    // graph restricted to this shard's blocks. Cut links fall out of the
+    // tracked set (one endpoint is elsewhere), so the schedule treats
+    // them exactly like registered edges — pre-final for the superstep.
+    std::optional<analysis::CompiledSchedule> compiled;
+    std::vector<char> scc_unstable;  // scratch, sized per settling SCC
 
     // Worklist-scheduler bookkeeping (local indices; empty under
     // kRoundRobin). The FIFO persists across the cycle's supersteps:
@@ -168,12 +190,26 @@ class ShardedSimulator : public Engine {
           links(model, materialize) {}
   };
 
+  /// Settle context threaded through compiled-mode evaluations while a
+  /// CompiledScc runs its scoped worklist (see SequentialSimulator).
+  struct CompiledSettleCtx {
+    const analysis::CompiledScc* scc = nullptr;
+    std::uint32_t scc_id = 0;  ///< scc index + 1 (scc_of_link encoding)
+    std::vector<char>* unstable = nullptr;  ///< per SCC member
+    std::size_t* remaining = nullptr;
+  };
+
   void worker_main(std::size_t s);
   void run_cycle(std::size_t s);
   void cycle_static(Shard& sh);
   void cycle_dynamic(Shard& sh);
+  void cycle_compiled(Shard& sh);
   void cycle_two_phase(Shard& sh);
   void evaluate_block(Shard& sh, std::size_t local);
+  void evaluate_block_compiled(Shard& sh, std::size_t local,
+                               const CompiledSettleCtx* ctx);
+  void run_compiled_schedule(Shard& sh);
+  void settle_scc_local(Shard& sh, std::uint32_t scc_index);
   void settle_local(Shard& sh);
   void settle_local_worklist(Shard& sh);
   void seed_worklist_cycle(Shard& sh);

@@ -54,6 +54,22 @@ class SimBlock {
 
   /// Human-readable type name for traces and error messages.
   virtual std::string type_name() const = 0;
+
+  /// Static dependency metadata for the compiled schedule (analysis
+  /// layer): does output port `out` combinationally depend on input port
+  /// `in`? The default is the conservative answer (every output may
+  /// depend on every input). Blocks whose outputs are functions of
+  /// registered state only — the §4.2 router shape — override this to
+  /// return false, which lets the static-schedule pass cut the
+  /// input→output edge and break apparent combinational cycles at build
+  /// time. Must be sound: returning false for a real dependency breaks
+  /// bit-identity; returning true for a false one only costs schedule
+  /// quality.
+  virtual bool output_depends_on_input(std::size_t out, std::size_t in) const {
+    (void)out;
+    (void)in;
+    return true;
+  }
 };
 
 }  // namespace tmsim::core

@@ -232,6 +232,8 @@ JobSpec JobSpec::deserialize(const std::string& text) {
         spec.engine.scheduler = core::SchedulerKind::kRoundRobin;
       } else if (val == "worklist") {
         spec.engine.scheduler = core::SchedulerKind::kWorklist;
+      } else if (val == "compiled") {
+        spec.engine.scheduler = core::SchedulerKind::kCompiled;
       } else {
         throw ContextualError("unknown scheduler kind", {{"scheduler", val}});
       }

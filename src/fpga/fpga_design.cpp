@@ -68,6 +68,7 @@ void FpgaDesign::configure() {
   engine_opts.num_shards = build_.num_shards;
   engine_opts.partition = build_.partition;
   engine_opts.seed = build_.engine_seed;
+  engine_opts.scheduler = build_.scheduler;
   sim_ = std::make_unique<core::SeqNocSimulation>(net_, engine_opts);
   if (engine_observer_) {
     sim_->set_observer(engine_observer_);

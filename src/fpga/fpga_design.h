@@ -62,6 +62,10 @@ struct FpgaBuildConfig {
   /// Dynamic-schedule seed forwarded to the engine (EngineOptions::seed).
   /// 1 is canonical; any other value perturbs only the evaluation order.
   std::uint64_t engine_seed = 1;
+  /// Non-stable-block pickup strategy forwarded to the engine
+  /// (EngineOptions::scheduler). Bit-identical results for every kind;
+  /// part of the farm's engine cache key.
+  core::SchedulerKind scheduler = core::SchedulerKind::kRoundRobin;
 };
 
 class FpgaDesign : public BusInterface {

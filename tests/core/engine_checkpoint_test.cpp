@@ -5,12 +5,14 @@
 // schedule_rr_offset behaviour the farm's engine cache relies on.
 #include <memory>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
 #include "core/example_blocks.h"
 #include "core/sequential_simulator.h"
+#include "core/sharded_simulator.h"
 #include "core/system_model.h"
 
 namespace tmsim::core {
@@ -144,6 +146,142 @@ TEST(EngineCheckpoint, ResetEngineReturnsToPowerOn) {
   drive(sim, chain, 12);
   drive(fresh, fresh_chain, 12);
   EXPECT_EQ(engine_state_digest(sim), engine_state_digest(fresh));
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler-state checkpointing (DESIGN.md §17): a farm-preempted
+// session resumed on a different engine instance must replay not just
+// bit-identical results but the identical *StepStats stream* — cursor
+// positions and quiescence flags ride in the checkpoint. The diff below
+// is over full per-cycle stats, not digests: digests can agree while the
+// schedules did different amounts of work.
+// ---------------------------------------------------------------------------
+
+/// A stimulus the pre-restore "other tenant" workload uses; disjoint
+/// from stimulus() so the restored engine really starts from foreign
+/// scheduler state.
+std::uint64_t other_stimulus(SystemCycle cycle) {
+  return (13 * cycle + 11) & 0xffff;
+}
+
+std::vector<StepStats> drive_recording(Engine& sim, const PipeChain& chain,
+                                       SystemCycle cycles,
+                                       std::uint64_t (*stim)(SystemCycle)) {
+  std::vector<StepStats> out;
+  for (SystemCycle i = 0; i < cycles; ++i) {
+    sim.set_external_input(chain.x, val(16, stim(sim.cycle())));
+    out.push_back(sim.step());
+  }
+  return out;
+}
+
+TEST(SchedulerCheckpoint, SequentialStatsStreamSurvivesPreemption) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kRoundRobin, SchedulerKind::kWorklist,
+        SchedulerKind::kCompiled}) {
+    SCOPED_TRACE(scheduler_kind_name(kind));
+    PipeChain a_chain;
+    SequentialSimulator a(a_chain.model, SchedulePolicy::kDynamic, 64, 1,
+                          kind);
+    drive_recording(a, a_chain, 9, stimulus);
+    const EngineCheckpoint ck = save_checkpoint(a);
+    const std::vector<StepStats> ref =
+        drive_recording(a, a_chain, 8, stimulus);
+
+    // The resumed-onto engine first ran a different workload, so its
+    // cursor, quiescence flags, and link values are all foreign.
+    PipeChain b_chain;
+    SequentialSimulator b(b_chain.model, SchedulePolicy::kDynamic, 64, 1,
+                          kind);
+    drive_recording(b, b_chain, 5, other_stimulus);
+    restore_checkpoint(b, ck);
+    EXPECT_EQ(engine_state_digest(b), ck.digest);
+    const std::vector<StepStats> got =
+        drive_recording(b, b_chain, 8, stimulus);
+
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i], ref[i]) << "cycle " << 9 + i;
+    }
+    EXPECT_EQ(engine_state_digest(b), engine_state_digest(a));
+  }
+}
+
+TEST(SchedulerCheckpoint, ShardedStatsStreamSurvivesPreemption) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kRoundRobin, SchedulerKind::kWorklist,
+        SchedulerKind::kCompiled}) {
+    SCOPED_TRACE(scheduler_kind_name(kind));
+    ShardedConfig cfg;
+    cfg.num_shards = 2;
+    cfg.scheduler = kind;
+    PipeChain a_chain;
+    ShardedSimulator a(a_chain.model, cfg);
+    drive_recording(a, a_chain, 9, stimulus);
+    const EngineCheckpoint ck = save_checkpoint(a);
+    const std::vector<StepStats> ref =
+        drive_recording(a, a_chain, 8, stimulus);
+
+    PipeChain b_chain;
+    ShardedSimulator b(b_chain.model, cfg);
+    drive_recording(b, b_chain, 5, other_stimulus);
+    restore_checkpoint(b, ck);
+    const std::vector<StepStats> got =
+        drive_recording(b, b_chain, 8, stimulus);
+
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      // barrier_spins is wall-clock noise; every other field is a
+      // deterministic function of model, schedule state, and stimulus.
+      EXPECT_EQ(got[i].delta_cycles, ref[i].delta_cycles) << "cycle " << i;
+      EXPECT_EQ(got[i].re_evaluations, ref[i].re_evaluations)
+          << "cycle " << i;
+      EXPECT_EQ(got[i].link_changes, ref[i].link_changes) << "cycle " << i;
+      EXPECT_EQ(got[i].cut_publishes, ref[i].cut_publishes) << "cycle " << i;
+      EXPECT_EQ(got[i].skipped_blocks, ref[i].skipped_blocks)
+          << "cycle " << i;
+      EXPECT_EQ(got[i].settle_rounds, ref[i].settle_rounds) << "cycle " << i;
+      EXPECT_EQ(got[i].worklist_high_water, ref[i].worklist_high_water)
+          << "cycle " << i;
+    }
+    EXPECT_EQ(engine_state_digest(b), engine_state_digest(a));
+  }
+}
+
+TEST(SchedulerCheckpoint, TamperedLinkSnapshotIsRejected) {
+  PipeChain chain;
+  SequentialSimulator sim(chain.model, SchedulePolicy::kDynamic, 64, 1,
+                          SchedulerKind::kWorklist);
+  drive(sim, chain, 5);
+  EngineCheckpoint ck = save_checkpoint(sim);
+  ASSERT_FALSE(ck.link_ids.empty());
+  ck.link_values[0] = val(16, 0xbad);
+  EXPECT_THROW(restore_checkpoint(sim, ck), std::exception);
+}
+
+TEST(SchedulerCheckpoint, LegacyCheckpointWithoutSnapshotCanonicalizes) {
+  // A hand-built checkpoint (no link snapshot, no scheduler state) must
+  // restore like a power-on engine at that state: accepted, and the
+  // scheduler starts from canonical cursors/flags.
+  PipeChain chain;
+  SequentialSimulator sim(chain.model, SchedulePolicy::kDynamic, 64, 1,
+                          SchedulerKind::kWorklist);
+  drive(sim, chain, 6);
+  EngineCheckpoint ck = save_checkpoint(sim);
+  ck.link_ids.clear();
+  ck.link_values.clear();
+  ck.link_digest = 0;
+  ck.sched = SchedulerCheckpoint{};
+  SequentialSimulator fresh(chain.model, SchedulePolicy::kDynamic, 64, 1,
+                            SchedulerKind::kWorklist);
+  restore_checkpoint(fresh, ck);  // must not throw
+  EXPECT_EQ(fresh.cycle(), 6u);
+  // Without restored link values the quiescence flags were cleared, so
+  // the first resumed cycle re-evaluates everything — and results stay
+  // bit-identical to the uninterrupted run.
+  drive(sim, chain, 4);
+  drive(fresh, chain, 4);
+  EXPECT_EQ(engine_state_digest(fresh), engine_state_digest(sim));
 }
 
 TEST(EngineCheckpoint, ScheduleRrOffsetCanonicalBehaviour) {

@@ -470,4 +470,160 @@ TEST(Engine, DeltaCycleTotalsAccumulate) {
 }
 
 }  // namespace
+
+/// White-box peer: reaches the round-robin scheduler's private bitmap so
+/// a test can force the unstable_count/bitmap desync that the bounded
+/// cursor scan turns into a structured failure (it used to spin forever).
+class SequentialSimulatorTestPeer {
+ public:
+  static void zero_unstable_bitmap(SequentialSimulator& sim) {
+    std::fill(sim.unstable_.begin(), sim.unstable_.end(), 0);
+  }
+  static std::size_t unstable_count(const SequentialSimulator& sim) {
+    return sim.unstable_count_;
+  }
+};
+
+namespace {
+
+/// Pass-through block that, when armed, zeroes the scheduler's unstable
+/// bitmap from inside its own evaluation — the count stays nonzero, so
+/// the round-robin cursor has nothing left to find.
+class SaboteurBlock : public SimBlock {
+ public:
+  void arm(SequentialSimulator* victim) { victim_ = victim; }
+
+  std::size_t state_width() const override { return 0; }
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t input_width(std::size_t) const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::size_t output_width(std::size_t) const override { return 1; }
+  BitVector reset_state() const override { return BitVector(0); }
+
+  void evaluate(const BitVector&, std::span<const BitVector> inputs,
+                BitVector&, std::span<BitVector> outputs) const override {
+    outputs[0].set_field(0, 1, inputs[0].get_field(0, 1));
+    if (victim_ != nullptr) {
+      SequentialSimulatorTestPeer::zero_unstable_bitmap(*victim_);
+    }
+  }
+  std::string type_name() const override { return "saboteur"; }
+
+ private:
+  SequentialSimulator* victim_ = nullptr;
+};
+
+TEST(DynamicSchedule, DesyncedRoundRobinFailsStructurallyInsteadOfHanging) {
+  SystemModel model;
+  auto saboteur = std::make_shared<SaboteurBlock>();
+  const BlockId s = model.add_block(saboteur, "S");
+  const BlockId c =
+      model.add_block(std::make_shared<CombAdderBlock>(1, 0), "C");
+  const LinkId ext = model.add_link("ext", 1, LinkKind::kCombinational);
+  const LinkId mid = model.add_link("mid", 1, LinkKind::kCombinational);
+  const LinkId out = model.add_link("out", 1, LinkKind::kCombinational);
+  model.bind_input(s, 0, ext);
+  model.bind_output(s, 0, mid);
+  model.bind_input(c, 0, mid);
+  model.bind_output(c, 0, out);
+  model.finalize();
+
+  SequentialSimulator sim(model, SchedulePolicy::kDynamic, 8);
+  saboteur->arm(&sim);
+  // Block S (id 0) evaluates first, clears block C's unstable bit behind
+  // the scheduler's back, and writes an unchanged output (no
+  // re-destabilization). unstable_count stays 1 with an all-zero bitmap:
+  // before the bounded scan this spun forever on the cursor.
+  try {
+    sim.step();
+    FAIL() << "desynced scheduler did not fail";
+  } catch (const ConvergenceError& e) {
+    EXPECT_EQ(e.report().cycle, 0u);
+    EXPECT_EQ(e.report().num_blocks, 2u);
+  }
+  EXPECT_EQ(SequentialSimulatorTestPeer::unstable_count(sim), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Re-evaluation accounting (explicit first-eval counting): pinned
+// per-scheduler on a chain whose block ids run *against* the dataflow —
+// the shape that separates the three schedulers most sharply.
+// ---------------------------------------------------------------------------
+
+/// b0 reads b1's output, b1 reads b2's, b2 reads the external input: the
+/// round-robin sweep evaluates in id order and pays re-evaluations to
+/// push values upstream; the compiled schedule evaluates in topological
+/// order (b2, b1, b0) and pays none.
+struct ReverseChain {
+  ReverseChain() {
+    const BlockId b0 =
+        model.add_block(std::make_shared<CombAdderBlock>(8, 1), "b0");
+    const BlockId b1 =
+        model.add_block(std::make_shared<CombAdderBlock>(8, 2), "b1");
+    const BlockId b2 =
+        model.add_block(std::make_shared<CombAdderBlock>(8, 3), "b2");
+    ext = model.add_link("ext", 8, LinkKind::kCombinational);
+    l2 = model.add_link("l2", 8, LinkKind::kCombinational);
+    l1 = model.add_link("l1", 8, LinkKind::kCombinational);
+    out = model.add_link("out", 8, LinkKind::kCombinational);
+    model.bind_input(b2, 0, ext);
+    model.bind_output(b2, 0, l2);
+    model.bind_input(b1, 0, l2);
+    model.bind_output(b1, 0, l1);
+    model.bind_input(b0, 0, l1);
+    model.bind_output(b0, 0, out);
+    model.finalize();
+  }
+  SystemModel model;
+  LinkId ext = 0, l2 = 0, l1 = 0, out = 0;
+};
+
+TEST(SchedulerStats, ReEvaluationsPinnedPerSchedulerOnReverseChain) {
+  ReverseChain chain;
+  // Round-robin, cycle 1 (reset transient): id-order sweep needs three
+  // extra delta cycles to push the reset values downstream.
+  SequentialSimulator rr(chain.model, SchedulePolicy::kDynamic);
+  StepStats st = rr.step();
+  EXPECT_EQ(st.delta_cycles, 6u);
+  EXPECT_EQ(st.re_evaluations, 3u);
+  st = rr.step();  // settled: one pass, nothing changes
+  EXPECT_EQ(st.delta_cycles, 3u);
+  EXPECT_EQ(st.re_evaluations, 0u);
+
+  // Worklist: same first-cycle work, then the quiescence fast path
+  // skips the whole chain.
+  SequentialSimulator wl(chain.model, SchedulePolicy::kDynamic, 64, 1,
+                         SchedulerKind::kWorklist);
+  st = wl.step();
+  EXPECT_EQ(st.delta_cycles, 6u);
+  EXPECT_EQ(st.re_evaluations, 3u);
+  st = wl.step();
+  EXPECT_EQ(st.delta_cycles, 0u);
+  EXPECT_EQ(st.re_evaluations, 0u);
+  EXPECT_EQ(st.skipped_blocks, 3u);
+
+  // Compiled: topological order, every cycle — no re-evaluations ever.
+  SequentialSimulator cp(chain.model, SchedulePolicy::kDynamic, 64, 1,
+                         SchedulerKind::kCompiled);
+  for (int i = 0; i < 3; ++i) {
+    st = cp.step();
+    EXPECT_EQ(st.delta_cycles, 3u) << "cycle " << i;
+    EXPECT_EQ(st.re_evaluations, 0u) << "cycle " << i;
+  }
+
+  // All three reach the same fixed point, naturally.
+  for (const LinkId l : {chain.l2, chain.l1, chain.out}) {
+    EXPECT_EQ(rr.link_value(l), wl.link_value(l));
+    EXPECT_EQ(rr.link_value(l), cp.link_value(l));
+  }
+
+  // Two-phase oracle: exactly two passes, so exactly one re-evaluation
+  // per block, every cycle.
+  SequentialSimulator tp(chain.model, SchedulePolicy::kTwoPhaseOracle);
+  st = tp.step();
+  EXPECT_EQ(st.delta_cycles, 6u);
+  EXPECT_EQ(st.re_evaluations, 3u);
+}
+
+}  // namespace
 }  // namespace tmsim::core

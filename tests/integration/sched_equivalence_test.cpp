@@ -118,20 +118,21 @@ EngineOptions make_opts(const RandomConfig& c, std::size_t shards,
 
 class SchedRandomized : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(SchedRandomized, WorklistBitIdenticalAcrossEngines) {
+TEST_P(SchedRandomized, SchedulersBitIdenticalAcrossEngines) {
   const std::uint64_t index = GetParam();
   const RandomConfig cfg = derive_config(index);
   SCOPED_TRACE(cfg.replay_tuple(index));
   const NetworkConfig net = make_net(cfg);
 
-  // {round_robin, worklist} × {sequential, sharded}, all in lockstep:
-  // the round-robin sequential engine is the reference every other
-  // combination must match cycle for cycle.
+  // {round_robin, worklist, compiled} × {sequential, sharded}, all in
+  // lockstep: the round-robin sequential engine is the reference every
+  // other combination must match cycle for cycle.
   std::vector<std::unique_ptr<noc::NocSimulation>> sims;
   std::vector<const SeqNocSimulation*> raw;
   for (const std::size_t shards : {std::size_t{1}, cfg.num_shards}) {
     for (const SchedulerKind sched :
-         {SchedulerKind::kRoundRobin, SchedulerKind::kWorklist}) {
+         {SchedulerKind::kRoundRobin, SchedulerKind::kWorklist,
+          SchedulerKind::kCompiled}) {
       auto sim = std::make_unique<SeqNocSimulation>(
           net, make_opts(cfg, shards, sched));
       raw.push_back(sim.get());
@@ -324,18 +325,28 @@ TEST(SchedConvergence, ReportParityBetweenEnginesAndSchedulers) {
   core::SequentialSimulator seq_rr(m, SchedulePolicy::kDynamic, 16);
   core::SequentialSimulator seq_wl(m, SchedulePolicy::kDynamic, 16, 1,
                                    SchedulerKind::kWorklist);
+  // Compiled: the whole ring condenses into one SCC whose scoped settle
+  // trips the same per-SCC budget (sequential), or — split one inverter
+  // per shard — a cut loop that ping-pongs to the superstep cap.
+  core::SequentialSimulator seq_cp(m, SchedulePolicy::kDynamic, 16, 1,
+                                   SchedulerKind::kCompiled);
   core::ShardedConfig cfg;
   cfg.num_shards = 5;  // one inverter per shard: purely cross-shard loop
   cfg.max_evals_per_block = 16;
   cfg.scheduler = SchedulerKind::kWorklist;
   core::ShardedSimulator sh_wl(m, cfg);
+  core::ShardedConfig cp_cfg = cfg;
+  cp_cfg.scheduler = SchedulerKind::kCompiled;
+  core::ShardedSimulator sh_cp(m, cp_cfg);
 
   const core::ConvergenceReport a = trip(seq_rr);
   const core::ConvergenceReport b = trip(seq_wl);
   const core::ConvergenceReport c = trip(sh_wl);
+  const core::ConvergenceReport d = trip(seq_cp);
+  const core::ConvergenceReport e = trip(sh_cp);
 
   // Size/limit fields agree across all engine/scheduler combinations.
-  for (const core::ConvergenceReport* r : {&a, &b, &c}) {
+  for (const core::ConvergenceReport* r : {&a, &b, &c, &d, &e}) {
     EXPECT_EQ(r->num_blocks, m.num_blocks());
     EXPECT_EQ(r->limit, 16u * m.num_blocks());
     ASSERT_FALSE(r->oscillating_blocks.empty());

@@ -52,6 +52,8 @@ farm::JobSpec random_spec(std::uint64_t index) {
   spec.seed = rng.next();
   spec.cycles = 60 + rng.next_below(141);
   spec.engine.num_shards = 1 + rng.next_below(2);
+  spec.engine.scheduler =
+      static_cast<core::SchedulerKind>(rng.next_below(3));
   spec.workload.be_load = 0.05 * static_cast<double>(rng.next_below(5));
   spec.max_retries = 2;
   if (rng.next_below(4) == 0) {
